@@ -1,0 +1,174 @@
+// Command pbrun executes a benchmark under a given configuration file
+// and reports the wall time, or interprets a PetaBricks source file
+// directly.
+//
+// Usage:
+//
+//	pbrun -bench sort|matmul|eigen|poisson -config file -n size [flags]
+//	pbrun -src file.pbcc -transform Name -n size [-config file]
+//
+//	-workers n   worker threads (default all CPUs)
+//	-trials k    best-of-k timing (default 3)
+//	-acc i       poisson: accuracy index into the tuned family
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"petabricks/internal/choice"
+	"petabricks/internal/kernels/eigen"
+	"petabricks/internal/kernels/matmul"
+	"petabricks/internal/kernels/poisson"
+	"petabricks/internal/kernels/sortk"
+	"petabricks/internal/matrix"
+	"petabricks/internal/pbc/interp"
+	"petabricks/internal/pbc/parser"
+	"petabricks/internal/runtime"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "", "benchmark: sort, matmul, eigen, poisson")
+		src       = flag.String("src", "", "PetaBricks source file to interpret")
+		transform = flag.String("transform", "", "transform to run with -src")
+		cfgPath   = flag.String("config", "", "configuration file")
+		n         = flag.Int("n", 100000, "input size")
+		workers   = flag.Int("workers", 0, "worker threads")
+		trials    = flag.Int("trials", 3, "best-of-k timing")
+		accIdx    = flag.Int("acc", -1, "poisson accuracy index (default: highest)")
+		seed      = flag.Int64("seed", 1, "input generator seed")
+	)
+	flag.Parse()
+	cfg := choice.NewConfig()
+	if *cfgPath != "" {
+		var err error
+		cfg, err = choice.Load(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *src != "" {
+		runDSL(*src, *transform, cfg, *n, *seed)
+		return
+	}
+	pool := runtime.NewPool(*workers)
+	defer pool.Close()
+	best := 0.0
+	for t := 0; t < *trials; t++ {
+		var sec float64
+		switch *bench {
+		case "sort":
+			rng := rand.New(rand.NewSource(*seed + int64(t)))
+			in := sortk.Generate(rng, *n)
+			start := time.Now()
+			choice.Run(choice.NewExec(pool, cfg), sortk.New(), in)
+			sec = time.Since(start).Seconds()
+			if !sortk.IsSorted(in.Data) {
+				fatal(fmt.Errorf("output not sorted"))
+			}
+		case "matmul":
+			rng := rand.New(rand.NewSource(*seed + int64(t)))
+			in := matmul.Generate(rng, *n)
+			start := time.Now()
+			choice.Run(choice.NewExec(pool, cfg), matmul.New(), in)
+			sec = time.Since(start).Seconds()
+		case "eigen":
+			rng := rand.New(rand.NewSource(*seed + int64(t)))
+			tri := eigen.Generate(rng, *n)
+			start := time.Now()
+			out := choice.Run(choice.NewExec(nil, cfg), eigen.New(), tri)
+			sec = time.Since(start).Seconds()
+			if out.Err != nil {
+				fatal(out.Err)
+			}
+		case "poisson":
+			k, err := poisson.LevelOf(*n)
+			if err != nil {
+				fatal(err)
+			}
+			policy := poisson.DecodePolicy(cfg, k)
+			if len(policy.Accuracies) == 0 {
+				fatal(fmt.Errorf("configuration has no poisson policy; run pbtune -bench poisson"))
+			}
+			ai := *accIdx
+			if ai < 0 {
+				ai = len(policy.Accuracies) - 1
+			}
+			rng := rand.New(rand.NewSource(*seed + int64(t)))
+			pr := poisson.Generate(rng, *n)
+			x := matrix.New(*n, *n)
+			start := time.Now()
+			if err := policy.Solve(x, pr.B, ai); err != nil {
+				fatal(err)
+			}
+			sec = time.Since(start).Seconds()
+			e0 := poisson.ErrorVs(matrix.New(*n, *n), pr.Exact)
+			acc := e0 / poisson.ErrorVs(x, pr.Exact)
+			fmt.Printf("achieved accuracy %.3g (target %.3g)\n", acc, policy.Accuracies[ai])
+		default:
+			fatal(fmt.Errorf("pick -bench or -src"))
+		}
+		if t == 0 || sec < best {
+			best = sec
+		}
+	}
+	fmt.Printf("%s n=%d workers=%d: %.6fs (best of %d)\n",
+		*bench, *n, pool.NumWorkers(), best, *trials)
+}
+
+func runDSL(path, transform string, cfg *choice.Config, n int, seed int64) {
+	srcBytes, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := parser.Parse(string(srcBytes))
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := interp.New(prog)
+	if err != nil {
+		fatal(err)
+	}
+	eng.Cfg = cfg
+	if transform == "" {
+		transform = prog.Transforms[0].Name
+	}
+	res, ok := eng.Analysis(transform)
+	if !ok {
+		fatal(fmt.Errorf("transform %q not found", transform))
+	}
+	// Deterministic demo inputs: every size variable = n.
+	rng := rand.New(rand.NewSource(seed))
+	inputs := map[string]*matrix.Matrix{}
+	for _, d := range res.Transform.From {
+		nd := len(res.Matrices[d.Name].Dims)
+		dims := make([]int, nd)
+		for i := range dims {
+			dims[i] = n
+		}
+		m := matrix.New(dims...)
+		m.Each(func([]int, float64) float64 { return float64(rng.Intn(10)) })
+		inputs[d.Name] = m
+	}
+	start := time.Now()
+	outs, err := eng.Run(transform, inputs)
+	if err != nil {
+		fatal(err)
+	}
+	sec := time.Since(start).Seconds()
+	for name, m := range outs {
+		sum := 0.0
+		m.Walk(func(_ []int, v float64) { sum += v })
+		fmt.Printf("%s: shape %v checksum %.6g\n", name, m.Shape(), sum)
+	}
+	fmt.Printf("%s n=%d: %.6fs\n", transform, n, sec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pbrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Poisson demonstrates the variable-accuracy autotuning of §4.1: the
+// dynamic-programming tuner builds the POISSONi family — for each target
+// accuracy and grid level, the fastest mix of direct solves, SOR(ω_opt)
+// iteration, and V-cycles that recurse through lower-accuracy variants —
+// then verifies every accuracy target on fresh instances and compares
+// against the single-method baselines at the strictest target.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"petabricks/internal/kernels/poisson"
+	"petabricks/internal/matrix"
+)
+
+func main() {
+	accs := []float64{1e1, 1e3, 1e5, 1e7, 1e9}
+	const maxLevel = 6 // N = 65
+	fmt.Printf("Tuning POISSONi for accuracies %v up to N=%d...\n\n",
+		accs, poisson.SizeOfLevel(maxLevel))
+	policy := poisson.TunePolicy(accs, maxLevel, poisson.TuneOptions{Trials: 2, Seed: 31})
+
+	fmt.Println("Tuned decisions (accuracy × grid level):")
+	for ai, a := range accs {
+		fmt.Printf("  accuracy %7.0e:", a)
+		for k := 2; k <= maxLevel; k++ {
+			d := policy.Get(ai, k)
+			switch d.Kind {
+			case poisson.KindDirect:
+				fmt.Printf("  k%d=DIRECT", k)
+			case poisson.KindSOR:
+				fmt.Printf("  k%d=SOR×%d", k, d.Iters)
+			case poisson.KindMG:
+				fmt.Printf("  k%d=MG×%d→acc%d", k, d.Iters, d.Sub)
+			}
+		}
+		fmt.Println()
+	}
+
+	worst, err := poisson.VerifyPolicy(policy, maxLevel, 999, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nVerified accuracies on fresh instances (§3.5 check):")
+	for ai, a := range accs {
+		status := "OK"
+		if worst[ai] < a/10 {
+			status = "MISSED"
+		}
+		fmt.Printf("  target %7.0e: achieved %10.3e  %s\n", a, worst[ai], status)
+	}
+
+	n := poisson.SizeOfLevel(maxLevel)
+	rng := rand.New(rand.NewSource(11))
+	pr := poisson.Generate(rng, n)
+	target := accs[len(accs)-1]
+	fmt.Printf("\nSolving one N=%d instance to accuracy %.0e:\n", n, target)
+	baselines := []struct {
+		name string
+		run  func() *matrix.Matrix
+	}{
+		{"Direct", func() *matrix.Matrix {
+			x := matrix.New(n, n)
+			if err := poisson.SolveDirect(x, pr.B); err != nil {
+				log.Fatal(err)
+			}
+			return x
+		}},
+		{"SOR(ω_opt)", func() *matrix.Matrix {
+			x := matrix.New(n, n)
+			e0 := poisson.ErrorVs(x, pr.Exact)
+			for poisson.ErrorVs(x, pr.Exact)*target > e0 {
+				poisson.SOR(x, pr.B, poisson.OmegaOpt(n), 8)
+			}
+			return x
+		}},
+		{"Multigrid", func() *matrix.Matrix {
+			x := matrix.New(n, n)
+			e0 := poisson.ErrorVs(x, pr.Exact)
+			for poisson.ErrorVs(x, pr.Exact)*target > e0 {
+				if err := poisson.MultigridSimple(x, pr.B, 1); err != nil {
+					log.Fatal(err)
+				}
+			}
+			return x
+		}},
+		{"Autotuned", func() *matrix.Matrix {
+			x := matrix.New(n, n)
+			if err := policy.Solve(x, pr.B, len(accs)-1); err != nil {
+				log.Fatal(err)
+			}
+			return x
+		}},
+	}
+	e0 := poisson.ErrorVs(matrix.New(n, n), pr.Exact)
+	for _, b := range baselines {
+		start := time.Now()
+		x := b.run()
+		d := time.Since(start)
+		acc := e0 / poisson.ErrorVs(x, pr.Exact)
+		fmt.Printf("  %-12s %10.3fms  accuracy %.3g\n",
+			b.name, float64(d.Microseconds())/1000, acc)
+	}
+}

@@ -1,0 +1,3 @@
+module petabricks
+
+go 1.24

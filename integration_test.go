@@ -1,0 +1,115 @@
+package petabricks_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"petabricks/internal/pbc/parser"
+)
+
+// goRun invokes a command of this module with the Go toolchain.
+func goRun(t *testing.T, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping toolchain invocation in -short mode")
+	}
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func writeRollingSum(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rollingsum.pbcc")
+	if err := os.WriteFile(path, []byte(parser.RollingSumSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLICompilerDriver(t *testing.T) {
+	src := writeRollingSum(t)
+	out := goRun(t, "./cmd/pbc", "-grid", "-graph", "-schedule", src)
+	for _, want := range []string{
+		"[1, n) = {rule 0, rule 1}",
+		"(r1,=,-1)",
+		"iterate dim 0 ascending",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pbc output missing %q:\n%s", want, out)
+		}
+	}
+	// Default summary mode.
+	sum := goRun(t, "./cmd/pbc", src)
+	if !strings.Contains(sum, "transform RollingSum: 2 rules") {
+		t.Errorf("pbc summary: %s", sum)
+	}
+	// DOT output.
+	dot := goRun(t, "./cmd/pbc", "-dot", src)
+	if !strings.Contains(dot, "digraph") {
+		t.Errorf("pbc -dot: %s", dot)
+	}
+}
+
+func TestCLIEmitCompiles(t *testing.T) {
+	src := writeRollingSum(t)
+	code := goRun(t, "./cmd/pbc", "-emit", src)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(code), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module gen\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("emitted code failed to run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "B checksum") {
+		t.Fatalf("emitted demo printed %q", out)
+	}
+}
+
+func TestCLITuneThenRun(t *testing.T) {
+	src := writeRollingSum(t)
+	cfgPath := filepath.Join(t.TempDir(), "rs.cfg")
+	tuneOut := goRun(t, "./cmd/pbtune", "-src", src, "-max", "1024", "-o", cfgPath)
+	if !strings.Contains(tuneOut, "wrote "+cfgPath) {
+		t.Fatalf("pbtune output: %s", tuneOut)
+	}
+	runOut := goRun(t, "./cmd/pbrun", "-src", src, "-config", cfgPath, "-n", "64")
+	if !strings.Contains(runOut, "B: shape [64]") {
+		t.Fatalf("pbrun output: %s", runOut)
+	}
+}
+
+func TestCLIArchTune(t *testing.T) {
+	cfgPath := filepath.Join(t.TempDir(), "niagara.cfg")
+	out := goRun(t, "./cmd/pbtune", "-bench", "sort", "-arch", "Niagara",
+		"-max", "100000", "-o", cfgPath)
+	if !strings.Contains(out, "trained on model Niagara") {
+		t.Fatalf("pbtune -arch output: %s", out)
+	}
+	runOut := goRun(t, "./cmd/pbrun", "-bench", "sort", "-config", cfgPath,
+		"-n", "50000", "-trials", "1")
+	if !strings.Contains(runOut, "sort n=50000") {
+		t.Fatalf("pbrun output: %s", runOut)
+	}
+}
+
+func TestCLIBenchQuickTable(t *testing.T) {
+	out := goRun(t, "./cmd/pbbench", "-exp", "table2")
+	for _, want := range []string{"Mobile", "Niagara", "Algorithm choices"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pbbench table2 missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package autotuner
+
+import "sort"
+
+// CandidatePoint is one algorithm plotted by the accuracy-aware tuner
+// "according to their accuracy and compute time" (paper Figure 9a).
+type CandidatePoint[T any] struct {
+	// Time is the measured cost (lower is better).
+	Time float64
+	// Accuracy is the achieved accuracy (higher is better).
+	Accuracy float64
+	// Value carries the candidate itself (a Decision, a Config, …).
+	Value T
+}
+
+// ParetoFront returns the dominant set of §4.1.3: candidates not beaten
+// in both time and accuracy by any other ("no optimal algorithm is
+// dominated by any other algorithm in both accuracy and compute time"),
+// sorted by ascending time. Ties collapse to a single representative.
+func ParetoFront[T any](points []CandidatePoint[T]) []CandidatePoint[T] {
+	sorted := append([]CandidatePoint[T]{}, points...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Time != sorted[j].Time {
+			return sorted[i].Time < sorted[j].Time
+		}
+		return sorted[i].Accuracy > sorted[j].Accuracy
+	})
+	var front []CandidatePoint[T]
+	bestAcc := 0.0
+	for _, p := range sorted {
+		if len(front) == 0 || p.Accuracy > bestAcc {
+			front = append(front, p)
+			bestAcc = p.Accuracy
+		}
+	}
+	return front
+}
+
+// FastestMeeting returns the fastest front member achieving at least the
+// target accuracy — the §4.1.4 discretization ("the compiler remembers
+// the fastest algorithm yielding an accuracy of at least p_i"). The
+// boolean is false when no candidate reaches the target.
+func FastestMeeting[T any](points []CandidatePoint[T], target float64) (CandidatePoint[T], bool) {
+	var best CandidatePoint[T]
+	found := false
+	for _, p := range points {
+		if p.Accuracy < target {
+			continue
+		}
+		if !found || p.Time < best.Time {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}

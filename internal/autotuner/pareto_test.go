@@ -1,0 +1,100 @@
+package autotuner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParetoFrontBasics(t *testing.T) {
+	pts := []CandidatePoint[string]{
+		{Time: 1, Accuracy: 10, Value: "fast-rough"},
+		{Time: 5, Accuracy: 1e3, Value: "mid"},
+		{Time: 6, Accuracy: 40, Value: "dominated"}, // mid is both faster and more accurate
+		{Time: 20, Accuracy: 1e9, Value: "slow-exact"},
+		{Time: 25, Accuracy: 1e8, Value: "dominated2"},
+	}
+	front := ParetoFront(pts)
+	if len(front) != 3 {
+		t.Fatalf("front = %+v", front)
+	}
+	want := []string{"fast-rough", "mid", "slow-exact"}
+	for i, w := range want {
+		if front[i].Value != w {
+			t.Fatalf("front[%d] = %q, want %q", i, front[i].Value, w)
+		}
+	}
+	// Monotone: times ascending, accuracies ascending along the front.
+	for i := 1; i < len(front); i++ {
+		if front[i].Time < front[i-1].Time || front[i].Accuracy < front[i-1].Accuracy {
+			t.Fatal("front not monotone")
+		}
+	}
+}
+
+func TestFastestMeeting(t *testing.T) {
+	pts := []CandidatePoint[int]{
+		{Time: 1, Accuracy: 10, Value: 1},
+		{Time: 5, Accuracy: 1e3, Value: 2},
+		{Time: 20, Accuracy: 1e9, Value: 3},
+	}
+	got, ok := FastestMeeting(pts, 100)
+	if !ok || got.Value != 2 {
+		t.Fatalf("FastestMeeting(100) = %+v, %v", got, ok)
+	}
+	got, ok = FastestMeeting(pts, 1e6)
+	if !ok || got.Value != 3 {
+		t.Fatalf("FastestMeeting(1e6) = %+v, %v", got, ok)
+	}
+	if _, ok := FastestMeeting(pts, 1e12); ok {
+		t.Fatal("unreachable accuracy should report not found")
+	}
+	if _, ok := FastestMeeting[int](nil, 1); ok {
+		t.Fatal("empty set should report not found")
+	}
+}
+
+// Property: no front member dominates another; every input point is
+// dominated by (or equal to) some front member.
+func TestParetoFrontProperty(t *testing.T) {
+	dominates := func(a, b CandidatePoint[int]) bool {
+		return a.Time <= b.Time && a.Accuracy >= b.Accuracy &&
+			(a.Time < b.Time || a.Accuracy > b.Accuracy)
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		pts := make([]CandidatePoint[int], n)
+		for i := range pts {
+			pts[i] = CandidatePoint[int]{
+				Time:     float64(1 + rng.Intn(50)),
+				Accuracy: float64(1 + rng.Intn(50)),
+				Value:    i,
+			}
+		}
+		front := ParetoFront(pts)
+		for i := range front {
+			for j := range front {
+				if i != j && dominates(front[i], front[j]) {
+					return false
+				}
+			}
+		}
+		for _, p := range pts {
+			covered := false
+			for _, f := range front {
+				if f.Time <= p.Time && f.Accuracy >= p.Accuracy {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

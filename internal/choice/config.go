@@ -1,0 +1,244 @@
+package choice
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Config is an application configuration: the artifact autotuning
+// produces (§3.3). It holds every tunable integer plus one Selector per
+// transform, in a flat namespace, and round-trips through a plain-text
+// configuration file so it can be "tweaked by hand to force specific
+// choices" as the paper describes.
+type Config struct {
+	Ints map[string]int64
+	Sels map[string]Selector
+}
+
+// NewConfig returns an empty configuration.
+func NewConfig() *Config {
+	return &Config{Ints: map[string]int64{}, Sels: map[string]Selector{}}
+}
+
+// Clone deep-copies the configuration.
+func (c *Config) Clone() *Config {
+	out := NewConfig()
+	for k, v := range c.Ints {
+		out.Ints[k] = v
+	}
+	for k, s := range c.Sels {
+		out.Sels[k] = s.Clone()
+	}
+	return out
+}
+
+// Int returns the named tunable, or def when unset.
+func (c *Config) Int(name string, def int64) int64 {
+	if c == nil {
+		return def
+	}
+	if v, ok := c.Ints[name]; ok {
+		return v
+	}
+	return def
+}
+
+// SetInt sets the named tunable.
+func (c *Config) SetInt(name string, v int64) { c.Ints[name] = v }
+
+// Selector returns the selector for a transform, or a single-level
+// selector of choice defChoice when unset.
+func (c *Config) Selector(transform string, defChoice int) Selector {
+	if c != nil {
+		if s, ok := c.Sels[transform]; ok {
+			return s
+		}
+	}
+	return NewSelector(defChoice)
+}
+
+// SetSelector installs a selector for a transform.
+func (c *Config) SetSelector(transform string, s Selector) {
+	c.Sels[transform] = s.Normalize()
+}
+
+// Equal reports deep equality.
+func (c *Config) Equal(o *Config) bool {
+	if len(c.Ints) != len(o.Ints) || len(c.Sels) != len(o.Sels) {
+		return false
+	}
+	for k, v := range c.Ints {
+		if o.Ints[k] != v {
+			return false
+		}
+	}
+	for k, s := range c.Sels {
+		os, ok := o.Sels[k]
+		if !ok || !s.Equal(os) {
+			return false
+		}
+	}
+	return true
+}
+
+// Write serializes the configuration in the textual config-file format:
+//
+//	# comment
+//	name = 42
+//	selector sort = 600:0 1420:2 inf:1{k=4}
+func (c *Config) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# PetaBricks application configuration")
+	keys := make([]string, 0, len(c.Ints))
+	for k := range c.Ints {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(bw, "%s = %d\n", k, c.Ints[k])
+	}
+	sels := make([]string, 0, len(c.Sels))
+	for k := range c.Sels {
+		sels = append(sels, k)
+	}
+	sort.Strings(sels)
+	for _, k := range sels {
+		fmt.Fprintf(bw, "selector %s =%s\n", k, renderSelectorConfig(c.Sels[k]))
+	}
+	return bw.Flush()
+}
+
+func renderSelectorConfig(s Selector) string {
+	var b strings.Builder
+	for _, l := range s.Levels {
+		cut := "inf"
+		if l.Cutoff != Inf {
+			cut = strconv.FormatInt(l.Cutoff, 10)
+		}
+		fmt.Fprintf(&b, " %s:%d", cut, l.Choice)
+		if len(l.Params) > 0 {
+			keys := make([]string, 0, len(l.Params))
+			for k := range l.Params {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = fmt.Sprintf("%s=%d", k, l.Params[k])
+			}
+			b.WriteString("{" + strings.Join(parts, ",") + "}")
+		}
+	}
+	return b.String()
+}
+
+// Read parses a configuration previously produced by Write.
+func Read(r io.Reader) (*Config, error) {
+	c := NewConfig()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "selector ") {
+			rest := strings.TrimPrefix(line, "selector ")
+			name, val, ok := strings.Cut(rest, "=")
+			if !ok {
+				return nil, fmt.Errorf("config line %d: malformed selector", lineNo)
+			}
+			sel, err := parseSelectorConfig(val)
+			if err != nil {
+				return nil, fmt.Errorf("config line %d: %w", lineNo, err)
+			}
+			c.Sels[strings.TrimSpace(name)] = sel
+			continue
+		}
+		name, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("config line %d: expected key = value", lineNo)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("config line %d: %w", lineNo, err)
+		}
+		c.Ints[strings.TrimSpace(name)] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseSelectorConfig(s string) (Selector, error) {
+	var sel Selector
+	for _, tok := range strings.Fields(s) {
+		var params map[string]int64
+		if i := strings.IndexByte(tok, '{'); i >= 0 {
+			if !strings.HasSuffix(tok, "}") {
+				return Selector{}, fmt.Errorf("malformed params in %q", tok)
+			}
+			params = map[string]int64{}
+			for _, kv := range strings.Split(tok[i+1:len(tok)-1], ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return Selector{}, fmt.Errorf("malformed param %q", kv)
+				}
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return Selector{}, err
+				}
+				params[k] = n
+			}
+			tok = tok[:i]
+		}
+		cutS, choiceS, ok := strings.Cut(tok, ":")
+		if !ok {
+			return Selector{}, fmt.Errorf("malformed level %q", tok)
+		}
+		cut := int64(Inf)
+		if cutS != "inf" {
+			var err error
+			cut, err = strconv.ParseInt(cutS, 10, 64)
+			if err != nil {
+				return Selector{}, err
+			}
+		}
+		ch, err := strconv.Atoi(choiceS)
+		if err != nil {
+			return Selector{}, err
+		}
+		sel.Levels = append(sel.Levels, Level{Cutoff: cut, Choice: ch, Params: params})
+	}
+	return sel.Normalize(), nil
+}
+
+// Save writes the configuration to a file.
+func (c *Config) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a configuration from a file.
+func Load(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,34 @@
+package choice
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzConfigRead checks the configuration parser never panics and that
+// everything it accepts survives a write/read round trip.
+func FuzzConfigRead(f *testing.F) {
+	f.Add("a = 1\nselector s = 10:0 inf:2{k=3}\n")
+	f.Add("# comment only\n")
+	f.Add("selector x = inf:0")
+	f.Add("bad line")
+	f.Add("selector s = :::{{{")
+	f.Fuzz(func(t *testing.T, text string) {
+		cfg, err := Read(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := cfg.Write(&buf); err != nil {
+			t.Fatalf("accepted config failed to serialize: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("serialized config failed to re-parse: %v", err)
+		}
+		if !cfg.Equal(back) {
+			t.Fatalf("round trip changed config:\n%q\nvs\n%q", cfg, back)
+		}
+	})
+}

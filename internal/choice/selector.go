@@ -1,0 +1,165 @@
+// Package choice implements the PetaBricks choice framework: transforms
+// with menus of algorithmic choices, multi-level selectors that compose
+// hybrid algorithms out of those choices, tunable parameters, and the
+// configuration files that the autotuner reads and writes (§3.3).
+//
+// A tuned algorithm is represented exactly as in the paper: a multi-level
+// Selector mapping input-size ranges to choices, e.g. the paper's Xeon
+// 8-way sort configuration "IS(600) QS(1420) 2MS(∞)" is the selector
+// {600:IS, 1420:QS, ∞:2MS}. Because every recursive call re-enters the
+// transform through its selector, compositions of algorithms fall out
+// naturally.
+package choice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Inf is the cutoff of a selector's final level (applies to all sizes).
+const Inf = math.MaxInt64
+
+// Level is one level of a multi-level algorithm: inputs of size < Cutoff
+// (and >= the previous level's cutoff) run Choice with the given Params.
+type Level struct {
+	// Cutoff is the exclusive upper bound of input sizes for this level.
+	Cutoff int64
+	// Choice indexes into the transform's choice menu.
+	Choice int
+	// Params holds optional per-level parameters (e.g. a blocking size).
+	Params map[string]int64
+}
+
+// Selector is a tuned multi-level algorithm for one transform.
+type Selector struct {
+	Levels []Level // sorted ascending by Cutoff; last Cutoff is Inf
+}
+
+// NewSelector returns a single-level selector always using choice c.
+func NewSelector(c int) Selector {
+	return Selector{Levels: []Level{{Cutoff: Inf, Choice: c}}}
+}
+
+// Normalize sorts levels, forces the last cutoff to Inf, and removes
+// levels shadowed by an earlier level with an equal cutoff.
+func (s Selector) Normalize() Selector {
+	if len(s.Levels) == 0 {
+		return NewSelector(0)
+	}
+	ls := append([]Level{}, s.Levels...)
+	sort.SliceStable(ls, func(i, j int) bool { return ls[i].Cutoff < ls[j].Cutoff })
+	out := ls[:0]
+	for i, l := range ls {
+		if i+1 < len(ls) && ls[i+1].Cutoff == l.Cutoff {
+			continue // shadowed
+		}
+		out = append(out, l)
+	}
+	out[len(out)-1].Cutoff = Inf
+	return Selector{Levels: out}
+}
+
+// Choose returns the level responsible for an input of the given size.
+func (s Selector) Choose(size int64) Level {
+	for _, l := range s.Levels {
+		if size < l.Cutoff {
+			return l
+		}
+	}
+	if len(s.Levels) == 0 {
+		return Level{Cutoff: Inf}
+	}
+	return s.Levels[len(s.Levels)-1]
+}
+
+// Param returns a per-level parameter, falling back to def.
+func (l Level) Param(name string, def int64) int64 {
+	if v, ok := l.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// WithParam returns a copy of l with the parameter set.
+func (l Level) WithParam(name string, v int64) Level {
+	p := map[string]int64{}
+	for k, x := range l.Params {
+		p[k] = x
+	}
+	p[name] = v
+	l.Params = p
+	return l
+}
+
+// Clone deep-copies the selector.
+func (s Selector) Clone() Selector {
+	out := Selector{Levels: make([]Level, len(s.Levels))}
+	for i, l := range s.Levels {
+		out.Levels[i] = l
+		if l.Params != nil {
+			p := make(map[string]int64, len(l.Params))
+			for k, v := range l.Params {
+				p[k] = v
+			}
+			out.Levels[i].Params = p
+		}
+	}
+	return out
+}
+
+// Equal reports semantic equality of two selectors.
+func (s Selector) Equal(o Selector) bool {
+	a, b := s.Normalize(), o.Normalize()
+	if len(a.Levels) != len(b.Levels) {
+		return false
+	}
+	for i := range a.Levels {
+		la, lb := a.Levels[i], b.Levels[i]
+		if la.Cutoff != lb.Cutoff || la.Choice != lb.Choice || len(la.Params) != len(lb.Params) {
+			return false
+		}
+		for k, v := range la.Params {
+			if lb.Params[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the paper's configuration notation, e.g.
+// "IS(600) QS(1420) 2MS(∞)" given the choice names.
+func (s Selector) String() string { return s.Render(nil) }
+
+// Render renders the selector using the provided choice names (index ->
+// abbreviation); unnamed choices render as "#i".
+func (s Selector) Render(names []string) string {
+	parts := make([]string, 0, len(s.Levels))
+	for _, l := range s.Levels {
+		name := fmt.Sprintf("#%d", l.Choice)
+		if l.Choice >= 0 && l.Choice < len(names) {
+			name = names[l.Choice]
+		}
+		cut := "∞"
+		if l.Cutoff != Inf {
+			cut = fmt.Sprintf("%d", l.Cutoff)
+		}
+		extra := ""
+		if len(l.Params) > 0 {
+			keys := make([]string, 0, len(l.Params))
+			for k := range l.Params {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			kv := make([]string, len(keys))
+			for i, k := range keys {
+				kv[i] = fmt.Sprintf("%s=%d", k, l.Params[k])
+			}
+			extra = "{" + strings.Join(kv, ",") + "}"
+		}
+		parts = append(parts, fmt.Sprintf("%s(%s)%s", name, cut, extra))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,142 @@
+package choice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectorChoose(t *testing.T) {
+	// The paper's Xeon 8-way sort config: IS(600) QS(1420) 2MS(inf).
+	s := Selector{Levels: []Level{
+		{Cutoff: 600, Choice: 0},
+		{Cutoff: 1420, Choice: 1},
+		{Cutoff: Inf, Choice: 2},
+	}}
+	cases := []struct {
+		size int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {599, 0},
+		{600, 1}, {1419, 1},
+		{1420, 2}, {100000, 2},
+	}
+	for _, c := range cases {
+		if got := s.Choose(c.size).Choice; got != c.want {
+			t.Errorf("Choose(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestSelectorNormalize(t *testing.T) {
+	s := Selector{Levels: []Level{
+		{Cutoff: 1000, Choice: 2},
+		{Cutoff: 10, Choice: 0},
+	}}
+	n := s.Normalize()
+	if len(n.Levels) != 2 || n.Levels[0].Cutoff != 10 || n.Levels[1].Cutoff != Inf {
+		t.Fatalf("Normalize = %+v", n.Levels)
+	}
+	// Duplicate cutoffs: the later one wins (shadowing removed).
+	dup := Selector{Levels: []Level{
+		{Cutoff: 10, Choice: 0},
+		{Cutoff: 10, Choice: 1},
+		{Cutoff: Inf, Choice: 2},
+	}}
+	nd := dup.Normalize()
+	if len(nd.Levels) != 2 || nd.Levels[0].Choice != 1 {
+		t.Fatalf("dup Normalize = %+v", nd.Levels)
+	}
+	// Empty selector normalizes to a usable default.
+	e := Selector{}.Normalize()
+	if e.Choose(5).Choice != 0 {
+		t.Fatal("empty selector should default to choice 0")
+	}
+}
+
+func TestSelectorRender(t *testing.T) {
+	names := []string{"IS", "QS", "2MS"}
+	s := Selector{Levels: []Level{
+		{Cutoff: 600, Choice: 0},
+		{Cutoff: 1420, Choice: 1},
+		{Cutoff: Inf, Choice: 2},
+	}}
+	if got := s.Render(names); got != "IS(600) QS(1420) 2MS(∞)" {
+		t.Fatalf("Render = %q", got)
+	}
+	p := Selector{Levels: []Level{{Cutoff: Inf, Choice: 1, Params: map[string]int64{"k": 4}}}}
+	if got := p.Render(names); got != "QS(∞){k=4}" {
+		t.Fatalf("Render with params = %q", got)
+	}
+	if got := p.Render(nil); got != "#1(∞){k=4}" {
+		t.Fatalf("Render unnamed = %q", got)
+	}
+}
+
+func TestSelectorCloneIndependent(t *testing.T) {
+	s := Selector{Levels: []Level{{Cutoff: Inf, Choice: 0, Params: map[string]int64{"k": 2}}}}
+	c := s.Clone()
+	c.Levels[0].Params["k"] = 99
+	c.Levels[0].Choice = 5
+	if s.Levels[0].Params["k"] != 2 || s.Levels[0].Choice != 0 {
+		t.Fatal("Clone is shallow")
+	}
+}
+
+func TestSelectorEqual(t *testing.T) {
+	a := Selector{Levels: []Level{{Cutoff: 10, Choice: 0}, {Cutoff: Inf, Choice: 1}}}
+	b := Selector{Levels: []Level{{Cutoff: Inf, Choice: 1}, {Cutoff: 10, Choice: 0}}}
+	if !a.Equal(b) {
+		t.Fatal("order-insensitive equality failed")
+	}
+	c := Selector{Levels: []Level{{Cutoff: 11, Choice: 0}, {Cutoff: Inf, Choice: 1}}}
+	if a.Equal(c) {
+		t.Fatal("different cutoffs should not be equal")
+	}
+}
+
+func TestLevelParams(t *testing.T) {
+	l := Level{Cutoff: Inf, Choice: 0}
+	if l.Param("k", 7) != 7 {
+		t.Fatal("missing param should use default")
+	}
+	l2 := l.WithParam("k", 3)
+	if l2.Param("k", 7) != 3 {
+		t.Fatal("WithParam did not set")
+	}
+	if l.Params != nil {
+		t.Fatal("WithParam mutated the receiver")
+	}
+}
+
+// Property: Choose is monotone in the level order — larger sizes never
+// select an earlier level.
+func TestChooseMonotone(t *testing.T) {
+	s := Selector{Levels: []Level{
+		{Cutoff: 100, Choice: 0},
+		{Cutoff: 10000, Choice: 1},
+		{Cutoff: Inf, Choice: 2},
+	}}
+	levelIdx := func(size int64) int {
+		for i, l := range s.Levels {
+			if size < l.Cutoff {
+				return i
+			}
+		}
+		return len(s.Levels) - 1
+	}
+	prop := func(a, b int64) bool {
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return levelIdx(a) <= levelIdx(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

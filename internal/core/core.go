@@ -1,0 +1,150 @@
+// Package core is the public façade of the PetaBricks-in-Go library: it
+// re-exports the pieces a downstream user composes — the choice
+// framework (transforms with algorithmic choices, tuned selectors,
+// configuration files), the work-stealing parallel runtime, the
+// population-based autotuner, and the PetaBricks-language compiler
+// pipeline (parse → analyze → interpret or generate Go).
+//
+// Quick start, native-Go route (algorithmic choice without the DSL):
+//
+//	t := &core.Transform[In, Out]{ Name: "op", Size: ..., Choices: ... }
+//	pool := core.NewPool(8)
+//	cfg, _, _ := core.Tune(space, evaluator, core.TuneOptions{...})
+//	out := core.Run(core.NewExec(pool, cfg), t, input)
+//
+// DSL route:
+//
+//	prog, _ := core.Parse(src)
+//	eng, _ := core.NewEngine(prog)
+//	outs, _ := eng.Run("MatrixMultiply", inputs)
+package core
+
+import (
+	"petabricks/internal/autotuner"
+	"petabricks/internal/choice"
+	"petabricks/internal/matrix"
+	"petabricks/internal/pbc/analysis"
+	"petabricks/internal/pbc/ast"
+	"petabricks/internal/pbc/codegen"
+	"petabricks/internal/pbc/interp"
+	"petabricks/internal/pbc/parser"
+	"petabricks/internal/runtime"
+)
+
+// --- Choice framework -----------------------------------------------------
+
+// Transform is an operation with a menu of algorithmic choices.
+type Transform[I, O any] = choice.Transform[I, O]
+
+// Choice is one implementation on a transform's menu.
+type Choice[I, O any] = choice.Choice[I, O]
+
+// Call is the per-invocation context handed to choice implementations.
+type Call[I, O any] = choice.Call[I, O]
+
+// Exec bundles a worker pool with a tuned configuration.
+type Exec = choice.Exec
+
+// Config is a tuned application configuration (text-serializable).
+type Config = choice.Config
+
+// Selector is a tuned multi-level algorithm.
+type Selector = choice.Selector
+
+// Level is one selector level.
+type Level = choice.Level
+
+// Space declares a program's tunable search space.
+type Space = choice.Space
+
+// TunableSpec declares one tunable parameter.
+type TunableSpec = choice.TunableSpec
+
+// SelectorSpec declares one transform's selector search space.
+type SelectorSpec = choice.SelectorSpec
+
+// Inf is the cutoff of a selector's final level.
+const Inf = choice.Inf
+
+// NewExec builds an execution environment.
+func NewExec(pool *runtime.Pool, cfg *Config) *Exec { return choice.NewExec(pool, cfg) }
+
+// NewConfig returns an empty configuration.
+func NewConfig() *Config { return choice.NewConfig() }
+
+// LoadConfig reads a configuration file.
+func LoadConfig(path string) (*Config, error) { return choice.Load(path) }
+
+// Run executes a transform from outside the pool.
+func Run[I, O any](ex *Exec, t *Transform[I, O], in I) O { return choice.Run(ex, t, in) }
+
+// Invoke executes a transform from inside the pool (w may be nil).
+func Invoke[I, O any](ex *Exec, t *Transform[I, O], w *Worker, in I) O {
+	return choice.Invoke(ex, t, w, in)
+}
+
+// --- Runtime ---------------------------------------------------------------
+
+// Pool is the work-stealing scheduler's worker pool.
+type Pool = runtime.Pool
+
+// Worker is one scheduler thread.
+type Worker = runtime.Worker
+
+// Task is a dependency-counted unit of work.
+type Task = runtime.Task
+
+// NewPool starts a work-stealing pool with n workers (n <= 0 uses all
+// CPUs).
+func NewPool(n int) *Pool { return runtime.NewPool(n) }
+
+// --- Autotuner --------------------------------------------------------------
+
+// Evaluator measures configurations.
+type Evaluator = autotuner.Evaluator
+
+// TuneOptions configures a tuning run.
+type TuneOptions = autotuner.Options
+
+// TuneReport summarizes a tuning run.
+type TuneReport = autotuner.Report
+
+// Tune runs the population-based bottom-up autotuner.
+func Tune(space *Space, eval Evaluator, opt TuneOptions) (*Config, *TuneReport, error) {
+	return autotuner.Tune(space, eval, opt)
+}
+
+// WallClock measures configurations by timing real executions.
+type WallClock = autotuner.WallClock
+
+// --- Compiler ----------------------------------------------------------------
+
+// Matrix is the n-dimensional array type used by the DSL interpreter.
+type Matrix = matrix.Matrix
+
+// NewMatrix allocates a zero matrix (row-major extents).
+func NewMatrix(dims ...int) *Matrix { return matrix.New(dims...) }
+
+// Program is a parsed PetaBricks source file.
+type Program = ast.Program
+
+// Analysis is the compiler's analysis result for one transform.
+type Analysis = analysis.Result
+
+// Engine interprets analyzed PetaBricks programs.
+type Engine = interp.Engine
+
+// Parse parses PetaBricks source.
+func Parse(src string) (*Program, error) { return parser.Parse(src) }
+
+// Analyze runs the compiler pipeline on one transform.
+func Analyze(prog *Program, t *ast.Transform) (*Analysis, error) { return analysis.Analyze(prog, t) }
+
+// NewEngine analyzes a program and prepares it for execution.
+func NewEngine(prog *Program) (*Engine, error) { return interp.New(prog) }
+
+// GenerateGo emits self-contained Go source for an analyzed program with
+// the given configuration baked in statically.
+func GenerateGo(results []*Analysis, pkg string, cfg *Config) (string, error) {
+	return codegen.Generate(results, codegen.Options{Package: pkg, Config: cfg})
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"petabricks/internal/pbc/parser"
+)
+
+// TestFacadeQuickstart exercises the documented native-Go route end to
+// end through the façade only.
+func TestFacadeQuickstart(t *testing.T) {
+	tr := &Transform[[]int, []int]{
+		Name: "fsort",
+		Size: func(in []int) int64 { return int64(len(in)) },
+	}
+	tr.Choices = []Choice[[]int, []int]{
+		{Name: "IS", Fn: func(c *Call[[]int, []int], in []int) []int {
+			out := append([]int{}, in...)
+			sort.Ints(out)
+			return out
+		}},
+		{Name: "MS", Recursive: true, Fn: func(c *Call[[]int, []int], in []int) []int {
+			if len(in) <= 1 {
+				return append([]int{}, in...)
+			}
+			mid := len(in) / 2
+			var l, r []int
+			c.Parallel(
+				func(cc *Call[[]int, []int]) { l = cc.Recurse(in[:mid]) },
+				func(cc *Call[[]int, []int]) { r = cc.Recurse(in[mid:]) },
+			)
+			out := make([]int, 0, len(in))
+			i, j := 0, 0
+			for i < len(l) || j < len(r) {
+				if j >= len(r) || (i < len(l) && l[i] <= r[j]) {
+					out = append(out, l[i])
+					i++
+				} else {
+					out = append(out, r[j])
+					j++
+				}
+			}
+			return out
+		}},
+	}
+	pool := NewPool(2)
+	defer pool.Close()
+	cfg := NewConfig()
+	cfg.SetSelector("fsort", Selector{Levels: []Level{
+		{Cutoff: 8, Choice: 0},
+		{Cutoff: Inf, Choice: 1},
+	}})
+	in := []int{9, 1, 8, 2, 7, 3, 6, 4, 5, 0, 11, 10}
+	out := Run(NewExec(pool, cfg), tr, in)
+	if !sort.IntsAreSorted(out) {
+		t.Fatal("façade quickstart failed to sort")
+	}
+}
+
+// TestFacadeDSLRoute exercises the compiler route through the façade.
+func TestFacadeDSLRoute(t *testing.T) {
+	prog, err := Parse(parser.RollingSumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewMatrix(4)
+	for i := 0; i < 4; i++ {
+		in.SetAt1(i, float64(i+1))
+	}
+	out, err := eng.Run1("RollingSum", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At1(3) != 10 {
+		t.Fatalf("B[3] = %g, want 10", out.At1(3))
+	}
+	// Codegen route.
+	res, err := Analyze(prog, prog.Transforms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := GenerateGo([]*Analysis{res}, "main", NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src) == 0 {
+		t.Fatal("empty generated source")
+	}
+}
+
+// TestFacadeTune exercises the tuner through the façade with a synthetic
+// evaluator.
+func TestFacadeTune(t *testing.T) {
+	sp := &Space{}
+	sp.AddSelector(SelectorSpec{
+		Transform:   "x",
+		ChoiceNames: []string{"A", "B"},
+		Recursive:   []bool{false, true},
+		MaxLevels:   2,
+	})
+	eval := evaluatorFunc(func(cfg *Config, n int64) float64 {
+		if cfg.Selector("x", 0).Choose(n).Choice == 1 {
+			return float64(n)
+		}
+		return float64(n) * float64(n)
+	})
+	cfg, rep, err := Tune(sp, eval, TuneOptions{MinSize: 8, MaxSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Selector("x", 0).Choose(64).Choice != 1 {
+		t.Fatal("tuner picked the slow choice")
+	}
+	if rep.Final == nil {
+		t.Fatal("report missing")
+	}
+}
+
+type evaluatorFunc func(cfg *Config, n int64) float64
+
+func (f evaluatorFunc) Measure(cfg *Config, n int64) float64 { return f(cfg, n) }

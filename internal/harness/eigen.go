@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"petabricks/internal/autotuner"
+	"petabricks/internal/choice"
+	"petabricks/internal/kernels/eigen"
+	"petabricks/internal/runtime"
+)
+
+// EigenParams scales the Figure 12 experiment.
+type EigenParams struct {
+	Sizes   []int
+	TuneMax int64
+	Trials  int
+	Workers int
+}
+
+// DefaultEigenParams mirrors Figure 12 (n up to 1000) at laptop scale.
+func DefaultEigenParams() EigenParams {
+	return EigenParams{
+		Sizes:   []int{100, 200, 400, 600, 800},
+		TuneMax: 512,
+		Trials:  1,
+		Workers: 8,
+	}
+}
+
+type eigenProgram struct{}
+
+func (eigenProgram) Run(cfg *choice.Config, size, seed int64) (any, error) {
+	rng := rand.New(rand.NewSource(seed))
+	tri := eigen.Generate(rng, int(size))
+	tr := eigen.New()
+	out := choice.Run(choice.NewExec(nil, cfg), tr, tri)
+	if out.Err != nil {
+		return nil, out.Err
+	}
+	return out.R.Values, nil
+}
+
+func (eigenProgram) Same(a, b any, tol float64) bool {
+	x, y := a.([]float64), b.([]float64)
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if math.Abs(x[i]-y[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// TuneEigen wall-clock-trains the eigenproblem benchmark. The paper's
+// result: divide-and-conquer above a cutoff near 48, QR below.
+func TuneEigen(maxSize int64) (*choice.Config, error) {
+	tr := eigen.New()
+	space := eigen.Space(tr)
+	prog := eigenProgram{}
+	cfg, _, err := autotuner.Tune(space, &autotuner.WallClock{P: prog, Trials: 1, Seed: 21}, autotuner.Options{
+		MinSize: 16,
+		MaxSize: maxSize,
+		Check:   autotuner.ConsistencyCheck(prog, 1e-6, 77),
+	})
+	return cfg, err
+}
+
+// Fig12 regenerates Figure 12: eigenproblem time versus size for QR,
+// Bisection, DC, the LAPACK-style Cutoff-25 hybrid, and the autotuned
+// hybrid.
+func Fig12(p EigenParams) (Experiment, error) {
+	_ = runtime.Pool{} // eigensolvers run sequentially per Figure 12's setup
+	tuned, err := TuneEigen(p.TuneMax)
+	if err != nil {
+		return Experiment{}, err
+	}
+	exp := Experiment{
+		ID: "fig12", Title: "Performance for Eigenproblem (paper Figure 12)",
+		XLabel: "n", YLabel: "seconds",
+	}
+	exp.Notes = append(exp.Notes,
+		"tuned: "+tuned.Selector("eig", 0).Render(eigen.ChoiceNames))
+	pure := func(c int) *choice.Config {
+		cfg := choice.NewConfig()
+		cfg.SetSelector("eig", choice.NewSelector(c))
+		return cfg
+	}
+	dcConfig := choice.NewConfig()
+	dcConfig.SetSelector("eig", choice.Selector{Levels: []choice.Level{
+		{Cutoff: 3, Choice: eigen.ChoiceQR}, // D&C bottoms out in 2x2 QR
+		{Cutoff: choice.Inf, Choice: eigen.ChoiceDC},
+	}})
+	configs := []struct {
+		name string
+		cfg  *choice.Config
+	}{
+		{"QR", pure(eigen.ChoiceQR)},
+		{"Bisection", pure(eigen.ChoiceBIS)},
+		{"DC", dcConfig},
+		{"Cutoff 25", eigen.Cutoff25Config()},
+		{"Autotuned", tuned},
+	}
+	tr := eigen.New()
+	for _, c := range configs {
+		s := Series{Name: c.name}
+		for _, n := range p.Sizes {
+			rng := rand.New(rand.NewSource(int64(n)))
+			tri := eigen.Generate(rng, n)
+			ex := choice.NewExec(nil, c.cfg)
+			var runErr error
+			sec := timeIt(p.Trials, func() {
+				out := choice.Run(ex, tr, tri)
+				if out.Err != nil {
+					runErr = out.Err
+				}
+			})
+			if runErr != nil {
+				return Experiment{}, fmt.Errorf("harness: %s at n=%d: %w", c.name, n, runErr)
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, sec)
+		}
+		exp.Series = append(exp.Series, s)
+	}
+	exp.Notes = append(exp.Notes, shapeCheckBestOrClose(exp, "Autotuned", 1.5))
+	return exp, nil
+}

@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"petabricks/internal/kernels/poisson"
+	"petabricks/internal/matrix"
+)
+
+// PoissonParams scales the Figure 11 experiment.
+type PoissonParams struct {
+	// MaxLevel: grid sizes are 2^k+1 for k = 2..MaxLevel.
+	MaxLevel int
+	// TargetAccuracy: the paper uses 1e9.
+	TargetAccuracy float64
+	// Accuracies used by the tuned family (paper: 10, 1e3, 1e5, 1e7, 1e9).
+	Accuracies []float64
+	Trials     int
+	// DirectCap: largest level the O(n²) direct solver is timed at.
+	DirectCap int
+	// JacobiCap: largest level Jacobi is iterated to full accuracy at.
+	JacobiCap int
+}
+
+// DefaultPoissonParams mirrors Figure 11 at laptop scale.
+func DefaultPoissonParams() PoissonParams {
+	return PoissonParams{
+		MaxLevel:       6, // N = 65
+		TargetAccuracy: 1e9,
+		Accuracies:     []float64{1e1, 1e3, 1e5, 1e7, 1e9},
+		Trials:         1,
+		DirectCap:      6,
+		JacobiCap:      5,
+	}
+}
+
+// Fig11 regenerates Figure 11: time to reach the target accuracy on the
+// 2D Poisson equation for Direct, Jacobi, SOR, MULTIGRID-SIMPLE, and the
+// accuracy-aware autotuned solver.
+func Fig11(p PoissonParams) (Experiment, error) {
+	exp := Experiment{
+		ID:     "fig11",
+		Title:  fmt.Sprintf("Poisson solve to accuracy %.0e (paper Figure 11)", p.TargetAccuracy),
+		XLabel: "N", YLabel: "seconds",
+	}
+	policy := poisson.TunePolicy(p.Accuracies, p.MaxLevel, poisson.TuneOptions{Trials: 1, Seed: 31})
+	targetIdx := len(p.Accuracies) - 1
+	exp.Notes = append(exp.Notes, renderPolicy(policy, p.MaxLevel))
+
+	type method struct {
+		name   string
+		capLvl int
+		run    func(pr poisson.Problem) error
+	}
+	solveUntil := func(pr poisson.Problem, step func(x *matrix.Matrix) error) error {
+		x := matrix.New(pr.N, pr.N)
+		e0 := poisson.ErrorVs(x, pr.Exact)
+		for i := 0; i < 100000; i++ {
+			if err := step(x); err != nil {
+				return err
+			}
+			if e := poisson.ErrorVs(x, pr.Exact); e == 0 || e0/e >= p.TargetAccuracy {
+				return nil
+			}
+		}
+		return fmt.Errorf("did not converge")
+	}
+	methods := []method{
+		{"Direct", p.DirectCap, func(pr poisson.Problem) error {
+			x := matrix.New(pr.N, pr.N)
+			return poisson.SolveDirect(x, pr.B)
+		}},
+		{"Jacobi", p.JacobiCap, func(pr poisson.Problem) error {
+			return solveUntil(pr, func(x *matrix.Matrix) error {
+				poisson.Jacobi(x, pr.B, 16)
+				return nil
+			})
+		}},
+		{"SOR", p.MaxLevel, func(pr poisson.Problem) error {
+			w := poisson.OmegaOpt(pr.N)
+			return solveUntil(pr, func(x *matrix.Matrix) error {
+				poisson.SOR(x, pr.B, w, 4)
+				return nil
+			})
+		}},
+		{"Multigrid", p.MaxLevel, func(pr poisson.Problem) error {
+			return solveUntil(pr, func(x *matrix.Matrix) error {
+				return poisson.MultigridSimple(x, pr.B, 1)
+			})
+		}},
+		{"Autotuned", p.MaxLevel, func(pr poisson.Problem) error {
+			x := matrix.New(pr.N, pr.N)
+			return policy.Solve(x, pr.B, targetIdx)
+		}},
+	}
+	for _, m := range methods {
+		s := Series{Name: m.name}
+		for k := 2; k <= p.MaxLevel; k++ {
+			if k > m.capLvl {
+				continue
+			}
+			n := poisson.SizeOfLevel(k)
+			rng := rand.New(rand.NewSource(int64(100 + k)))
+			pr := poisson.Generate(rng, n)
+			var runErr error
+			sec := timeIt(p.Trials, func() {
+				if err := m.run(pr); err != nil {
+					runErr = err
+				}
+			})
+			if runErr != nil {
+				return Experiment{}, fmt.Errorf("harness: %s at N=%d: %w", m.name, n, runErr)
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, sec)
+		}
+		exp.Series = append(exp.Series, s)
+	}
+	// Verify the tuned solver really reaches the target accuracy.
+	worst, err := poisson.VerifyPolicy(policy, p.MaxLevel, 999, 2)
+	if err != nil {
+		return Experiment{}, err
+	}
+	if worst[targetIdx] < p.TargetAccuracy/10 {
+		exp.Notes = append(exp.Notes, fmt.Sprintf(
+			"accuracy WARNING: tuned solver reached %.3g, target %.0e", worst[targetIdx], p.TargetAccuracy))
+	} else {
+		exp.Notes = append(exp.Notes, fmt.Sprintf(
+			"accuracy OK: tuned solver reached %.3g (target %.0e)", worst[targetIdx], p.TargetAccuracy))
+	}
+	exp.Notes = append(exp.Notes, shapeCheckBestOrClose(exp, "Autotuned", 2.0))
+	return exp, nil
+}
+
+func renderPolicy(policy *poisson.Policy, maxLevel int) string {
+	out := "tuned policy:"
+	for ai := range policy.Accuracies {
+		out += fmt.Sprintf(" [acc %.0e:", policy.Accuracies[ai])
+		for k := 2; k <= maxLevel; k++ {
+			d := policy.Get(ai, k)
+			switch d.Kind {
+			case poisson.KindDirect:
+				out += fmt.Sprintf(" k%d=DIRECT", k)
+			case poisson.KindSOR:
+				out += fmt.Sprintf(" k%d=SOR(%d)", k, d.Iters)
+			case poisson.KindMG:
+				out += fmt.Sprintf(" k%d=MGx%d→acc%d", k, d.Iters, d.Sub)
+			}
+		}
+		out += "]"
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"petabricks/internal/matrix"
+)
+
+func randSym(rng *rand.Rand, n int) *matrix.Matrix {
+	a := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.Float64()*2 - 1
+			a.SetAt(i, j, v)
+			a.SetAt(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestTridiagonalizeSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 3, 5, 10, 30} {
+		a := randSym(rng, n)
+		tri, q, err := Tridiagonalize(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Q orthogonal: QᵀQ = I.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				dot := 0.0
+				for k := 0; k < n; k++ {
+					dot += q.At(k, i) * q.At(k, j)
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-10 {
+					t.Fatalf("n=%d: QᵀQ[%d][%d] = %g", n, i, j, dot)
+				}
+			}
+		}
+		// A = Q·T·Qᵀ: reconstruct and compare.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					// (T·Qᵀ)[k][j] for tridiagonal T.
+					tq := tri.D[k] * q.At(j, k)
+					if k > 0 {
+						tq += tri.E[k-1] * q.At(j, k-1)
+					}
+					if k+1 < n {
+						tq += tri.E[k] * q.At(j, k+1)
+					}
+					s += q.At(i, k) * tq
+				}
+				if math.Abs(s-a.At(i, j)) > 1e-9 {
+					t.Fatalf("n=%d: reconstruction differs at (%d,%d): %g vs %g",
+						n, i, j, s, a.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestTridiagonalizeAlreadyTridiagonal(t *testing.T) {
+	tri0 := laplacian1D(6)
+	a := matrix.New(6, 6)
+	for i := 0; i < 6; i++ {
+		a.SetAt(i, i, tri0.D[i])
+		if i+1 < 6 {
+			a.SetAt(i, i+1, tri0.E[i])
+			a.SetAt(i+1, i, tri0.E[i])
+		}
+	}
+	tri, _, err := Tridiagonalize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tri.D {
+		if math.Abs(tri.D[i]-tri0.D[i]) > 1e-12 {
+			t.Fatalf("D[%d] changed", i)
+		}
+	}
+	for i := range tri.E {
+		if math.Abs(math.Abs(tri.E[i])-math.Abs(tri0.E[i])) > 1e-12 {
+			t.Fatalf("|E[%d]| changed", i)
+		}
+	}
+}
+
+func TestTridiagonalizeErrors(t *testing.T) {
+	if _, _, err := Tridiagonalize(matrix.New(2, 3)); err == nil {
+		t.Fatal("non-square should fail")
+	}
+	asym := matrix.New(3, 3)
+	asym.SetAt(0, 1, 1)
+	asym.SetAt(1, 0, 5)
+	if _, _, err := Tridiagonalize(asym); err == nil {
+		t.Fatal("asymmetric should fail")
+	}
+}
+
+func TestSolveDensePipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{4, 12, 40} {
+		a := randSym(rng, n)
+		for _, m := range methods() {
+			r, err := SolveDense(a, m.f)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", m.name, n, err)
+			}
+			// Residual against the dense matrix: ‖A·v − λ·v‖∞.
+			x := make([]float64, n)
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					x[i] = r.Vectors.At(i, j)
+				}
+				for i := 0; i < n; i++ {
+					s := 0.0
+					for k := 0; k < n; k++ {
+						s += a.At(i, k) * x[k]
+					}
+					if math.Abs(s-r.Values[j]*x[i]) > 1e-6 {
+						t.Fatalf("%s n=%d: dense residual %g at (%d, vec %d)",
+							m.name, n, s-r.Values[j]*x[i], i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSolveDenseKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := matrix.New(2, 2)
+	a.SetAt(0, 0, 2)
+	a.SetAt(1, 1, 2)
+	a.SetAt(0, 1, 1)
+	a.SetAt(1, 0, 1)
+	r, err := SolveDense(a, QR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Values[0]-1) > 1e-12 || math.Abs(r.Values[1]-3) > 1e-12 {
+		t.Fatalf("eigenvalues = %v", r.Values)
+	}
+}

@@ -1,0 +1,82 @@
+package eigen
+
+import (
+	"fmt"
+	"math"
+
+	"petabricks/internal/matrix"
+)
+
+// QR computes all eigenvalues and eigenvectors of T by the implicit QL
+// iteration with Wilkinson-style shifts (the classical tql2 algorithm,
+// reimplemented from the published EISPACK description). O(n³) work,
+// dominated by the rotation updates to the eigenvector matrix.
+func QR(t Tridiag) (Result, error) {
+	n := t.N()
+	z := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		z.SetAt(i, i, 1)
+	}
+	if n == 0 {
+		return Result{Values: nil, Vectors: z}, nil
+	}
+	d := append([]float64{}, t.D...)
+	e := make([]float64, n)
+	copy(e, t.E) // e[n-1] stays 0
+	const maxIter = 50
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find small off-diagonal element.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= 1e-300+2.3e-16*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter >= maxIter {
+				return Result{}, fmt.Errorf("eigen: QR iteration failed to converge at index %d", l)
+			}
+			// Form shift.
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				// Accumulate the rotation into the eigenvector matrix.
+				for k := 0; k < n; k++ {
+					f := z.At(k, i+1)
+					z.SetAt(k, i+1, s*z.At(k, i)+c*f)
+					z.SetAt(k, i, c*z.At(k, i)-s*f)
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return sortResult(Result{Values: d, Vectors: z}), nil
+}

@@ -1,0 +1,222 @@
+// Package matmul implements the paper's MatrixMultiply benchmark (§4.4
+// and Figure 1): the base-case cell rule plus recursive decompositions
+// in the c, w, and h dimensions, Strassen's algorithm, and the
+// non-algorithmic choices (blocking and input transposition) that
+// Figure 15 shows dominating performance.
+package matmul
+
+import (
+	"math/rand"
+
+	"petabricks/internal/choice"
+	"petabricks/internal/linalg"
+	"petabricks/internal/matrix"
+)
+
+// Problem is one multiplication C = A·B with A of shape h×c, B of shape
+// c×w and C of shape h×w.
+type Problem struct {
+	C, A, B *matrix.Matrix
+}
+
+// Shape returns (h, c, w).
+func (p Problem) Shape() (h, c, w int) {
+	return p.A.Size(0), p.A.Size(1), p.B.Size(1)
+}
+
+// Choice menu indices for the MatrixMultiply transform.
+const (
+	ChoiceBasic    = iota // triple loop over output cells (Figure 1 rule 1)
+	ChoiceBlocked         // cache-blocked iteration (level param "block")
+	ChoiceTranspos        // transpose B for locality
+	ChoiceRecC            // recursively decompose in c (Figure 1 rule 2)
+	ChoiceRecW            // recursively decompose in w (Figure 1 rule 3)
+	ChoiceRecH            // recursively decompose in h (Figure 1 rule 4)
+	ChoiceStrassen        // Strassen decomposition
+)
+
+// ChoiceNames abbreviates the menu for rendered configurations.
+var ChoiceNames = []string{"BASE", "BLK", "TRN", "RC", "RW", "RH", "STR"}
+
+// New builds the MatrixMultiply transform.
+func New() *choice.Transform[Problem, struct{}] {
+	t := &choice.Transform[Problem, struct{}]{
+		Name: "matmul",
+		Size: func(p Problem) int64 {
+			h, c, w := p.Shape()
+			m := h
+			if c > m {
+				m = c
+			}
+			if w > m {
+				m = w
+			}
+			return int64(m)
+		},
+	}
+	t.Choices = []choice.Choice[Problem, struct{}]{
+		{Name: "BASE", Fn: func(c *choice.Call[Problem, struct{}], p Problem) struct{} {
+			linalg.MulBasic(p.C, p.A, p.B)
+			return struct{}{}
+		}},
+		{Name: "BLK", Fn: func(c *choice.Call[Problem, struct{}], p Problem) struct{} {
+			linalg.MulBlocked(p.C, p.A, p.B, int(c.Param("block", 64)))
+			return struct{}{}
+		}},
+		{Name: "TRN", Fn: func(c *choice.Call[Problem, struct{}], p Problem) struct{} {
+			linalg.MulTransposed(p.C, p.A, p.B)
+			return struct{}{}
+		}},
+		{Name: "RC", Recursive: true, Fn: recC},
+		{Name: "RW", Recursive: true, Fn: recW},
+		{Name: "RH", Recursive: true, Fn: recH},
+		{Name: "STR", Recursive: true, Fn: strassen},
+	}
+	return t
+}
+
+// Space declares the benchmark's configuration space.
+func Space(t *choice.Transform[Problem, struct{}]) *choice.Space {
+	sp := &choice.Space{}
+	sp.AddSelector(t.SelectorSpec(3, choice.TunableSpec{
+		Name: "block", Min: 8, Max: 512, Default: 64, LogScale: true,
+	}))
+	sp.AddTunable(choice.TunableSpec{
+		Name: t.SeqCutoffName(), Min: 16, Max: 4096, Default: 128, LogScale: true,
+	})
+	return sp
+}
+
+// Generate produces a random square problem of size n.
+func Generate(rng *rand.Rand, n int) Problem {
+	a := matrix.New(n, n)
+	b := matrix.New(n, n)
+	fill := func(m *matrix.Matrix) {
+		m.Each(func([]int, float64) float64 { return rng.Float64()*2 - 1 })
+	}
+	fill(a)
+	fill(b)
+	return Problem{C: matrix.New(n, n), A: a, B: b}
+}
+
+// recC splits the shared dimension c: C = A1·B1 + A2·B2 (Figure 1's
+// second rule). The two partial products go to temporaries and are then
+// added, exactly like the MatrixAdd(MatrixMultiply, MatrixMultiply)
+// composition in the paper's source.
+func recC(c *choice.Call[Problem, struct{}], p Problem) struct{} {
+	h, cc, w := p.Shape()
+	if cc < 2 {
+		linalg.MulBasic(p.C, p.A, p.B)
+		return struct{}{}
+	}
+	half := cc / 2
+	a1 := p.A.Region([]int{0, 0}, []int{h, half})
+	a2 := p.A.Region([]int{0, half}, []int{h, cc})
+	b1 := p.B.Region([]int{0, 0}, []int{half, w})
+	b2 := p.B.Region([]int{half, 0}, []int{cc, w})
+	t1 := matrix.New(h, w)
+	t2 := matrix.New(h, w)
+	c.Parallel(
+		func(cc *choice.Call[Problem, struct{}]) { cc.Recurse(Problem{C: t1, A: a1, B: b1}) },
+		func(cc *choice.Call[Problem, struct{}]) { cc.Recurse(Problem{C: t2, A: a2, B: b2}) },
+	)
+	linalg.Add(p.C, t1, t2)
+	return struct{}{}
+}
+
+// recW splits the output columns (Figure 1's third rule); the two halves
+// write disjoint regions of C and run in parallel with no temporaries.
+func recW(c *choice.Call[Problem, struct{}], p Problem) struct{} {
+	h, cc, w := p.Shape()
+	if w < 2 {
+		linalg.MulBasic(p.C, p.A, p.B)
+		return struct{}{}
+	}
+	half := w / 2
+	b1 := p.B.Region([]int{0, 0}, []int{cc, half})
+	b2 := p.B.Region([]int{0, half}, []int{cc, w})
+	c1 := p.C.Region([]int{0, 0}, []int{h, half})
+	c2 := p.C.Region([]int{0, half}, []int{h, w})
+	c.Parallel(
+		func(cc *choice.Call[Problem, struct{}]) { cc.Recurse(Problem{C: c1, A: p.A, B: b1}) },
+		func(cc *choice.Call[Problem, struct{}]) { cc.Recurse(Problem{C: c2, A: p.A, B: b2}) },
+	)
+	return struct{}{}
+}
+
+// recH splits the output rows (Figure 1's fourth rule).
+func recH(c *choice.Call[Problem, struct{}], p Problem) struct{} {
+	h, cc, w := p.Shape()
+	if h < 2 {
+		linalg.MulBasic(p.C, p.A, p.B)
+		return struct{}{}
+	}
+	half := h / 2
+	a1 := p.A.Region([]int{0, 0}, []int{half, cc})
+	a2 := p.A.Region([]int{half, 0}, []int{h, cc})
+	c1 := p.C.Region([]int{0, 0}, []int{half, w})
+	c2 := p.C.Region([]int{half, 0}, []int{h, w})
+	c.Parallel(
+		func(cc *choice.Call[Problem, struct{}]) { cc.Recurse(Problem{C: c1, A: a1, B: p.B}) },
+		func(cc *choice.Call[Problem, struct{}]) { cc.Recurse(Problem{C: c2, A: a2, B: p.B}) },
+	)
+	return struct{}{}
+}
+
+// strassen performs one Strassen decomposition level, re-entering the
+// transform for the seven half-size products so the tuned selector picks
+// the algorithm below. Non-square or odd sizes fall back to the basic
+// rule.
+func strassen(c *choice.Call[Problem, struct{}], p Problem) struct{} {
+	h, cc, w := p.Shape()
+	if h != cc || cc != w || h%2 != 0 || h < 2 {
+		linalg.MulBasic(p.C, p.A, p.B)
+		return struct{}{}
+	}
+	n := h / 2
+	q := func(m *matrix.Matrix, r, col int) *matrix.Matrix {
+		return m.Region([]int{r * n, col * n}, []int{(r + 1) * n, (col + 1) * n})
+	}
+	a11, a12, a21, a22 := q(p.A, 0, 0), q(p.A, 0, 1), q(p.A, 1, 0), q(p.A, 1, 1)
+	b11, b12, b21, b22 := q(p.B, 0, 0), q(p.B, 0, 1), q(p.B, 1, 0), q(p.B, 1, 1)
+	c11, c12, c21, c22 := q(p.C, 0, 0), q(p.C, 0, 1), q(p.C, 1, 0), q(p.C, 1, 1)
+
+	ms := make([]*matrix.Matrix, 7)
+	for i := range ms {
+		ms[i] = matrix.New(n, n)
+	}
+	sum := func(x, y *matrix.Matrix) *matrix.Matrix {
+		t := matrix.New(n, n)
+		linalg.Add(t, x, y)
+		return t
+	}
+	diff := func(x, y *matrix.Matrix) *matrix.Matrix {
+		t := matrix.New(n, n)
+		linalg.Sub(t, x, y)
+		return t
+	}
+	c.Parallel(
+		func(cc *choice.Call[Problem, struct{}]) {
+			cc.Recurse(Problem{C: ms[0], A: sum(a11, a22), B: sum(b11, b22)})
+		},
+		func(cc *choice.Call[Problem, struct{}]) { cc.Recurse(Problem{C: ms[1], A: sum(a21, a22), B: b11}) },
+		func(cc *choice.Call[Problem, struct{}]) { cc.Recurse(Problem{C: ms[2], A: a11, B: diff(b12, b22)}) },
+		func(cc *choice.Call[Problem, struct{}]) { cc.Recurse(Problem{C: ms[3], A: a22, B: diff(b21, b11)}) },
+		func(cc *choice.Call[Problem, struct{}]) { cc.Recurse(Problem{C: ms[4], A: sum(a11, a12), B: b22}) },
+		func(cc *choice.Call[Problem, struct{}]) {
+			cc.Recurse(Problem{C: ms[5], A: diff(a21, a11), B: sum(b11, b12)})
+		},
+		func(cc *choice.Call[Problem, struct{}]) {
+			cc.Recurse(Problem{C: ms[6], A: diff(a12, a22), B: sum(b21, b22)})
+		},
+	)
+	linalg.Add(c11, ms[0], ms[3])
+	linalg.Sub(c11, c11, ms[4])
+	linalg.Add(c11, c11, ms[6])
+	linalg.Add(c12, ms[2], ms[4])
+	linalg.Add(c21, ms[1], ms[3])
+	linalg.Sub(c22, ms[0], ms[1])
+	linalg.Add(c22, c22, ms[2])
+	linalg.Add(c22, c22, ms[5])
+	return struct{}{}
+}

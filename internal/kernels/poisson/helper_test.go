@@ -1,0 +1,5 @@
+package poisson
+
+import "petabricks/internal/choice"
+
+func newTestConfig() *choice.Config { return choice.NewConfig() }

@@ -1,0 +1,240 @@
+package poisson
+
+import (
+	"fmt"
+
+	"petabricks/internal/choice"
+	"petabricks/internal/matrix"
+)
+
+// Kind is the algorithmic choice at one (accuracy, level) decision point
+// of the POISSONi family (paper Figure 10's "either" block).
+type Kind int
+
+// Decision kinds.
+const (
+	KindDirect Kind = iota // solve exactly with band Cholesky
+	KindSOR                // iterate SOR with ω_opt
+	KindMG                 // run V-cycles, recursing through POISSON_sub
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDirect:
+		return "DIRECT"
+	case KindSOR:
+		return "SOR"
+	case KindMG:
+		return "MG"
+	}
+	return fmt.Sprintf("KIND(%d)", int(k))
+}
+
+// Decision is the tuned action for one (accuracy index, grid level).
+type Decision struct {
+	Kind  Kind
+	Iters int // SOR sweeps or V-cycle count
+	Sub   int // accuracy index used for the coarse-grid POISSON call
+}
+
+// Policy is the accuracy-aware multi-level algorithm the paper's
+// dynamic-programming tuner produces (§4.1.4): for each target accuracy
+// p_i and each grid level k, the fastest decision achieving p_i.
+type Policy struct {
+	// Accuracies holds the discrete accuracy targets p_1 … p_m.
+	Accuracies []float64
+	// Table maps (accuracy index, level k) to the tuned decision.
+	Table map[[2]int]Decision
+	// UseSplitSOR selects the paper's split red/black storage for the
+	// SOR sweeps instead of in-place checkerboard updates. The two
+	// layouts compute identical results; which is faster is exactly the
+	// kind of machine-dependent question the ablation benchmark
+	// (BenchmarkAblationSORLayout*) answers per host.
+	UseSplitSOR bool
+}
+
+// sor dispatches to the configured SOR layout.
+func (p *Policy) sor(x, b *matrix.Matrix, omega float64, iters int) {
+	if p.UseSplitSOR {
+		SOR(x, b, omega, iters)
+		return
+	}
+	SORInPlace(x, b, omega, iters)
+}
+
+// NewPolicy returns an empty policy for the given accuracy targets.
+func NewPolicy(accs []float64) *Policy {
+	return &Policy{Accuracies: append([]float64{}, accs...), Table: map[[2]int]Decision{}}
+}
+
+// Set stores the decision for accuracy index ai at level k.
+func (p *Policy) Set(ai, k int, d Decision) { p.Table[[2]int{ai, k}] = d }
+
+// Get returns the decision for accuracy index ai at level k; the zero
+// Decision (direct solve) when absent, which is always correct.
+func (p *Policy) Get(ai, k int) Decision { return p.Table[[2]int{ai, k}] }
+
+// Solve runs POISSON_ai on the grid: x is the initial guess and is
+// overwritten with the solution of A·x = b to (trained) accuracy
+// Accuracies[ai].
+func (p *Policy) Solve(x, b *matrix.Matrix, ai int) error {
+	n := x.Size(0)
+	k, err := LevelOf(n)
+	if err != nil {
+		return err
+	}
+	return p.solveLevel(x, b, ai, k)
+}
+
+func (p *Policy) solveLevel(x, b *matrix.Matrix, ai, k int) error {
+	n := x.Size(0)
+	if n == 3 {
+		// Base case: one interior unknown, 4·x = b.
+		x.SetAt(1, 1, b.At(1, 1)/4)
+		return nil
+	}
+	d := p.Get(ai, k)
+	switch d.Kind {
+	case KindDirect:
+		return SolveDirect(x, b)
+	case KindSOR:
+		p.sor(x, b, OmegaOpt(n), maxInt(1, d.Iters))
+		return nil
+	case KindMG:
+		for c := 0; c < maxInt(1, d.Iters); c++ {
+			if err := p.vcycle(x, b, d.Sub, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("poisson: unknown decision kind %v", d.Kind)
+}
+
+// vcycle is MULTIGRID_i of Figure 10: one SOR(1.15) pre-smooth, coarse
+// correction via POISSON_sub, one SOR(1.15) post-smooth.
+func (p *Policy) vcycle(x, b *matrix.Matrix, sub, k int) error {
+	n := x.Size(0)
+	if n == 3 {
+		x.SetAt(1, 1, b.At(1, 1)/4)
+		return nil
+	}
+	const smootherOmega = 1.15 // fixed by §4.1.4
+	p.sor(x, b, smootherOmega, 1)
+	r := matrix.New(n, n)
+	Residual(r, x, b)
+	nc := SizeOfLevel(k - 1)
+	rc := matrix.New(nc, nc)
+	Restrict(rc, r)
+	// The unscaled 5-point stencil absorbs h²: the coarse right-hand
+	// side picks up the factor (H/h)² = 4.
+	for i := 1; i < nc-1; i++ {
+		for j := 1; j < nc-1; j++ {
+			rc.SetAt(i, j, 4*rc.At(i, j))
+		}
+	}
+	ec := matrix.New(nc, nc)
+	if err := p.solveLevel(ec, rc, sub, k-1); err != nil {
+		return err
+	}
+	ef := matrix.New(n, n)
+	Interpolate(ef, ec)
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			x.SetAt(i, j, x.At(i, j)+ef.At(i, j))
+		}
+	}
+	p.sor(x, b, smootherOmega, 1)
+	return nil
+}
+
+// MultigridSimple is the paper's MULTIGRID-SIMPLE baseline (Figure 7):
+// plain V-cycles recursing all the way down, iterated `cycles` times.
+func MultigridSimple(x, b *matrix.Matrix, cycles int) error {
+	n := x.Size(0)
+	k, err := LevelOf(n)
+	if err != nil {
+		return err
+	}
+	p := NewPolicy([]float64{0})
+	for lvl := 2; lvl <= k; lvl++ {
+		p.Set(0, lvl, Decision{Kind: KindMG, Iters: 1, Sub: 0})
+	}
+	// Level 1 (N=3) is the direct base case inside solveLevel.
+	for c := 0; c < cycles; c++ {
+		if err := p.vcycle(x, b, 0, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Config (de)serialization -------------------------------------------
+
+// EncodeConfig writes the policy into a choice.Config under the
+// "poisson." prefix so it shares the flat configuration space and the
+// textual config-file format with every other transform.
+func (p *Policy) EncodeConfig(cfg *choice.Config) {
+	cfg.SetInt("poisson.naccs", int64(len(p.Accuracies)))
+	for i, a := range p.Accuracies {
+		// Accuracies are stored as log10 (they are powers of ten in the
+		// paper: 10, 10³, 10⁵, 10⁷, 10⁹).
+		cfg.SetInt(fmt.Sprintf("poisson.acc%d.log10", i), int64(log10Round(a)))
+	}
+	for key, d := range p.Table {
+		prefix := fmt.Sprintf("poisson.acc%d.k%d.", key[0], key[1])
+		cfg.SetInt(prefix+"kind", int64(d.Kind))
+		cfg.SetInt(prefix+"iters", int64(d.Iters))
+		cfg.SetInt(prefix+"sub", int64(d.Sub))
+	}
+}
+
+// DecodePolicy reconstructs a Policy previously stored with EncodeConfig;
+// maxLevel bounds the levels scanned.
+func DecodePolicy(cfg *choice.Config, maxLevel int) *Policy {
+	n := int(cfg.Int("poisson.naccs", 0))
+	accs := make([]float64, n)
+	for i := range accs {
+		accs[i] = pow10(int(cfg.Int(fmt.Sprintf("poisson.acc%d.log10", i), 0)))
+	}
+	p := NewPolicy(accs)
+	for ai := 0; ai < n; ai++ {
+		for k := 1; k <= maxLevel; k++ {
+			prefix := fmt.Sprintf("poisson.acc%d.k%d.", ai, k)
+			kind := cfg.Int(prefix+"kind", -1)
+			if kind < 0 {
+				continue
+			}
+			p.Set(ai, k, Decision{
+				Kind:  Kind(kind),
+				Iters: int(cfg.Int(prefix+"iters", 1)),
+				Sub:   int(cfg.Int(prefix+"sub", 0)),
+			})
+		}
+	}
+	return p
+}
+
+func log10Round(a float64) int {
+	k := 0
+	for a >= 10 {
+		a /= 10
+		k++
+	}
+	return k
+}
+
+func pow10(k int) float64 {
+	v := 1.0
+	for i := 0; i < k; i++ {
+		v *= 10
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

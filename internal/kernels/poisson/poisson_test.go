@@ -1,0 +1,362 @@
+package poisson
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"petabricks/internal/matrix"
+)
+
+func TestLevelOf(t *testing.T) {
+	good := map[int]int{3: 1, 5: 2, 9: 3, 17: 4, 33: 5, 65: 6, 129: 7}
+	for n, k := range good {
+		got, err := LevelOf(n)
+		if err != nil || got != k {
+			t.Errorf("LevelOf(%d) = %d, %v; want %d", n, got, err, k)
+		}
+		if SizeOfLevel(k) != n {
+			t.Errorf("SizeOfLevel(%d) = %d, want %d", k, SizeOfLevel(k), n)
+		}
+	}
+	for _, n := range []int{0, 1, 2, 4, 6, 7, 10, 16, 100} {
+		if _, err := LevelOf(n); err == nil {
+			t.Errorf("LevelOf(%d) should fail", n)
+		}
+	}
+}
+
+func TestOperatorAgainstKnownSolution(t *testing.T) {
+	// exact(i,j) = sin(πi/(n-1))·sin(πj/(n-1)) is an eigenfunction of the
+	// 5-point stencil: A·x = (4 − 2cos(π/(n-1)) − 2cos(π/(n-1)))·x.
+	n := 17
+	x := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x.SetAt(i, j, math.Sin(math.Pi*float64(i)/float64(n-1))*math.Sin(math.Pi*float64(j)/float64(n-1)))
+		}
+	}
+	ax := matrix.New(n, n)
+	ApplyOperator(ax, x)
+	lambda := 4 - 4*math.Cos(math.Pi/float64(n-1))
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			if math.Abs(ax.At(i, j)-lambda*x.At(i, j)) > 1e-10 {
+				t.Fatalf("operator eigenfunction check failed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDirectSolveExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{3, 5, 9, 17, 33} {
+		pr := Generate(rng, n)
+		x := matrix.New(n, n)
+		if err := SolveDirect(x, pr.B); err != nil {
+			t.Fatal(err)
+		}
+		if e := ErrorVs(x, pr.Exact); e > 1e-9 {
+			t.Fatalf("direct solve error %g at n=%d", e, n)
+		}
+	}
+}
+
+func TestResidualOfExactIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pr := Generate(rng, 17)
+	r := matrix.New(17, 17)
+	Residual(r, pr.Exact, pr.B)
+	if RMSInterior(r) > 1e-12 {
+		t.Fatal("residual of the exact solution should vanish")
+	}
+}
+
+func iterativeConverges(t *testing.T, name string, run func(x, b *matrix.Matrix)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	n := 17
+	pr := Generate(rng, n)
+	x := matrix.New(n, n)
+	e0 := ErrorVs(x, pr.Exact)
+	run(x, pr.B)
+	e1 := ErrorVs(x, pr.Exact)
+	if e1 >= e0/10 {
+		t.Fatalf("%s reduced error only %g -> %g", name, e0, e1)
+	}
+}
+
+func TestJacobiConverges(t *testing.T) {
+	iterativeConverges(t, "jacobi", func(x, b *matrix.Matrix) { Jacobi(x, b, 800) })
+}
+
+func TestSORConverges(t *testing.T) {
+	iterativeConverges(t, "sor", func(x, b *matrix.Matrix) { SOR(x, b, OmegaOpt(x.Size(0)), 60) })
+}
+
+func TestSORInPlaceMatchesSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 17
+	pr := Generate(rng, n)
+	x1 := matrix.New(n, n)
+	x2 := matrix.New(n, n)
+	SOR(x1, pr.B, 1.5, 13)
+	SORInPlace(x2, pr.B, 1.5, 13)
+	if d := x1.MaxAbsDiff(x2); d > 1e-12 {
+		t.Fatalf("split and in-place SOR diverge by %g", d)
+	}
+}
+
+func TestSORFasterThanJacobiPerSweep(t *testing.T) {
+	// Convergence-rate shape check: after the same number of sweeps,
+	// SOR(ω_opt) must have smaller error than Jacobi.
+	rng := rand.New(rand.NewSource(5))
+	n := 33
+	pr := Generate(rng, n)
+	xj := matrix.New(n, n)
+	xs := matrix.New(n, n)
+	Jacobi(xj, pr.B, 120)
+	SOR(xs, pr.B, OmegaOpt(n), 120)
+	if ErrorVs(xs, pr.Exact) >= ErrorVs(xj, pr.Exact) {
+		t.Fatal("SOR should beat Jacobi at equal sweep count")
+	}
+}
+
+func TestRedBlackPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{3, 5, 9, 17} {
+		x := matrix.New(n, n)
+		x.Each(func([]int, float64) float64 { return rng.Float64() })
+		rb := NewRedBlack(x)
+		back := matrix.New(n, n)
+		rb.Unpack(back)
+		if d := x.MaxAbsDiff(back); d != 0 {
+			t.Fatalf("pack/unpack not lossless at n=%d (diff %g)", n, d)
+		}
+	}
+}
+
+func TestHalfWidth(t *testing.T) {
+	// Row 0 of a 5-wide grid: red cells at j=0,2,4 (3 cells), black at 1,3.
+	if halfWidth(5, 0, 0) != 3 || halfWidth(5, 0, 1) != 2 {
+		t.Fatal("halfWidth row 0 wrong")
+	}
+	if halfWidth(5, 1, 0) != 2 || halfWidth(5, 1, 1) != 3 {
+		t.Fatal("halfWidth row 1 wrong")
+	}
+}
+
+func TestRestrictInterpolateShapes(t *testing.T) {
+	fine := matrix.New(9, 9)
+	fine.Fill(1)
+	// Zero the boundary as the solvers maintain.
+	for i := 0; i < 9; i++ {
+		fine.SetAt(i, 0, 0)
+		fine.SetAt(i, 8, 0)
+		fine.SetAt(0, i, 0)
+		fine.SetAt(8, i, 0)
+	}
+	coarse := matrix.New(5, 5)
+	Restrict(coarse, fine)
+	// Central coarse point sees all-ones: weights sum to 1.
+	if math.Abs(coarse.At(2, 2)-1) > 1e-12 {
+		t.Fatalf("full-weighting center = %g", coarse.At(2, 2))
+	}
+	back := matrix.New(9, 9)
+	Interpolate(back, coarse)
+	// Interpolation of a constant-interior field keeps interior center.
+	if math.Abs(back.At(4, 4)-1) > 1e-12 {
+		t.Fatalf("interpolated center = %g", back.At(4, 4))
+	}
+	// Boundary remains zero.
+	for i := 0; i < 9; i++ {
+		if back.At(0, i) != 0 || back.At(8, i) != 0 || back.At(i, 0) != 0 || back.At(i, 8) != 0 {
+			t.Fatal("interpolation violated Dirichlet boundary")
+		}
+	}
+}
+
+func TestMultigridSimpleConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{5, 9, 17, 33} {
+		pr := Generate(rng, n)
+		x := matrix.New(n, n)
+		e0 := ErrorVs(x, pr.Exact)
+		if err := MultigridSimple(x, pr.B, 12); err != nil {
+			t.Fatal(err)
+		}
+		e1 := ErrorVs(x, pr.Exact)
+		if e1 > e0/1e6 {
+			t.Fatalf("multigrid at n=%d reduced error only %g -> %g", n, e0, e1)
+		}
+	}
+}
+
+func TestMultigridConvergenceRatePerCycle(t *testing.T) {
+	// Each V-cycle should contract the error by a grid-independent
+	// factor; require at least ~4x per cycle.
+	rng := rand.New(rand.NewSource(8))
+	n := 33
+	pr := Generate(rng, n)
+	x := matrix.New(n, n)
+	prev := ErrorVs(x, pr.Exact)
+	for c := 0; c < 6; c++ {
+		if err := MultigridSimple(x, pr.B, 1); err != nil {
+			t.Fatal(err)
+		}
+		cur := ErrorVs(x, pr.Exact)
+		if cur > prev/4 {
+			t.Fatalf("cycle %d contracted only %g -> %g", c, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestAccuracyMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pr := Generate(rng, 9)
+	x := matrix.New(9, 9)
+	if acc := Accuracy(x, x, pr.Exact); math.Abs(acc-1) > 1e-12 {
+		t.Fatalf("no-op accuracy = %g, want 1", acc)
+	}
+	exactCopy := pr.Exact.Copy()
+	if !math.IsInf(Accuracy(x, exactCopy, pr.Exact), 1) {
+		t.Fatal("exact output should have infinite accuracy")
+	}
+}
+
+func TestPolicySolveBase(t *testing.T) {
+	p := NewPolicy([]float64{10})
+	b := matrix.New(3, 3)
+	b.SetAt(1, 1, 8)
+	x := matrix.New(3, 3)
+	if err := p.Solve(x, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if x.At(1, 1) != 2 {
+		t.Fatalf("base case got %g, want 2", x.At(1, 1))
+	}
+}
+
+func TestPolicyDecisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 17
+	pr := Generate(rng, n)
+	// Hand-built policy: accuracy 0 -> SOR(200), accuracy 1 -> MG x8.
+	p := NewPolicy([]float64{1e3, 1e7})
+	k, _ := LevelOf(n)
+	p.Set(0, k, Decision{Kind: KindSOR, Iters: 200})
+	for lvl := 2; lvl <= k; lvl++ {
+		p.Set(1, lvl, Decision{Kind: KindMG, Iters: 8, Sub: 1})
+	}
+	for ai, minAcc := range []float64{1e3, 1e7} {
+		x := matrix.New(n, n)
+		e0 := ErrorVs(x, pr.Exact)
+		if err := p.Solve(x, pr.B, ai); err != nil {
+			t.Fatal(err)
+		}
+		if acc := e0 / positive(ErrorVs(x, pr.Exact)); acc < minAcc {
+			t.Fatalf("policy accuracy %d achieved %g, want >= %g", ai, acc, minAcc)
+		}
+	}
+}
+
+func TestPolicyConfigRoundTrip(t *testing.T) {
+	p := NewPolicy([]float64{10, 1e5, 1e9})
+	p.Set(0, 3, Decision{Kind: KindSOR, Iters: 42})
+	p.Set(1, 3, Decision{Kind: KindMG, Iters: 3, Sub: 2})
+	p.Set(2, 4, Decision{Kind: KindDirect})
+	cfg := newTestConfig()
+	p.EncodeConfig(cfg)
+	back := DecodePolicy(cfg, 8)
+	if len(back.Accuracies) != 3 || back.Accuracies[2] != 1e9 {
+		t.Fatalf("accuracies = %v", back.Accuracies)
+	}
+	if d := back.Get(0, 3); d.Kind != KindSOR || d.Iters != 42 {
+		t.Fatalf("decision(0,3) = %+v", d)
+	}
+	if d := back.Get(1, 3); d.Kind != KindMG || d.Iters != 3 || d.Sub != 2 {
+		t.Fatalf("decision(1,3) = %+v", d)
+	}
+	if d := back.Get(2, 4); d.Kind != KindDirect {
+		t.Fatalf("decision(2,4) = %+v", d)
+	}
+}
+
+func TestTunePolicySmall(t *testing.T) {
+	// Tune up to N=17 with two accuracy targets and verify they hold on
+	// fresh instances (the paper's automated consistency check).
+	accs := []float64{1e2, 1e6}
+	p := TunePolicy(accs, 4, TuneOptions{Trials: 2, Seed: 99})
+	worst, err := VerifyPolicy(p, 4, 1234, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, target := range accs {
+		// Allow modest slack: training instances differ from test ones.
+		if worst[i] < target/10 {
+			t.Errorf("tuned accuracy %d achieved %g, want about %g", i, worst[i], target)
+		}
+	}
+	// Every tuned level must have a decision for every accuracy.
+	for ai := range accs {
+		for k := 2; k <= 4; k++ {
+			if _, ok := p.Table[[2]int{ai, k}]; !ok {
+				t.Errorf("missing decision for acc %d level %d", ai, k)
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindDirect.String() != "DIRECT" || KindSOR.String() != "SOR" || KindMG.String() != "MG" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+func TestOmegaOptRange(t *testing.T) {
+	for _, n := range []int{5, 17, 65, 257} {
+		w := OmegaOpt(n)
+		if w <= 1 || w >= 2 {
+			t.Fatalf("omega_opt(%d) = %g outside (1,2)", n, w)
+		}
+	}
+	if OmegaOpt(17) <= OmegaOpt(5) {
+		t.Fatal("omega_opt should increase with n")
+	}
+}
+
+func TestGeneratePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(rand.New(rand.NewSource(1)), 10)
+}
+
+func TestPolicySORLayoutsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 17
+	pr := Generate(rng, n)
+	run := func(split bool) *matrix.Matrix {
+		p := NewPolicy([]float64{1e5})
+		p.UseSplitSOR = split
+		k, _ := LevelOf(n)
+		for lvl := 2; lvl <= k; lvl++ {
+			p.Set(0, lvl, Decision{Kind: KindMG, Iters: 5, Sub: 0})
+		}
+		x := matrix.New(n, n)
+		if err := p.Solve(x, pr.B, 0); err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+	a, b := run(false), run(true)
+	if d := a.MaxAbsDiff(b); d > 1e-12 {
+		t.Fatalf("SOR layouts disagree by %g", d)
+	}
+}

@@ -1,0 +1,237 @@
+package poisson
+
+import (
+	"math/rand"
+	"time"
+
+	"petabricks/internal/autotuner"
+	"petabricks/internal/matrix"
+)
+
+// TuneOptions controls the accuracy-aware dynamic-programming tuner.
+type TuneOptions struct {
+	// Trials is the number of training instances per measurement.
+	Trials int
+	// MaxSORIters caps the sweeps tried when probing SOR convergence.
+	MaxSORIters int
+	// MaxCycles caps the V-cycle count tried per decision.
+	MaxCycles int
+	// Seed makes training-data generation reproducible.
+	Seed int64
+}
+
+func (o TuneOptions) withDefaults() TuneOptions {
+	if o.Trials <= 0 {
+		o.Trials = 2
+	}
+	if o.MaxSORIters <= 0 {
+		o.MaxSORIters = 20000
+	}
+	if o.MaxCycles <= 0 {
+		o.MaxCycles = 40
+	}
+	return o
+}
+
+// TunePolicy runs the paper's §4.1.3–4.1.4 algorithm: bottom-up over
+// grid levels, tuning every accuracy target at level k before moving to
+// level k+1, because "the optimal choice for any single accuracy for an
+// input of size 2^k+1 depends on the optimal algorithms for all
+// accuracies for inputs of size 2^(k-1)+1". For each (accuracy, level)
+// it tries the direct solver, SOR-until-converged, and V-cycles that
+// recurse through each lower-level accuracy variant, keeping the fastest
+// decision that reaches the target on every training instance.
+func TunePolicy(accs []float64, maxLevel int, opt TuneOptions) *Policy {
+	opt = opt.withDefaults()
+	p := NewPolicy(accs)
+	for k := 2; k <= maxLevel; k++ {
+		n := SizeOfLevel(k)
+		probs := trainingSet(opt.Seed+int64(k), n, opt.Trials)
+		for ai := range accs {
+			// Plot every candidate by (time, achieved accuracy) as in
+			// Figure 9(a), then keep "the fastest algorithm yielding an
+			// accuracy of at least p_i" (§4.1.4) off the dominant front.
+			var points []autotuner.CandidatePoint[Decision]
+			add := func(d Decision) {
+				t := measure(p, d, ai, k, probs)
+				acc := measureAccuracy(p, d, ai, k, probs)
+				points = append(points, autotuner.CandidatePoint[Decision]{
+					Time: t.Seconds(), Accuracy: acc, Value: d,
+				})
+			}
+			add(Decision{Kind: KindDirect})
+			// SOR with ω_opt until the accuracy target.
+			if iters, ok := probeSOR(accs[ai], n, probs, opt.MaxSORIters); ok {
+				add(Decision{Kind: KindSOR, Iters: iters})
+			}
+			// V-cycles recursing through POISSON_j for each lower
+			// accuracy variant j.
+			for j := range accs {
+				if cycles, ok := probeMG(p, accs[ai], j, k, probs, opt.MaxCycles); ok {
+					add(Decision{Kind: KindMG, Iters: cycles, Sub: j})
+				}
+			}
+			front := autotuner.ParetoFront(points)
+			if best, ok := autotuner.FastestMeeting(front, accs[ai]); ok {
+				p.Set(ai, k, best.Value)
+			} else {
+				// No candidate verifiably meets the target on the training
+				// instances; the exact solver is always correct.
+				p.Set(ai, k, Decision{Kind: KindDirect})
+			}
+		}
+	}
+	return p
+}
+
+func trainingSet(seed int64, n, trials int) []Problem {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Problem, trials)
+	for i := range out {
+		out[i] = Generate(rng, n)
+	}
+	return out
+}
+
+// probeSOR finds the sweep count needed to reach the accuracy target on
+// every training instance, or reports failure within the cap.
+func probeSOR(target float64, n int, probs []Problem, limit int) (int, bool) {
+	worst := 1
+	for _, pr := range probs {
+		x := matrix.New(n, n)
+		ein := ErrorVs(x, pr.Exact)
+		iters := 0
+		ok := false
+		for iters < limit {
+			step := 1 + iters/4 // geometric-ish probing
+			SOR(x, pr.B, OmegaOpt(n), step)
+			iters += step
+			if ein/positive(ErrorVs(x, pr.Exact)) >= target {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return 0, false
+		}
+		if iters > worst {
+			worst = iters
+		}
+	}
+	return worst, true
+}
+
+// probeMG finds the V-cycle count (recursing through accuracy j) needed
+// to reach the target on every training instance.
+func probeMG(p *Policy, target float64, j, k int, probs []Problem, limit int) (int, bool) {
+	n := SizeOfLevel(k)
+	worst := 1
+	for _, pr := range probs {
+		x := matrix.New(n, n)
+		ein := ErrorVs(x, pr.Exact)
+		cycles := 0
+		ok := false
+		for cycles < limit {
+			if err := p.vcycle(x, pr.B, j, k); err != nil {
+				return 0, false
+			}
+			cycles++
+			if ein/positive(ErrorVs(x, pr.Exact)) >= target {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return 0, false
+		}
+		if cycles > worst {
+			worst = cycles
+		}
+	}
+	return worst, true
+}
+
+// measure times the decision over the training set (the tuner's fitness
+// function). The decision is installed temporarily at (ai, k).
+func measure(p *Policy, d Decision, ai, k int, probs []Problem) time.Duration {
+	old, had := p.Table[[2]int{ai, k}]
+	p.Set(ai, k, d)
+	defer func() {
+		if had {
+			p.Set(ai, k, old)
+		} else {
+			delete(p.Table, [2]int{ai, k})
+		}
+	}()
+	n := SizeOfLevel(k)
+	start := time.Now()
+	for _, pr := range probs {
+		x := matrix.New(n, n)
+		if err := p.solveLevel(x, pr.B, ai, k); err != nil {
+			return 1 << 60 // disqualify
+		}
+	}
+	return time.Since(start)
+}
+
+// measureAccuracy returns the worst accuracy the decision achieves over
+// the training set.
+func measureAccuracy(p *Policy, d Decision, ai, k int, probs []Problem) float64 {
+	old, had := p.Table[[2]int{ai, k}]
+	p.Set(ai, k, d)
+	defer func() {
+		if had {
+			p.Set(ai, k, old)
+		} else {
+			delete(p.Table, [2]int{ai, k})
+		}
+	}()
+	n := SizeOfLevel(k)
+	worst := 1e308
+	for _, pr := range probs {
+		x := matrix.New(n, n)
+		ein := ErrorVs(x, pr.Exact)
+		if err := p.solveLevel(x, pr.B, ai, k); err != nil {
+			return 0
+		}
+		if acc := ein / positive(ErrorVs(x, pr.Exact)); acc < worst {
+			worst = acc
+		}
+	}
+	return worst
+}
+
+func positive(v float64) float64 {
+	if v <= 0 {
+		return 1e-300
+	}
+	return v
+}
+
+// VerifyPolicy checks that the tuned policy actually reaches each
+// accuracy target on freshly generated instances, returning the worst
+// achieved accuracy per target. It is the §3.5 consistency check for the
+// variable-accuracy benchmark.
+func VerifyPolicy(p *Policy, maxLevel int, seed int64, trials int) ([]float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	worst := make([]float64, len(p.Accuracies))
+	for i := range worst {
+		worst[i] = 1e308
+	}
+	n := SizeOfLevel(maxLevel)
+	for t := 0; t < trials; t++ {
+		pr := Generate(rng, n)
+		for ai := range p.Accuracies {
+			x := matrix.New(n, n)
+			ein := ErrorVs(x, pr.Exact)
+			if err := p.Solve(x, pr.B, ai); err != nil {
+				return nil, err
+			}
+			acc := ein / positive(ErrorVs(x, pr.Exact))
+			if acc < worst[ai] {
+				worst[ai] = acc
+			}
+		}
+	}
+	return worst, nil
+}

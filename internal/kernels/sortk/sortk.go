@@ -1,0 +1,331 @@
+// Package sortk implements the paper's Sort benchmark (§4.3): insertion
+// sort, quick sort, n-way merge sort (with a parallelizable recursive
+// merge when n = 2), and a 16-bucket MSD radix sort. Every recursive
+// algorithm re-enters a generalized Sort transform, "which allows the
+// compiler to switch algorithms at any level", so the tuned selector
+// composes hybrids such as the paper's "IS(600) QS(1420) 2MS(∞)".
+package sortk
+
+import (
+	"math/rand"
+
+	"petabricks/internal/choice"
+)
+
+// Span is the in-place sorting problem: sort Data using Tmp (same
+// length) as scratch.
+type Span struct {
+	Data []int64
+	Tmp  []int64
+}
+
+func (s Span) sub(lo, hi int) Span { return Span{Data: s.Data[lo:hi], Tmp: s.Tmp[lo:hi]} }
+
+// Choice menu indices for the Sort transform.
+const (
+	ChoiceIS = iota // insertion sort
+	ChoiceQS        // quick sort
+	ChoiceMS        // n-way merge sort (level param "k", default 2)
+	ChoiceRS        // 16-bucket MSD radix sort
+)
+
+// ChoiceNames are the abbreviations the paper uses in Table 2.
+var ChoiceNames = []string{"IS", "QS", "MS", "RS"}
+
+// New builds the generalized Sort transform.
+func New() *choice.Transform[Span, struct{}] {
+	t := &choice.Transform[Span, struct{}]{
+		Name: "sort",
+		Size: func(in Span) int64 { return int64(len(in.Data)) },
+	}
+	t.Choices = []choice.Choice[Span, struct{}]{
+		{Name: "IS", Fn: insertionSort},
+		{Name: "QS", Recursive: true, Fn: quickSort},
+		{Name: "MS", Recursive: true, Fn: mergeSort},
+		{Name: "RS", Recursive: true, Fn: radixSort},
+	}
+	return t
+}
+
+// Space declares the Sort benchmark's configuration space: the selector
+// over the four algorithms (with the merge fan-out as a per-level
+// parameter) and the sequential cutoff.
+func Space(t *choice.Transform[Span, struct{}]) *choice.Space {
+	sp := &choice.Space{}
+	sp.AddSelector(t.SelectorSpec(4, choice.TunableSpec{
+		Name: "k", Min: 2, Max: 16, Default: 2, LogScale: true,
+	}))
+	sp.AddTunable(choice.TunableSpec{
+		Name: t.SeqCutoffName(), Min: 16, Max: 1 << 20, Default: 2048, LogScale: true,
+	})
+	return sp
+}
+
+// Generate produces a uniform random instance, the paper's training
+// generator for sort.
+func Generate(rng *rand.Rand, n int) Span {
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = rng.Int63n(1 << 30)
+	}
+	return Span{Data: data, Tmp: make([]int64, n)}
+}
+
+// IsSorted reports whether the span's data is nondecreasing.
+func IsSorted(data []int64) bool {
+	for i := 1; i < len(data); i++ {
+		if data[i] < data[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// insertionSort is the non-recursive base-case algorithm.
+func insertionSort(c *choice.Call[Span, struct{}], in Span) struct{} {
+	d := in.Data
+	for i := 1; i < len(d); i++ {
+		v := d[i]
+		j := i
+		for j > 0 && d[j-1] > v {
+			d[j] = d[j-1]
+			j--
+		}
+		d[j] = v
+	}
+	return struct{}{}
+}
+
+// quickSort partitions around a median-of-three pivot and re-enters the
+// generalized Sort on both halves, in parallel above the cutoff.
+func quickSort(c *choice.Call[Span, struct{}], in Span) struct{} {
+	d := in.Data
+	n := len(d)
+	if n <= 1 {
+		return struct{}{}
+	}
+	if n == 2 {
+		if d[0] > d[1] {
+			d[0], d[1] = d[1], d[0]
+		}
+		return struct{}{}
+	}
+	p := medianOfThree(d)
+	lt, gt := partition3(d, p)
+	// Elements in [lt, gt) equal the pivot and are already placed.
+	c.Parallel(
+		func(cc *choice.Call[Span, struct{}]) { cc.Recurse(in.sub(0, lt)) },
+		func(cc *choice.Call[Span, struct{}]) { cc.Recurse(in.sub(gt, n)) },
+	)
+	return struct{}{}
+}
+
+func medianOfThree(d []int64) int64 {
+	a, b, c := d[0], d[len(d)/2], d[len(d)-1]
+	switch {
+	case (a <= b && b <= c) || (c <= b && b <= a):
+		return b
+	case (b <= a && a <= c) || (c <= a && a <= b):
+		return a
+	default:
+		return c
+	}
+}
+
+// partition3 performs a Dutch-national-flag partition around pivot p,
+// returning the bounds of the equal region.
+func partition3(d []int64, p int64) (lt, gt int) {
+	lo, i, hi := 0, 0, len(d)
+	for i < hi {
+		switch {
+		case d[i] < p:
+			d[i], d[lo] = d[lo], d[i]
+			lo++
+			i++
+		case d[i] > p:
+			hi--
+			d[i], d[hi] = d[hi], d[i]
+		default:
+			i++
+		}
+	}
+	return lo, hi
+}
+
+// mergeSort is the n-way merge sort. The fan-out k comes from the tuned
+// selector level (the paper's 2MS/4MS/8MS/16MS variants); sub-sorts
+// re-enter the generalized Sort. For k = 2 the merge itself is the
+// recursive parallelizable merge.
+func mergeSort(c *choice.Call[Span, struct{}], in Span) struct{} {
+	n := len(in.Data)
+	if n <= 1 {
+		return struct{}{}
+	}
+	k := int(c.Param("k", 2))
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	// Chunk boundaries.
+	bounds := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = i * n / k
+	}
+	subs := make([]func(*choice.Call[Span, struct{}]), k)
+	for i := 0; i < k; i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		subs[i] = func(cc *choice.Call[Span, struct{}]) { cc.Recurse(in.sub(lo, hi)) }
+	}
+	c.Parallel(subs...)
+	if k == 2 {
+		parallelMerge(c, in.Data[:bounds[1]], in.Data[bounds[1]:], in.Tmp)
+	} else {
+		kwayMerge(in.Data, bounds, in.Tmp)
+	}
+	copy(in.Data, in.Tmp)
+	return struct{}{}
+}
+
+// parallelMerge merges sorted a and b into out using recursive binary
+// splitting, which exposes the parallelism the paper credits 2-way merge
+// sort with ("the merging performed at each recursive level can also be
+// parallelized").
+func parallelMerge(c *choice.Call[Span, struct{}], a, b, out []int64) {
+	const mergeGrain = 2048
+	if len(a)+len(b) <= mergeGrain {
+		seqMerge(a, b, out)
+		return
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	ha := len(a) / 2
+	pivot := a[ha]
+	hb := lowerBound(b, pivot)
+	out1 := out[:ha+hb]
+	out2 := out[ha+hb:]
+	a1, a2 := a[:ha], a[ha:]
+	b1, b2 := b[:hb], b[hb:]
+	c.Parallel(
+		func(cc *choice.Call[Span, struct{}]) { parallelMerge(cc, a1, b1, out1) },
+		func(cc *choice.Call[Span, struct{}]) { parallelMerge(cc, a2, b2, out2) },
+	)
+}
+
+func seqMerge(a, b, out []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+func lowerBound(d []int64, v int64) int {
+	lo, hi := 0, len(d)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// kwayMerge merges k sorted runs (delimited by bounds) into out with a
+// linear scan over the run heads; k is at most 16.
+func kwayMerge(d []int64, bounds []int, out []int64) {
+	k := len(bounds) - 1
+	heads := make([]int, k)
+	for i := range heads {
+		heads[i] = bounds[i]
+	}
+	for o := range out {
+		best := -1
+		var bv int64
+		for i := 0; i < k; i++ {
+			if heads[i] >= bounds[i+1] {
+				continue
+			}
+			if best < 0 || d[heads[i]] < bv {
+				best = i
+				bv = d[heads[i]]
+			}
+		}
+		out[o] = bv
+		heads[best]++
+	}
+}
+
+// radixSort is the MSD 16-bucket variant. The digit position is derived
+// from the value range of the current span, so every recursion strictly
+// reduces the distinguishing prefix; each bucket re-enters the
+// generalized Sort, as §4.3 describes.
+func radixSort(c *choice.Call[Span, struct{}], in Span) struct{} {
+	d := in.Data
+	n := len(d)
+	if n <= 1 {
+		return struct{}{}
+	}
+	minV, maxV := d[0], d[0]
+	for _, v := range d[1:] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if minV == maxV {
+		return struct{}{}
+	}
+	// Highest differing bit between min and max, in order-preserving
+	// (sign-flipped) key space.
+	xor := key(minV) ^ key(maxV)
+	h := 63
+	for xor>>uint(h)&1 == 0 {
+		h--
+	}
+	shift := h - 3
+	if shift < 0 {
+		shift = 0
+	}
+	var counts [17]int
+	for _, v := range d {
+		counts[(key(v)>>uint(shift)&15)+1]++
+	}
+	for i := 1; i < 17; i++ {
+		counts[i] += counts[i-1]
+	}
+	offsets := counts // copy (array value semantics)
+	for _, v := range d {
+		b := key(v) >> uint(shift) & 15
+		in.Tmp[offsets[b]] = v
+		offsets[b]++
+	}
+	copy(d, in.Tmp)
+	subs := make([]func(*choice.Call[Span, struct{}]), 0, 16)
+	for b := 0; b < 16; b++ {
+		lo, hi := counts[b], counts[b+1]
+		if hi-lo > 1 {
+			lo, hi := lo, hi
+			subs = append(subs, func(cc *choice.Call[Span, struct{}]) { cc.Recurse(in.sub(lo, hi)) })
+		}
+	}
+	c.Parallel(subs...)
+	return struct{}{}
+}
+
+// key maps int64 values to uint64 preserving order.
+func key(v int64) uint64 { return uint64(v) ^ (1 << 63) }

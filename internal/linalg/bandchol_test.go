@@ -1,0 +1,212 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// poisson1D builds the classic tridiagonal SPD matrix [-1, 2, -1].
+func poisson1D(n int) *BandSPD {
+	m := NewBandSPD(n, 1)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 2)
+		if i+1 < n {
+			m.Set(i+1, i, -1)
+		}
+	}
+	return m
+}
+
+// diagDominant builds a random symmetric diagonally dominant (hence SPD)
+// band matrix.
+func diagDominant(rng *rand.Rand, n, kd int) *BandSPD {
+	m := NewBandSPD(n, kd)
+	for i := 0; i < n; i++ {
+		for d := 1; d <= kd && i+d < n; d++ {
+			v := rng.Float64() - 0.5
+			m.Set(i+d, i, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for d := 1; d <= m.KD; d++ {
+			if i-d >= 0 {
+				rowSum += math.Abs(m.At(i, i-d))
+			}
+			if i+d < n {
+				rowSum += math.Abs(m.At(i, i+d))
+			}
+		}
+		m.Set(i, i, rowSum+1+rng.Float64())
+	}
+	return m
+}
+
+func TestBandAtSet(t *testing.T) {
+	m := NewBandSPD(5, 2)
+	m.Set(3, 1, 7) // lower triangle
+	if m.At(3, 1) != 7 || m.At(1, 3) != 7 {
+		t.Fatal("symmetric At broken")
+	}
+	if m.At(0, 4) != 0 {
+		t.Fatal("outside band should read 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set outside band should panic")
+		}
+	}()
+	m.Set(0, 4, 1)
+}
+
+func TestBandKDClamp(t *testing.T) {
+	m := NewBandSPD(3, 10)
+	if m.KD != 2 {
+		t.Fatalf("KD should clamp to n-1, got %d", m.KD)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x2: [[4,1],[1,3]] x = [1, 2] -> x = [1/11, 7/11]
+	m := NewBandSPD(2, 1)
+	m.Set(0, 0, 4)
+	m.Set(1, 1, 3)
+	m.Set(1, 0, 1)
+	x, err := SolveBandSPD(m, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1.0/11) > 1e-12 || math.Abs(x[1]-7.0/11) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolvePoisson1D(t *testing.T) {
+	n := 50
+	m := poisson1D(n)
+	// Manufactured solution.
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i) / 5)
+	}
+	b := m.MulVec(want)
+	x, err := SolveBandSPD(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveResidualRandomBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct{ n, kd int }{{10, 1}, {30, 3}, {64, 8}, {81, 9}} {
+		m := diagDominant(rng, tc.n, tc.kd)
+		b := make([]float64, tc.n)
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		x, err := SolveBandSPD(m, b)
+		if err != nil {
+			t.Fatalf("n=%d kd=%d: %v", tc.n, tc.kd, err)
+		}
+		ax := m.MulVec(x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				t.Fatalf("residual %g at %d (n=%d kd=%d)", ax[i]-b[i], i, tc.n, tc.kd)
+			}
+		}
+	}
+}
+
+func TestNotPositiveDefinite(t *testing.T) {
+	m := NewBandSPD(2, 1)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 1)
+	m.Set(1, 0, 5) // |off| > diag: not PD
+	if _, err := SolveBandSPD(m, []float64{1, 1}); err == nil {
+		t.Fatal("expected not-positive-definite error")
+	}
+	z := NewBandSPD(1, 0)
+	z.Set(0, 0, -1)
+	if err := z.CholeskyBand(); err == nil {
+		t.Fatal("negative diagonal must fail")
+	}
+}
+
+func TestSolveDoesNotMutateInput(t *testing.T) {
+	m := poisson1D(8)
+	orig := m.Clone()
+	b := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	bCopy := append([]float64{}, b...)
+	if _, err := SolveBandSPD(m, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if m.At(i, j) != orig.At(i, j) {
+				t.Fatal("SolveBandSPD mutated the matrix")
+			}
+		}
+	}
+	for i := range b {
+		if b[i] != bCopy[i] {
+			t.Fatal("SolveBandSPD mutated the rhs")
+		}
+	}
+}
+
+func TestMulVecLengthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	poisson1D(4).MulVec([]float64{1})
+}
+
+func TestSolveFactoredLengthPanic(t *testing.T) {
+	m := poisson1D(4)
+	if err := m.CholeskyBand(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.SolveFactored([]float64{1})
+}
+
+// Property: solving then multiplying returns the rhs.
+func TestSolveRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		kd := rng.Intn(minInt(n, 6))
+		m := diagDominant(rng, n, kd)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*10 - 5
+		}
+		x, err := SolveBandSPD(m, b)
+		if err != nil {
+			return false
+		}
+		ax := m.MulVec(x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package linalg is the from-scratch dense linear algebra substrate that
+// replaces the LAPACK/BLAS routines the paper's benchmarks called: the
+// matrix-multiply variants of §4.4 (basic, blocked, transposed,
+// recursive, Strassen), matrix addition/subtraction, and the band
+// Cholesky solver standing in for LAPACK's DPBSV.
+package linalg
+
+import "petabricks/internal/matrix"
+
+// MulBasic computes C = A·B with the straightforward triple loop
+// (the paper's "Basic" series in Figure 15). A is h×c, B is c×w, C h×w.
+func MulBasic(C, A, B *matrix.Matrix) {
+	h, c, w := A.Size(0), A.Size(1), B.Size(1)
+	checkMulShapes(C, A, B)
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			sum := 0.0
+			for k := 0; k < c; k++ {
+				sum += A.At(i, k) * B.At(k, j)
+			}
+			C.SetAt(i, j, sum)
+		}
+	}
+	_ = c
+}
+
+// MulTransposed computes C = A·B after materializing Bᵀ so the inner
+// loop walks both operands contiguously (the "Transpose" series).
+func MulTransposed(C, A, B *matrix.Matrix) {
+	h, c, w := A.Size(0), A.Size(1), B.Size(1)
+	checkMulShapes(C, A, B)
+	bt := B.Transposed().Copy()
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			sum := 0.0
+			for k := 0; k < c; k++ {
+				sum += A.At(i, k) * bt.At(j, k)
+			}
+			C.SetAt(i, j, sum)
+		}
+	}
+	_ = c
+}
+
+// MulBlocked computes C = A·B with square cache blocking of the given
+// block size (the "Blocking" series). C must be zeroed by the caller if
+// it may contain garbage; MulBlocked accumulates into C after clearing it.
+func MulBlocked(C, A, B *matrix.Matrix, block int) {
+	h, c, w := A.Size(0), A.Size(1), B.Size(1)
+	checkMulShapes(C, A, B)
+	if block < 1 {
+		block = 32
+	}
+	C.Fill(0)
+	for ii := 0; ii < h; ii += block {
+		ih := minInt(ii+block, h)
+		for kk := 0; kk < c; kk += block {
+			kh := minInt(kk+block, c)
+			for jj := 0; jj < w; jj += block {
+				jh := minInt(jj+block, w)
+				for i := ii; i < ih; i++ {
+					for k := kk; k < kh; k++ {
+						a := A.At(i, k)
+						if a == 0 {
+							continue
+						}
+						for j := jj; j < jh; j++ {
+							C.SetAt(i, j, C.At(i, j)+a*B.At(k, j))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Add computes C = A + B element-wise.
+func Add(C, A, B *matrix.Matrix) {
+	h, w := A.Size(0), A.Size(1)
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			C.SetAt(i, j, A.At(i, j)+B.At(i, j))
+		}
+	}
+}
+
+// Sub computes C = A - B element-wise.
+func Sub(C, A, B *matrix.Matrix) {
+	h, w := A.Size(0), A.Size(1)
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			C.SetAt(i, j, A.At(i, j)-B.At(i, j))
+		}
+	}
+}
+
+// AddTo computes C += A element-wise.
+func AddTo(C, A *matrix.Matrix) {
+	h, w := A.Size(0), A.Size(1)
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			C.SetAt(i, j, C.At(i, j)+A.At(i, j))
+		}
+	}
+}
+
+// Strassen computes C = A·B by Strassen's algorithm, recursing while the
+// (square, even) size exceeds cutoff and then switching to base. This is
+// the paper's "Strassen 256" series when cutoff = 256 and base is the
+// basic multiply. Odd or non-square shapes fall back to base.
+func Strassen(C, A, B *matrix.Matrix, cutoff int, base func(C, A, B *matrix.Matrix)) {
+	n := A.Size(0)
+	square := A.Size(1) == n && B.Size(0) == n && B.Size(1) == n
+	if !square || n%2 != 0 || n <= cutoff {
+		base(C, A, B)
+		return
+	}
+	h := n / 2
+	q := func(m *matrix.Matrix, r, c int) *matrix.Matrix {
+		return m.Region([]int{r * h, c * h}, []int{(r + 1) * h, (c + 1) * h})
+	}
+	a11, a12, a21, a22 := q(A, 0, 0), q(A, 0, 1), q(A, 1, 0), q(A, 1, 1)
+	b11, b12, b21, b22 := q(B, 0, 0), q(B, 0, 1), q(B, 1, 0), q(B, 1, 1)
+	c11, c12, c21, c22 := q(C, 0, 0), q(C, 0, 1), q(C, 1, 0), q(C, 1, 1)
+
+	t1, t2 := matrix.New(h, h), matrix.New(h, h)
+	m1, m2, m3, m4, m5, m6, m7 := matrix.New(h, h), matrix.New(h, h), matrix.New(h, h),
+		matrix.New(h, h), matrix.New(h, h), matrix.New(h, h), matrix.New(h, h)
+
+	Add(t1, a11, a22)
+	Add(t2, b11, b22)
+	Strassen(m1, t1, t2, cutoff, base) // (A11+A22)(B11+B22)
+	Add(t1, a21, a22)
+	Strassen(m2, t1, b11, cutoff, base) // (A21+A22)B11
+	Sub(t2, b12, b22)
+	Strassen(m3, a11, t2, cutoff, base) // A11(B12-B22)
+	Sub(t2, b21, b11)
+	Strassen(m4, a22, t2, cutoff, base) // A22(B21-B11)
+	Add(t1, a11, a12)
+	Strassen(m5, t1, b22, cutoff, base) // (A11+A12)B22
+	Sub(t1, a21, a11)
+	Add(t2, b11, b12)
+	Strassen(m6, t1, t2, cutoff, base) // (A21-A11)(B11+B12)
+	Sub(t1, a12, a22)
+	Add(t2, b21, b22)
+	Strassen(m7, t1, t2, cutoff, base) // (A12-A22)(B21+B22)
+
+	// C11 = M1 + M4 - M5 + M7
+	Add(c11, m1, m4)
+	Sub(c11, c11, m5)
+	Add(c11, c11, m7)
+	// C12 = M3 + M5
+	Add(c12, m3, m5)
+	// C21 = M2 + M4
+	Add(c21, m2, m4)
+	// C22 = M1 - M2 + M3 + M6
+	Sub(c22, m1, m2)
+	Add(c22, c22, m3)
+	Add(c22, c22, m6)
+}
+
+func checkMulShapes(C, A, B *matrix.Matrix) {
+	if A.Size(1) != B.Size(0) || C.Size(0) != A.Size(0) || C.Size(1) != B.Size(1) {
+		panic("linalg: incompatible multiply shapes")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,348 @@
+// Package matrix provides the n-dimensional dense array type used by the
+// PetaBricks runtime, kernels, and generated code.
+//
+// A Matrix is a strided view over a shared float64 buffer. Sub-region
+// views (Region, Slice, Row, Col) alias the parent's storage in O(1),
+// which is what lets rules write disjoint output regions of the same
+// matrix in parallel without copying, exactly as PetaBricks' generated
+// C++ did.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is an n-dimensional strided view of a float64 buffer. The zero
+// value is an empty 0-dimensional matrix.
+type Matrix struct {
+	data    []float64
+	dims    []int
+	strides []int
+	offset  int
+}
+
+// New allocates a zero-filled matrix with the given dimension sizes.
+// New() allocates a scalar (0-dimensional) matrix holding one element.
+func New(dims ...int) *Matrix {
+	n := 1
+	for _, d := range dims {
+		if d < 0 {
+			panic(fmt.Sprintf("matrix: negative dimension %d", d))
+		}
+		n *= d
+	}
+	m := &Matrix{
+		data:    make([]float64, n),
+		dims:    append([]int{}, dims...),
+		strides: make([]int, len(dims)),
+	}
+	// Row-major: last dimension contiguous.
+	stride := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		m.strides[i] = stride
+		stride *= dims[i]
+	}
+	return m
+}
+
+// FromSlice builds a 1-D matrix that aliases data.
+func FromSlice(data []float64) *Matrix {
+	return &Matrix{data: data, dims: []int{len(data)}, strides: []int{1}}
+}
+
+// New2D allocates an h×w matrix (rows × cols), indexed Get(row, col).
+func New2D(h, w int) *Matrix { return New(h, w) }
+
+// Dims returns the number of dimensions.
+func (m *Matrix) Dims() int { return len(m.dims) }
+
+// Size returns the length of dimension d.
+func (m *Matrix) Size(d int) int { return m.dims[d] }
+
+// Shape returns a copy of all dimension sizes.
+func (m *Matrix) Shape() []int { return append([]int{}, m.dims...) }
+
+// Count returns the total number of elements.
+func (m *Matrix) Count() int {
+	n := 1
+	for _, d := range m.dims {
+		n *= d
+	}
+	return n
+}
+
+func (m *Matrix) index(idx []int) int {
+	if len(idx) != len(m.dims) {
+		panic(fmt.Sprintf("matrix: %d indices for %d-dim matrix", len(idx), len(m.dims)))
+	}
+	off := m.offset
+	for d, i := range idx {
+		if i < 0 || i >= m.dims[d] {
+			panic(fmt.Sprintf("matrix: index %d out of range [0,%d) in dim %d", i, m.dims[d], d))
+		}
+		off += i * m.strides[d]
+	}
+	return off
+}
+
+// Get returns the element at the given indices.
+func (m *Matrix) Get(idx ...int) float64 { return m.data[m.index(idx)] }
+
+// Set stores v at the given indices.
+func (m *Matrix) Set(v float64, idx ...int) { m.data[m.index(idx)] = v }
+
+// At and SetAt are the 2-D fast paths used by kernels.
+func (m *Matrix) At(r, c int) float64 { return m.data[m.offset+r*m.strides[0]+c*m.strides[1]] }
+
+// SetAt stores v at row r, column c of a 2-D matrix.
+func (m *Matrix) SetAt(r, c int, v float64) {
+	m.data[m.offset+r*m.strides[0]+c*m.strides[1]] = v
+}
+
+// At1 and SetAt1 are the 1-D fast paths.
+func (m *Matrix) At1(i int) float64 { return m.data[m.offset+i*m.strides[0]] }
+
+// SetAt1 stores v at index i of a 1-D matrix.
+func (m *Matrix) SetAt1(i int, v float64) { m.data[m.offset+i*m.strides[0]] = v }
+
+// Region returns a view of the half-open hyper-rectangle [begin, end).
+// The view shares storage with m.
+func (m *Matrix) Region(begin, end []int) *Matrix {
+	if len(begin) != len(m.dims) || len(end) != len(m.dims) {
+		panic("matrix: region rank mismatch")
+	}
+	out := &Matrix{
+		data:    m.data,
+		dims:    make([]int, len(m.dims)),
+		strides: append([]int{}, m.strides...),
+		offset:  m.offset,
+	}
+	for d := range m.dims {
+		if begin[d] < 0 || end[d] > m.dims[d] || begin[d] > end[d] {
+			panic(fmt.Sprintf("matrix: bad region [%d,%d) in dim %d of size %d", begin[d], end[d], d, m.dims[d]))
+		}
+		out.offset += begin[d] * m.strides[d]
+		out.dims[d] = end[d] - begin[d]
+	}
+	return out
+}
+
+// Slice fixes dimension d at index i, returning a view with one fewer
+// dimension (e.g. a row or column of a 2-D matrix).
+func (m *Matrix) Slice(d, i int) *Matrix {
+	if d < 0 || d >= len(m.dims) {
+		panic("matrix: slice dimension out of range")
+	}
+	if i < 0 || i >= m.dims[d] {
+		panic(fmt.Sprintf("matrix: slice index %d out of range [0,%d)", i, m.dims[d]))
+	}
+	out := &Matrix{
+		data:    m.data,
+		dims:    make([]int, 0, len(m.dims)-1),
+		strides: make([]int, 0, len(m.dims)-1),
+		offset:  m.offset + i*m.strides[d],
+	}
+	for k := range m.dims {
+		if k == d {
+			continue
+		}
+		out.dims = append(out.dims, m.dims[k])
+		out.strides = append(out.strides, m.strides[k])
+	}
+	return out
+}
+
+// Row returns row r of a 2-D matrix as a 1-D view.
+func (m *Matrix) Row(r int) *Matrix { return m.Slice(0, r) }
+
+// Col returns column c of a 2-D matrix as a 1-D view.
+func (m *Matrix) Col(c int) *Matrix { return m.Slice(1, c) }
+
+// Transposed returns a transposed view of a 2-D matrix (no copy).
+func (m *Matrix) Transposed() *Matrix {
+	if len(m.dims) != 2 {
+		panic("matrix: Transposed requires 2 dimensions")
+	}
+	return &Matrix{
+		data:    m.data,
+		dims:    []int{m.dims[1], m.dims[0]},
+		strides: []int{m.strides[1], m.strides[0]},
+		offset:  m.offset,
+	}
+}
+
+// IsContiguous reports whether the view's elements are a single dense run
+// in row-major order.
+func (m *Matrix) IsContiguous() bool {
+	stride := 1
+	for i := len(m.dims) - 1; i >= 0; i-- {
+		if m.dims[i] != 1 && m.strides[i] != stride {
+			return false
+		}
+		stride *= m.dims[i]
+	}
+	return true
+}
+
+// Data returns the underlying contiguous element slice. It panics for
+// non-contiguous views; use Copy first in that case.
+func (m *Matrix) Data() []float64 {
+	if !m.IsContiguous() {
+		panic("matrix: Data on non-contiguous view")
+	}
+	return m.data[m.offset : m.offset+m.Count()]
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	m.Each(func(idx []int, _ float64) float64 { return v })
+}
+
+// Each applies f to every element in row-major order, storing the result.
+// f receives the (reused) index slice and the current value.
+func (m *Matrix) Each(f func(idx []int, v float64) float64) {
+	if m.Count() == 0 {
+		return
+	}
+	idx := make([]int, len(m.dims))
+	for {
+		off := m.offset
+		for d, i := range idx {
+			off += i * m.strides[d]
+		}
+		m.data[off] = f(idx, m.data[off])
+		// Advance odometer.
+		d := len(idx) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < m.dims[d] {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// Walk visits every element in row-major order without modifying it.
+func (m *Matrix) Walk(f func(idx []int, v float64)) {
+	m.Each(func(idx []int, v float64) float64 {
+		f(idx, v)
+		return v
+	})
+}
+
+// Copy returns a freshly allocated contiguous copy of m.
+func (m *Matrix) Copy() *Matrix {
+	out := New(m.dims...)
+	m.Walk(func(idx []int, v float64) { out.Set(v, idx...) })
+	return out
+}
+
+// CopyFrom copies o's elements into m; shapes must match.
+func (m *Matrix) CopyFrom(o *Matrix) {
+	if !shapeEqual(m.dims, o.dims) {
+		panic(fmt.Sprintf("matrix: CopyFrom shape mismatch %v vs %v", m.dims, o.dims))
+	}
+	m.Each(func(idx []int, _ float64) float64 { return o.Get(idx...) })
+}
+
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports exact element-wise equality of same-shaped matrices.
+func (m *Matrix) Equal(o *Matrix) bool { return m.MaxAbsDiff(o) == 0 }
+
+// AlmostEqual reports element-wise equality within tol. This is the
+// comparison the automated consistency checker (§3.5 of the paper) uses
+// for iterative algorithms that do not produce exact answers.
+func (m *Matrix) AlmostEqual(o *Matrix, tol float64) bool {
+	return m.MaxAbsDiff(o) <= tol
+}
+
+// MaxAbsDiff returns the max over elements of |m-o|; +Inf if shapes differ.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+	if !shapeEqual(m.dims, o.dims) {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	m.Walk(func(idx []int, v float64) {
+		d := math.Abs(v - o.Get(idx...))
+		if d > worst {
+			worst = d
+		}
+	})
+	return worst
+}
+
+// RMS returns the root-mean-square of all elements (used as the error
+// norm by the variable-accuracy Poisson benchmark).
+func (m *Matrix) RMS() float64 {
+	n := m.Count()
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	m.Walk(func(_ []int, v float64) { sum += v * v })
+	return math.Sqrt(sum / float64(n))
+}
+
+// String renders small matrices for debugging; large ones are elided.
+func (m *Matrix) String() string {
+	const maxElems = 64
+	if m.Count() > maxElems {
+		return fmt.Sprintf("Matrix%v{...%d elems}", m.dims, m.Count())
+	}
+	switch len(m.dims) {
+	case 0:
+		return fmt.Sprintf("%g", m.data[m.offset])
+	case 1:
+		parts := make([]string, m.dims[0])
+		for i := 0; i < m.dims[0]; i++ {
+			parts[i] = fmt.Sprintf("%g", m.At1(i))
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	case 2:
+		rows := make([]string, m.dims[0])
+		for r := 0; r < m.dims[0]; r++ {
+			cols := make([]string, m.dims[1])
+			for c := 0; c < m.dims[1]; c++ {
+				cols[c] = fmt.Sprintf("%g", m.At(r, c))
+			}
+			rows[r] = "[" + strings.Join(cols, " ") + "]"
+		}
+		return "[" + strings.Join(rows, "\n ") + "]"
+	default:
+		return fmt.Sprintf("Matrix%v{%d elems}", m.dims, m.Count())
+	}
+}
+
+// Scalar returns the single element of a 0-D matrix.
+func (m *Matrix) Scalar() float64 {
+	if len(m.dims) != 0 {
+		panic("matrix: Scalar on non-scalar matrix")
+	}
+	return m.data[m.offset]
+}
+
+// SetScalar stores the single element of a 0-D matrix.
+func (m *Matrix) SetScalar(v float64) {
+	if len(m.dims) != 0 {
+		panic("matrix: SetScalar on non-scalar matrix")
+	}
+	m.data[m.offset] = v
+}

@@ -1,0 +1,680 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"petabricks/internal/pbc/ast"
+	"petabricks/internal/pbc/symbolic"
+)
+
+// MatrixInfo is the analyzed form of a matrix declaration.
+type MatrixInfo struct {
+	Decl   *ast.MatrixDecl
+	Role   ast.Role
+	Dims   []*symbolic.Expr
+	Domain symbolic.Region // [0, dim) per dimension
+}
+
+// RuleKind distinguishes cell-granularity rules (applied repeatedly over
+// a center domain) from macro rules (applied once to a whole region,
+// like MatrixMultiply's recursive decompositions).
+type RuleKind int
+
+// Rule kinds.
+const (
+	RuleCell RuleKind = iota
+	RuleMacro
+)
+
+func (k RuleKind) String() string {
+	if k == RuleMacro {
+		return "macro"
+	}
+	return "cell"
+}
+
+// Direction classifies a dependency's relation to the rule center along
+// one dimension, as annotated on choice-dependency-graph edges.
+type Direction int
+
+// Directions. DirLT means the dependency reads cells strictly below the
+// center; DirLE includes the center's own index (safe for reads of other
+// matrices, but requiring intra-index ordering inside cycles); DirGT and
+// DirGE are the mirror images; DirEq is an exact constant offset; DirAny
+// an unconstrained span.
+const (
+	DirAny Direction = iota
+	DirEq
+	DirLT
+	DirLE
+	DirGT
+	DirGE
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirEq:
+		return "="
+	case DirLT:
+		return "<"
+	case DirLE:
+		return "<="
+	case DirGT:
+		return ">"
+	case DirGE:
+		return ">="
+	default:
+		return "*"
+	}
+}
+
+// Dep is an analyzed rule dependency: which matrix it reads, the region
+// read (in center/size variables), and its per-dimension direction and
+// offset relative to the rule center.
+type Dep struct {
+	Ref    *ast.RegionRef
+	Matrix string
+	Region symbolic.Region
+	// Dir and Offset have one entry per dimension of the read matrix.
+	// Offset is non-nil only for DirEq.
+	Dir    []Direction
+	Offset []*symbolic.Expr
+}
+
+// RuleInfo is the analyzed form of one rule.
+type RuleInfo struct {
+	Rule *ast.Rule
+	Kind RuleKind
+	// CenterVars names the center variable per output dimension
+	// (cell rules only).
+	CenterVars []string
+	// Applicable maps each written matrix to the symbolic region of
+	// centers (cell rules) or cells (macro rules) the rule may compute.
+	Applicable map[string]symbolic.Region
+	Deps       []Dep
+}
+
+// Result is the full analysis of one transform.
+type Result struct {
+	Program   *ast.Program
+	Transform *ast.Transform
+	SizeVars  []string
+	Assume    symbolic.Assumptions
+	Matrices  map[string]*MatrixInfo
+	Order     []string // matrix names in declaration order
+	Rules     []*RuleInfo
+	Grids     map[string]*ChoiceGrid
+	Graph     *Graph
+	Schedule  []*Step
+	// MinInputSize is the size-variable lower bound the analysis assumed
+	// to order the choice-grid boundaries (usually 1; stencils with
+	// constant-offset dependencies may need 2 or more). For inputs below
+	// it the interpreter clamps every region to the concrete domain, so
+	// execution stays in bounds at the cost of possibly recomputing
+	// boundary cells.
+	MinInputSize int64
+
+	sizeLo int64 // assumption level used while analyzing
+}
+
+// Analyze runs the full §3.1 pipeline on transform t of prog. Grid
+// boundaries must be totally ordered under the size assumptions; when
+// ordering fails at the default "sizes >= 1" (e.g. a 3-point stencil
+// whose applicable region [1, n-1) is only orderable for n >= 2), the
+// analysis retries under progressively stronger assumptions and records
+// the one that worked in MinInputSize.
+func Analyze(prog *ast.Program, t *ast.Transform) (*Result, error) {
+	var lastErr error
+	for _, minSize := range []int64{1, 2, 4, 8, 16} {
+		res, err := analyzeWith(prog, t, minSize)
+		if err == nil {
+			res.MinInputSize = minSize
+			return res, nil
+		}
+		lastErr = err
+		var oe *orderingError
+		if !errorsAs(err, &oe) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+func analyzeWith(prog *ast.Program, t *ast.Transform, minSize int64) (*Result, error) {
+	res := &Result{
+		Program:   prog,
+		Transform: t,
+		Matrices:  map[string]*MatrixInfo{},
+		Grids:     map[string]*ChoiceGrid{},
+		Assume:    symbolic.Assumptions{},
+		sizeLo:    minSize,
+	}
+	if err := res.analyzeHeader(); err != nil {
+		return nil, err
+	}
+	for _, r := range t.Rules {
+		ri, err := res.analyzeRule(r)
+		if err != nil {
+			return nil, err
+		}
+		res.Rules = append(res.Rules, ri)
+	}
+	if err := res.buildGrids(); err != nil {
+		return nil, err
+	}
+	if err := res.buildGraph(); err != nil {
+		return nil, err
+	}
+	if err := res.buildSchedule(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (res *Result) analyzeHeader() error {
+	t := res.Transform
+	add := func(ds []*ast.MatrixDecl, role ast.Role) error {
+		for _, d := range ds {
+			if _, dup := res.Matrices[d.Name]; dup {
+				return errf(d.Pos, "duplicate matrix %q", d.Name)
+			}
+			mi := &MatrixInfo{Decl: d, Role: role}
+			for _, de := range d.EffectiveDims() {
+				se, err := toSymbolic(de)
+				if err != nil {
+					return errf(d.Pos, "matrix %s: %v", d.Name, err)
+				}
+				mi.Dims = append(mi.Dims, se)
+				mi.Domain = append(mi.Domain, symbolic.NewInterval(symbolic.Const(0), se))
+				for _, v := range se.Vars() {
+					res.addSizeVar(v)
+				}
+			}
+			res.Matrices[d.Name] = mi
+			res.Order = append(res.Order, d.Name)
+		}
+		return nil
+	}
+	if err := add(t.From, ast.RoleFrom); err != nil {
+		return err
+	}
+	if err := add(t.To, ast.RoleTo); err != nil {
+		return err
+	}
+	if err := add(t.Through, ast.RoleThrough); err != nil {
+		return err
+	}
+	if len(t.To) == 0 {
+		return errf(t.Pos, "transform %s has no outputs", t.Name)
+	}
+	if len(t.Rules) == 0 {
+		return errf(t.Pos, "transform %s has no rules", t.Name)
+	}
+	return nil
+}
+
+func (res *Result) addSizeVar(v string) {
+	for _, s := range res.SizeVars {
+		if s == v {
+			return
+		}
+	}
+	res.SizeVars = append(res.SizeVars, v)
+	sort.Strings(res.SizeVars)
+	// Size variables are assumed >= sizeLo (1 by default; raised when
+	// grid-boundary ordering needs it).
+	lo := res.sizeLo
+	if lo < 1 {
+		lo = 1
+	}
+	res.Assume = res.Assume.WithLo(v, lo)
+}
+
+// isMacroRef reports whether a to-ref writes a fixed region (no fresh
+// center variables): whole matrices or regions in size variables only.
+func (res *Result) isMacroRef(ref *ast.RegionRef) bool {
+	switch ref.Kind {
+	case ast.RegionAll:
+		return true
+	case ast.RegionRegion:
+		for _, a := range ref.Args {
+			se, err := toSymbolic(a)
+			if err != nil {
+				return false
+			}
+			for _, v := range se.Vars() {
+				if !res.isSizeVar(v) {
+					return false
+				}
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (res *Result) isSizeVar(v string) bool {
+	for _, s := range res.SizeVars {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzeRule normalizes the rule around its center and computes its
+// applicable region and dependency annotations.
+func (res *Result) analyzeRule(r *ast.Rule) (*RuleInfo, error) {
+	if len(r.To) == 0 || len(r.From) == 0 {
+		return nil, errf(r.Pos, "%s: rules need both to and from regions", r.Name())
+	}
+	macro := true
+	for _, ref := range r.To {
+		if _, ok := res.Matrices[ref.Matrix]; !ok {
+			return nil, errf(ref.Pos, "%s writes unknown matrix %q", r.Name(), ref.Matrix)
+		}
+		if res.Matrices[ref.Matrix].Role == ast.RoleFrom {
+			return nil, errf(ref.Pos, "%s writes input matrix %q", r.Name(), ref.Matrix)
+		}
+		if !res.isMacroRef(ref) {
+			macro = false
+		}
+	}
+	for _, ref := range r.From {
+		if _, ok := res.Matrices[ref.Matrix]; !ok {
+			return nil, errf(ref.Pos, "%s reads unknown matrix %q", r.Name(), ref.Matrix)
+		}
+	}
+	if macro {
+		return res.analyzeMacroRule(r)
+	}
+	return res.analyzeCellRule(r)
+}
+
+// analyzeMacroRule handles whole-region rules: the applicable region is
+// the declared to-region; dependencies are whole regions (DirAny).
+func (res *Result) analyzeMacroRule(r *ast.Rule) (*RuleInfo, error) {
+	ri := &RuleInfo{Rule: r, Kind: RuleMacro, Applicable: map[string]symbolic.Region{}}
+	for _, ref := range r.To {
+		reg, err := res.refRegion(ref)
+		if err != nil {
+			return nil, err
+		}
+		if prev, ok := ri.Applicable[ref.Matrix]; ok {
+			// Multiple to-refs on the same matrix: take the bounding box.
+			ri.Applicable[ref.Matrix] = boundingBox(prev, reg).Simplify(res.Assume)
+		} else {
+			ri.Applicable[ref.Matrix] = reg
+		}
+	}
+	for _, ref := range r.From {
+		reg, err := res.refRegion(ref)
+		if err != nil {
+			return nil, err
+		}
+		dirs := make([]Direction, len(reg))
+		offs := make([]*symbolic.Expr, len(reg))
+		ri.Deps = append(ri.Deps, Dep{Ref: ref, Matrix: ref.Matrix, Region: reg, Dir: dirs, Offset: offs})
+	}
+	return ri, nil
+}
+
+// refRegion resolves a region reference to the symbolic region of the
+// underlying matrix it touches, in the matrix's own coordinates.
+// PetaBricks orders coordinates (x, y): x is dimension 0.
+func (res *Result) refRegion(ref *ast.RegionRef) (symbolic.Region, error) {
+	mi := res.Matrices[ref.Matrix]
+	nd := len(mi.Dims)
+	args := make([]*symbolic.Expr, len(ref.Args))
+	for i, a := range ref.Args {
+		se, err := toSymbolic(a)
+		if err != nil {
+			return nil, errf(ref.Pos, "%v", err)
+		}
+		args[i] = se
+	}
+	one := symbolic.Const(1)
+	switch ref.Kind {
+	case ast.RegionAll:
+		return append(symbolic.Region{}, mi.Domain...), nil
+	case ast.RegionCell:
+		if len(args) != nd {
+			return nil, errf(ref.Pos, "cell() needs %d indices for %s", nd, ref.Matrix)
+		}
+		reg := make(symbolic.Region, nd)
+		for d, a := range args {
+			reg[d] = symbolic.NewInterval(a, symbolic.Add(a, one))
+		}
+		return reg, nil
+	case ast.RegionRow:
+		if nd != 2 || len(args) != 1 {
+			return nil, errf(ref.Pos, "row() requires a 2-D matrix and one index")
+		}
+		return symbolic.Region{
+			mi.Domain[0],
+			symbolic.NewInterval(args[0], symbolic.Add(args[0], one)),
+		}, nil
+	case ast.RegionCol:
+		if nd != 2 || len(args) != 1 {
+			return nil, errf(ref.Pos, "column() requires a 2-D matrix and one index")
+		}
+		return symbolic.Region{
+			symbolic.NewInterval(args[0], symbolic.Add(args[0], one)),
+			mi.Domain[1],
+		}, nil
+	case ast.RegionRegion:
+		if len(args) != 2*nd {
+			return nil, errf(ref.Pos, "region() needs %d bounds for %s", 2*nd, ref.Matrix)
+		}
+		reg := make(symbolic.Region, nd)
+		for d := 0; d < nd; d++ {
+			reg[d] = symbolic.NewInterval(args[d], args[nd+d])
+		}
+		return reg, nil
+	}
+	return nil, errf(ref.Pos, "unknown region kind")
+}
+
+// analyzeCellRule normalizes the center and computes applicable regions
+// by intersecting the constraints of every dependency (§3.1 "Applicable
+// regions"), plus where clauses.
+func (res *Result) analyzeCellRule(r *ast.Rule) (*RuleInfo, error) {
+	primary := r.To[0]
+	if primary.Kind != ast.RegionCell {
+		return nil, errf(primary.Pos, "%s: cell-granularity rules must write cell() regions", r.Name())
+	}
+	mi := res.Matrices[primary.Matrix]
+	nd := len(mi.Dims)
+	if len(primary.Args) != nd {
+		return nil, errf(primary.Pos, "%s: cell() needs %d indices", r.Name(), nd)
+	}
+	// Dependency normalization: the center is the written cell. Each
+	// to-arg must be var+const; rewrite so the to-arg becomes the bare
+	// variable (the paper's Maxima-based normalization).
+	centerVars := make([]string, nd)
+	shift := map[string]*symbolic.Expr{}
+	seen := map[string]bool{}
+	for d, a := range primary.Args {
+		se, err := toSymbolic(a)
+		if err != nil {
+			return nil, errf(primary.Pos, "%v", err)
+		}
+		aff, ok := se.Affine()
+		if !ok {
+			return nil, errf(primary.Pos, "%s: output index %s must be affine", r.Name(), ast.ExprString(a))
+		}
+		if len(aff.Vars()) == 0 {
+			// Constant index: the rule writes a single slice of this
+			// dimension; no center variable here.
+			if !aff.Const().IsInt() {
+				return nil, errf(primary.Pos, "%s: non-integer output index", r.Name())
+			}
+			centerVars[d] = ""
+			continue
+		}
+		if len(aff.Vars()) != 1 {
+			return nil, errf(primary.Pos, "%s: output index %s must use exactly one variable", r.Name(), ast.ExprString(a))
+		}
+		v := aff.Vars()[0]
+		if seen[v] {
+			return nil, errf(primary.Pos, "%s: output reuses center variable %q", r.Name(), v)
+		}
+		if res.isSizeVar(v) {
+			return nil, errf(primary.Pos, "%s: output index %q collides with a size variable", r.Name(), v)
+		}
+		seen[v] = true
+		if aff.Coeff(v).Cmp(symbolic.RatInt(1)) != 0 {
+			return nil, errf(primary.Pos, "%s: output index must have unit coefficient", r.Name())
+		}
+		centerVars[d] = v
+		if !aff.Const().IsZero() {
+			// to-arg is v+c: substitute v -> v-c everywhere.
+			shift[v] = symbolic.Sub(symbolic.Var(v), symbolic.ConstRat(aff.Const()))
+		}
+	}
+	ri := &RuleInfo{Rule: r, Kind: RuleCell, CenterVars: centerVars, Applicable: map[string]symbolic.Region{}}
+	// Applicable region: start from the output domain; constant output
+	// indices restrict their dimension to a single slice.
+	appl := make(symbolic.Region, nd)
+	copy(appl, mi.Domain)
+	for d, a := range primary.Args {
+		if centerVars[d] != "" {
+			continue
+		}
+		se, _ := toSymbolic(a)
+		appl[d] = symbolic.NewInterval(se, symbolic.Add(se, symbolic.Const(1)))
+	}
+	// Assumptions: center vars >= 0 for simplification purposes.
+	assume := res.Assume
+	for _, v := range centerVars {
+		assume = assume.WithLo(v, 0)
+	}
+	// Intersect constraints from every dependency.
+	for _, ref := range r.From {
+		reg, err := res.refRegion(ref)
+		if err != nil {
+			return nil, err
+		}
+		if len(shift) > 0 {
+			reg = reg.Substitute(shift)
+		}
+		dmi := res.Matrices[ref.Matrix]
+		dep := Dep{Ref: ref, Matrix: ref.Matrix, Region: reg,
+			Dir: make([]Direction, len(reg)), Offset: make([]*symbolic.Expr, len(reg))}
+		for d := range reg {
+			// In-bounds constraints projected onto center variables.
+			cs, err := boundConstraints(reg[d], dmi.Domain[d], centerVars, assume)
+			if err != nil {
+				return nil, errf(ref.Pos, "%s: %v", r.Name(), err)
+			}
+			for _, c := range cs {
+				appl = applyBound(appl, centerVars, c)
+			}
+			// Direction/offset relative to the center of this dimension.
+			dep.Dir[d], dep.Offset[d] = classifyDep(reg[d], centerVars, d, assume)
+		}
+		ri.Deps = append(ri.Deps, dep)
+	}
+	// Where clauses restrict the applicable region further.
+	if r.Where != nil {
+		cmps, err := whereConstraints(r.Where)
+		if err != nil {
+			return nil, errf(r.Pos, "%s: %v", r.Name(), err)
+		}
+		for _, cmp := range cmps {
+			v, lo, hi, err := comparisonBounds(cmp, shift)
+			if err != nil {
+				return nil, errf(r.Pos, "%s: %v", r.Name(), err)
+			}
+			appl = applyBound(appl, centerVars, bound{v: v, lo: lo, hi: hi})
+		}
+	}
+	appl = clampRegion(appl, mi.Domain).Simplify(assume)
+	ri.Applicable[primary.Matrix] = appl
+	// Secondary to-refs (rare): must be cell refs on the same center.
+	for _, ref := range r.To[1:] {
+		if ref.Kind != ast.RegionCell {
+			return nil, errf(ref.Pos, "%s: secondary outputs must be cells", r.Name())
+		}
+		reg, err := res.refRegion(ref)
+		if err != nil {
+			return nil, err
+		}
+		if len(shift) > 0 {
+			reg = reg.Substitute(shift)
+		}
+		ri.Applicable[ref.Matrix] = reg
+	}
+	return ri, nil
+}
+
+// bound is an interval constraint on one center variable.
+type bound struct {
+	v      string
+	lo, hi *symbolic.Expr // either may be nil; [lo, hi)
+}
+
+// boundConstraints derives center-variable bounds from requiring
+// depInterval ⊆ domain. Constraints in size variables only are assumed
+// valid (the program would be globally malformed otherwise).
+func boundConstraints(dep, domain symbolic.Interval, centerVars []string, assume symbolic.Assumptions) ([]bound, error) {
+	var out []bound
+	// dep.Begin >= domain.Begin and dep.End <= domain.End.
+	for _, c := range []struct {
+		expr  *symbolic.Expr // affine expr that must satisfy REL bound
+		limit *symbolic.Expr
+		isLow bool // true: expr >= limit; false: expr <= limit
+	}{
+		{dep.Begin, domain.Begin, true},
+		{dep.End, domain.End, false},
+	} {
+		aff, ok := c.expr.Affine()
+		if !ok {
+			return nil, fmt.Errorf("non-affine region bound %s", c.expr)
+		}
+		cv := ""
+		for _, v := range aff.Vars() {
+			if containsVar(centerVars, v) {
+				if cv != "" {
+					return nil, fmt.Errorf("region bound %s uses two center variables", c.expr)
+				}
+				cv = v
+			}
+		}
+		if cv == "" {
+			continue // pure size-variable constraint
+		}
+		coef := aff.Coeff(cv)
+		rest := aff.Sub(symbolic.AffineVar(cv).Scale(coef)).Expr()
+		// coef·v + rest >= limit  →  v >= (limit-rest)/coef  (coef > 0)
+		rhs := symbolic.Div(symbolic.Sub(c.limit, rest), symbolic.ConstRat(coef))
+		isLow := c.isLow
+		if coef.Sign() < 0 {
+			isLow = !isLow
+		}
+		if isLow {
+			out = append(out, bound{v: cv, lo: rhs})
+		} else {
+			// v <= rhs → hi = rhs + 1 for begin bounds; for End bounds the
+			// dependency End is exclusive so v's own End works out via the
+			// +1: dep.End <= domain.End with dep.End affine in v means
+			// v <= rhs exactly, hence hi = rhs + 1... but when the
+			// coefficient is 1 and dep.End = v + k, v < domain.End - k + 1.
+			out = append(out, bound{v: cv, hi: symbolic.Add(rhs, symbolic.Const(1))})
+		}
+	}
+	return out, nil
+}
+
+// applyBound intersects a single-variable bound into the applicable
+// region (per the center variable's dimension).
+func applyBound(appl symbolic.Region, centerVars []string, b bound) symbolic.Region {
+	for d, v := range centerVars {
+		if v != b.v {
+			continue
+		}
+		iv := appl[d]
+		if b.lo != nil {
+			iv.Begin = symbolic.Max(iv.Begin, b.lo)
+		}
+		if b.hi != nil {
+			iv.End = symbolic.Min(iv.End, b.hi)
+		}
+		out := append(symbolic.Region{}, appl...)
+		out[d] = iv
+		return out
+	}
+	return appl
+}
+
+// classifyDep computes the direction and offset of a dependency interval
+// relative to the center variable of dimension d.
+func classifyDep(dep symbolic.Interval, centerVars []string, d int, assume symbolic.Assumptions) (Direction, *symbolic.Expr) {
+	if d >= len(centerVars) || centerVars[d] == "" {
+		return DirAny, nil
+	}
+	center := symbolic.Var(centerVars[d])
+	// Exact cell: [c+k, c+k+1).
+	beginOff := symbolic.Sub(dep.Begin, center)
+	endOff := symbolic.Sub(dep.End, center)
+	if bo, ok := beginOff.IsConst(); ok {
+		if eo, ok2 := endOff.IsConst(); ok2 && eo.Sub(bo).Cmp(symbolic.RatInt(1)) == 0 {
+			return DirEq, symbolic.ConstRat(bo)
+		}
+	}
+	one := symbolic.Const(1)
+	// Strictly below the center: end <= center ⇒ indices < center.
+	if symbolic.ProvablyLE(dep.End, center, assume) {
+		return DirLT, nil
+	}
+	// At or below the center: end <= center+1 ⇒ indices <= center.
+	if symbolic.ProvablyLE(dep.End, symbolic.Add(center, one), assume) {
+		return DirLE, nil
+	}
+	// Strictly above: begin >= center+1.
+	if symbolic.ProvablyGE(dep.Begin, symbolic.Add(center, one), assume) {
+		return DirGT, nil
+	}
+	// At or above: begin >= center.
+	if symbolic.ProvablyGE(dep.Begin, center, assume) {
+		return DirGE, nil
+	}
+	return DirAny, nil
+}
+
+func containsVar(vars []string, v string) bool {
+	for _, x := range vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// boundingBox returns the dimension-wise union (bounding box) of two
+// regions.
+func boundingBox(a, b symbolic.Region) symbolic.Region {
+	if len(a) != len(b) {
+		return a
+	}
+	out := make(symbolic.Region, len(a))
+	for d := range a {
+		out[d] = symbolic.NewInterval(symbolic.Min(a[d].Begin, b[d].Begin), symbolic.Max(a[d].End, b[d].End))
+	}
+	return out
+}
+
+// clampRegion clamps every bound of reg into the matrix domain, so grid
+// boundaries stay symbolically comparable to the domain ends even when a
+// rule's constant cutoff may exceed a small input (e.g. an applicable
+// begin of K becomes min(max(K, 0), n), which orders against both 0 and
+// n and evaluates in-bounds at runtime for any n).
+func clampRegion(reg, domain symbolic.Region) symbolic.Region {
+	out := make(symbolic.Region, len(reg))
+	for d := range reg {
+		lo, hi := domain[d].Begin, domain[d].End
+		out[d] = symbolic.NewInterval(
+			symbolic.Min(symbolic.Max(reg[d].Begin, lo), hi),
+			symbolic.Max(symbolic.Min(reg[d].End, hi), lo),
+		)
+	}
+	return out
+}
+
+// errorsAs is a tiny local wrapper so the retry loop reads clearly.
+func errorsAs(err error, target **orderingError) bool {
+	for err != nil {
+		if oe, ok := err.(*orderingError); ok {
+			*target = oe
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

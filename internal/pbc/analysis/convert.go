@@ -1,0 +1,170 @@
+// Package analysis implements the PetaBricks compiler's static analysis
+// (§3.1): dependency normalization around rule centers, applicable
+// region computation, choice-grid construction with rule priorities,
+// choice dependency graph construction with direction/offset
+// annotations, strongly-connected-component cycle elimination, deadlock
+// detection (§3.6), and schedule extraction.
+package analysis
+
+import (
+	"fmt"
+
+	"petabricks/internal/pbc/ast"
+	"petabricks/internal/pbc/symbolic"
+	"petabricks/internal/pbc/token"
+)
+
+// Error is an analysis error with source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos token.Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// toSymbolic converts the affine fragment of a header expression into a
+// symbolic expression. Region arguments in legal PetaBricks programs are
+// always affine in size and center variables.
+func toSymbolic(e ast.Expr) (*symbolic.Expr, error) {
+	switch x := e.(type) {
+	case *ast.Num:
+		if x.Val != float64(int64(x.Val)) {
+			return nil, fmt.Errorf("non-integer constant %g in region expression", x.Val)
+		}
+		return symbolic.Const(int64(x.Val)), nil
+	case *ast.Ident:
+		return symbolic.Var(x.Name), nil
+	case *ast.Unary:
+		if x.Op != "-" {
+			return nil, fmt.Errorf("operator %q not allowed in region expressions", x.Op)
+		}
+		inner, err := toSymbolic(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return symbolic.Neg(inner), nil
+	case *ast.Binary:
+		l, err := toSymbolic(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := toSymbolic(x.R)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "+":
+			return symbolic.Add(l, r), nil
+		case "-":
+			return symbolic.Sub(l, r), nil
+		case "*":
+			out := symbolic.Mul(l, r)
+			if _, ok := out.Affine(); !ok {
+				return nil, fmt.Errorf("non-affine product in region expression")
+			}
+			return out, nil
+		case "/":
+			if _, ok := r.IsConst(); !ok {
+				return nil, fmt.Errorf("division by non-constant in region expression")
+			}
+			return symbolic.Div(l, r), nil
+		default:
+			return nil, fmt.Errorf("operator %q not allowed in region expressions", x.Op)
+		}
+	default:
+		return nil, fmt.Errorf("expression %s not allowed in region expressions", ast.ExprString(e))
+	}
+}
+
+// comparisonBounds decomposes an affine comparison (from a where clause)
+// into interval constraints on a single variable, when possible. The
+// shift map applies the rule's center normalization before decomposing.
+// Returns (variable, lo, hi) with either bound possibly nil; half-open
+// convention [lo, hi).
+func comparisonBounds(e ast.Expr, shift map[string]*symbolic.Expr) (string, *symbolic.Expr, *symbolic.Expr, error) {
+	b, ok := e.(*ast.Binary)
+	if !ok {
+		return "", nil, nil, fmt.Errorf("where clause must be a comparison, got %s", ast.ExprString(e))
+	}
+	l, err := toSymbolic(b.L)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	r, err := toSymbolic(b.R)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	if len(shift) > 0 {
+		l = l.Substitute(shift)
+		r = r.Substitute(shift)
+	}
+	// Normalize to l - r REL 0.
+	diff := symbolic.Sub(l, r)
+	aff, ok2 := diff.Affine()
+	if !ok2 {
+		return "", nil, nil, fmt.Errorf("where clause is not affine")
+	}
+	vars := aff.Vars()
+	// Pick the first variable as the bounded one; solve for it.
+	if len(vars) == 0 {
+		return "", nil, nil, fmt.Errorf("where clause has no variables")
+	}
+	v := vars[0]
+	coef := aff.Coeff(v)
+	rest := aff.Sub(symbolic.AffineVar(v).Scale(coef)) // diff = coef·v + rest
+	// coef·v + rest REL 0  →  v REL' -rest/coef (flip for negative coef).
+	bound := symbolic.Div(symbolic.Neg(rest.Expr()), symbolic.ConstRat(coef))
+	op := b.Op
+	if coef.Sign() < 0 {
+		switch op {
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		}
+	}
+	one := symbolic.Const(1)
+	switch op {
+	case "<": // v < bound → hi = bound
+		return v, nil, bound, nil
+	case "<=": // v <= bound → hi = bound+1
+		return v, nil, symbolic.Add(bound, one), nil
+	case ">": // v > bound → lo = bound+1
+		return v, symbolic.Add(bound, one), nil, nil
+	case ">=":
+		return v, bound, nil, nil
+	case "==":
+		return v, bound, symbolic.Add(bound, one), nil
+	default:
+		return "", nil, nil, fmt.Errorf("where operator %q unsupported", b.Op)
+	}
+}
+
+// whereConstraints flattens a conjunction of comparisons.
+func whereConstraints(e ast.Expr) ([]ast.Expr, error) {
+	if b, ok := e.(*ast.Binary); ok && b.Op == "&&" {
+		l, err := whereConstraints(b.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := whereConstraints(b.R)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	}
+	return []ast.Expr{e}, nil
+}
+
+// ToSymbolic exposes the affine expression converter to sibling
+// packages (the interpreter and code generator reuse it for region
+// arguments in rule bodies).
+func ToSymbolic(e ast.Expr) (*symbolic.Expr, error) { return toSymbolic(e) }

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+
+	"petabricks/internal/pbc/ast"
+	"petabricks/internal/pbc/symbolic"
+)
+
+// ChoiceGrid divides one output (or intermediate) matrix "into
+// rectilinear regions where a uniform set of rules are applicable"
+// (§3.1). Cell-granularity rules populate grid cells; macro rules
+// (whole-region recursive decompositions) are whole-matrix alternatives.
+//
+// Because this front end restricts where clauses to conjunctions of
+// affine comparisons, every where-restricted region is itself
+// rectilinear, so the bounding-box/meta-rule machinery the paper needs
+// for non-rectilinear regions never kicks in: the grid boundaries simply
+// include the where-clause bounds.
+type ChoiceGrid struct {
+	Matrix string
+	Cells  []*GridCell
+	Macro  []*RuleInfo
+}
+
+// GridCell is one rectilinear region with its applicable rule set
+// (after priority filtering).
+type GridCell struct {
+	Region symbolic.Region
+	Rules  []*RuleInfo
+}
+
+func (res *Result) buildGrids() error {
+	for _, name := range res.Order {
+		mi := res.Matrices[name]
+		if mi.Role == ast.RoleFrom {
+			continue
+		}
+		grid, err := res.buildGrid(name, mi)
+		if err != nil {
+			return err
+		}
+		res.Grids[name] = grid
+	}
+	return nil
+}
+
+func (res *Result) buildGrid(name string, mi *MatrixInfo) (*ChoiceGrid, error) {
+	grid := &ChoiceGrid{Matrix: name}
+	var cellRules []*RuleInfo
+	for _, ri := range res.Rules {
+		reg, writes := ri.Applicable[name]
+		if !writes {
+			continue
+		}
+		if ri.Kind == RuleMacro {
+			// Macro rules must cover the whole matrix (their to-regions'
+			// bounding box equals the domain); they are matrix-level
+			// choices.
+			if !regionEqualUnder(reg, mi.Domain, res.Assume) {
+				return nil, errf(ri.Rule.Pos, "%s: macro rule writes %s of %s, not the whole matrix %s",
+					ri.Rule.Name(), reg, name, mi.Domain)
+			}
+			grid.Macro = append(grid.Macro, ri)
+			continue
+		}
+		cellRules = append(cellRules, ri)
+	}
+	// Boundary sets per dimension.
+	nd := len(mi.Dims)
+	cells := []symbolic.Region{{}}
+	for d := 0; d < nd; d++ {
+		bounds := []*symbolic.Expr{mi.Domain[d].Begin, mi.Domain[d].End}
+		for _, ri := range cellRules {
+			iv := ri.Applicable[name][d]
+			bounds = append(bounds, iv.Begin, iv.End)
+		}
+		sorted, err := sortBounds(bounds, res.Assume)
+		if err != nil {
+			return nil, &orderingError{err: errf(res.Transform.Pos, "matrix %s dim %d: %v", name, d, err)}
+		}
+		var next []symbolic.Region
+		for _, c := range cells {
+			for i := 0; i+1 < len(sorted); i++ {
+				iv := symbolic.NewInterval(sorted[i], sorted[i+1])
+				nc := append(append(symbolic.Region{}, c...), iv)
+				next = append(next, nc)
+			}
+		}
+		cells = next
+	}
+	// Populate rule sets and apply priority filtering.
+	for _, reg := range cells {
+		gc := &GridCell{Region: reg}
+		minPrio := int(^uint(0) >> 1)
+		for _, ri := range cellRules {
+			if regionContainsUnder(ri.Applicable[name], reg, res.Assume) {
+				gc.Rules = append(gc.Rules, ri)
+				if ri.Rule.Priority < minPrio {
+					minPrio = ri.Rule.Priority
+				}
+			}
+		}
+		// "In each region, all rules of non-minimal priority are removed."
+		kept := gc.Rules[:0]
+		for _, ri := range gc.Rules {
+			if ri.Rule.Priority == minPrio {
+				kept = append(kept, ri)
+			}
+		}
+		gc.Rules = kept
+		grid.Cells = append(grid.Cells, gc)
+	}
+	// Validation: some way to compute every cell must exist.
+	for _, gc := range grid.Cells {
+		if len(gc.Rules) == 0 && len(grid.Macro) == 0 {
+			if gc.Region.ProvablyEmpty(res.Assume) {
+				continue
+			}
+			return nil, errf(res.Transform.Pos,
+				"no rule computes region %s of matrix %s", gc.Region, name)
+		}
+	}
+	return grid, nil
+}
+
+// sortBounds orders boundary expressions, removing provable duplicates.
+// All pairs must be comparable under the assumptions; the front end's
+// affine restriction guarantees this for well-formed programs.
+func sortBounds(bounds []*symbolic.Expr, assume symbolic.Assumptions) ([]*symbolic.Expr, error) {
+	var uniq []*symbolic.Expr
+	for _, b := range bounds {
+		dup := false
+		for _, u := range uniq {
+			if symbolic.Compare(b, u, assume) == symbolic.OrderEQ {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, b)
+		}
+	}
+	// Insertion sort with provable comparisons.
+	for i := 1; i < len(uniq); i++ {
+		for j := i; j > 0; j-- {
+			switch symbolic.Compare(uniq[j], uniq[j-1], assume) {
+			case symbolic.OrderLT, symbolic.OrderLE:
+				uniq[j], uniq[j-1] = uniq[j-1], uniq[j]
+			case symbolic.OrderGT, symbolic.OrderGE, symbolic.OrderEQ:
+				j = 0 // done bubbling
+			default:
+				return nil, fmt.Errorf("cannot order region bounds %s and %s", uniq[j], uniq[j-1])
+			}
+		}
+	}
+	return uniq, nil
+}
+
+// regionContainsUnder reports whether outer provably contains inner.
+func regionContainsUnder(outer, inner symbolic.Region, assume symbolic.Assumptions) bool {
+	if len(outer) != len(inner) {
+		return false
+	}
+	for d := range outer {
+		if !symbolic.ProvablyLE(outer[d].Begin, inner[d].Begin, assume) {
+			return false
+		}
+		if !symbolic.ProvablyLE(inner[d].End, outer[d].End, assume) {
+			return false
+		}
+	}
+	return true
+}
+
+func regionEqualUnder(a, b symbolic.Region, assume symbolic.Assumptions) bool {
+	return regionContainsUnder(a, b, assume) && regionContainsUnder(b, a, assume)
+}
+
+// orderingError marks a grid-boundary ordering failure, which Analyze
+// retries under stronger size assumptions.
+type orderingError struct{ err error }
+
+func (e *orderingError) Error() string { return e.err.Error() }
+func (e *orderingError) Unwrap() error { return e.err }

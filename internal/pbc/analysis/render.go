@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderGrids renders every choice grid in the paper's §3.1 style:
+//
+//	B: [0, 1)  = {rule 0}
+//	   [1, n)  = {rule 0, rule 1}
+func (res *Result) RenderGrids() string {
+	var b strings.Builder
+	for _, name := range res.Order {
+		grid, ok := res.Grids[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:\n", name)
+		for _, gc := range grid.Cells {
+			names := make([]string, len(gc.Rules))
+			for i, ri := range gc.Rules {
+				names[i] = ri.Rule.Name()
+			}
+			fmt.Fprintf(&b, "  %s = {%s}\n", gc.Region, strings.Join(names, ", "))
+		}
+		if len(grid.Macro) > 0 {
+			names := make([]string, len(grid.Macro))
+			for i, ri := range grid.Macro {
+				names[i] = ri.Rule.Name()
+			}
+			fmt.Fprintf(&b, "  whole-matrix choices: {%s}\n", strings.Join(names, ", "))
+		}
+	}
+	return b.String()
+}
+
+// RenderGraph renders the choice dependency graph as text, mirroring the
+// paper's Figure 4.
+func (res *Result) RenderGraph() string {
+	var b strings.Builder
+	g := res.Graph
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "node %s", n.Label())
+		if n.Input {
+			b.WriteString(" [input]")
+		} else if n.Cell != nil {
+			names := make([]string, len(n.Cell.Rules))
+			for i, ri := range n.Cell.Rules {
+				names[i] = fmt.Sprintf("r%d", ri.Rule.Index)
+			}
+			fmt.Fprintf(&b, "  Choices: %s", strings.Join(names, ", "))
+		}
+		b.WriteString("\n")
+	}
+	edges := append([]*Edge{}, g.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From.ID != edges[j].From.ID {
+			return edges[i].From.ID < edges[j].From.ID
+		}
+		return edges[i].To.ID < edges[j].To.ID
+	})
+	for _, e := range edges {
+		ann := make([]string, len(e.Annots))
+		for i, a := range e.Annots {
+			ann[i] = a.String()
+		}
+		fmt.Fprintf(&b, "edge %s -> %s  %s\n", e.From.Label(), e.To.Label(), strings.Join(ann, ","))
+	}
+	return b.String()
+}
+
+// RenderDot renders the choice dependency graph in Graphviz DOT format.
+func (res *Result) RenderDot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", res.Transform.Name)
+	for _, n := range res.Graph.Nodes {
+		shape := "box"
+		if n.Input {
+			shape = "ellipse"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", n.ID, n.Label(), shape)
+	}
+	for _, e := range res.Graph.Edges {
+		ann := make([]string, len(e.Annots))
+		for i, a := range e.Annots {
+			ann[i] = a.String()
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", e.From.ID, e.To.ID, strings.Join(ann, " "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// RenderSchedule renders the static schedule.
+func (res *Result) RenderSchedule() string {
+	var b strings.Builder
+	for i, s := range res.Schedule {
+		labels := make([]string, len(s.Nodes))
+		for j, n := range s.Nodes {
+			labels[j] = n.Label()
+		}
+		fmt.Fprintf(&b, "step %d: %s", i, strings.Join(labels, " + "))
+		switch {
+		case s.Lex != nil:
+			parts := make([]string, len(s.Lex))
+			for j, ld := range s.Lex {
+				dir := "asc"
+				if ld.Dir < 0 {
+					dir = "desc"
+				}
+				parts[j] = fmt.Sprintf("dim %d %s", ld.Dim, dir)
+			}
+			fmt.Fprintf(&b, " [lexicographic: %s]", strings.Join(parts, ", "))
+		case s.Cyclic:
+			dir := "ascending"
+			if s.IterDir < 0 {
+				dir = "descending"
+			}
+			fmt.Fprintf(&b, " [iterate dim %d %s]", s.IterDim, dir)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

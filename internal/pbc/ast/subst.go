@@ -1,0 +1,170 @@
+package ast
+
+import "fmt"
+
+// Instantiate specializes a template transform: every occurrence of a
+// template parameter — in dimension sizes, region arguments, version
+// ranges, where clauses, and rule bodies — is replaced by the given
+// integer value, and the instance is renamed "Name<v1,v2,…>". The paper:
+// "Template transforms, similar to templates in C++, where each template
+// instance is autotuned separately."
+func Instantiate(t *Transform, args []int64) (*Transform, error) {
+	if len(args) != len(t.Templates) {
+		return nil, fmt.Errorf("ast: transform %s takes %d template arguments, got %d",
+			t.Name, len(t.Templates), len(args))
+	}
+	bind := map[string]Expr{}
+	name := t.Name + "<"
+	for i, p := range t.Templates {
+		bind[p] = &Num{Val: float64(args[i])}
+		if i > 0 {
+			name += ","
+		}
+		name += fmt.Sprintf("%d", args[i])
+	}
+	name += ">"
+	out := &Transform{
+		Name:      name,
+		Generator: t.Generator,
+		Tunables:  append([]TunableDecl{}, t.Tunables...),
+		Pos:       t.Pos,
+	}
+	cloneDecls := func(ds []*MatrixDecl) []*MatrixDecl {
+		var o []*MatrixDecl
+		for _, d := range ds {
+			nd := &MatrixDecl{Name: d.Name, Pos: d.Pos}
+			for _, e := range d.Dims {
+				nd.Dims = append(nd.Dims, SubstituteExpr(e, bind))
+			}
+			if d.Version != nil {
+				nd.Version = &VersionRange{
+					Lo: SubstituteExpr(d.Version.Lo, bind),
+					Hi: SubstituteExpr(d.Version.Hi, bind),
+				}
+			}
+			o = append(o, nd)
+		}
+		return o
+	}
+	out.From = cloneDecls(t.From)
+	out.To = cloneDecls(t.To)
+	out.Through = cloneDecls(t.Through)
+	for _, r := range t.Rules {
+		nr := &Rule{
+			Priority: r.Priority,
+			RawBody:  r.RawBody,
+			Pos:      r.Pos,
+			Index:    r.Index,
+		}
+		cloneRefs := func(refs []*RegionRef) []*RegionRef {
+			var o []*RegionRef
+			for _, ref := range refs {
+				nref := &RegionRef{
+					Matrix: ref.Matrix, Kind: ref.Kind,
+					Binding: ref.Binding, Pos: ref.Pos,
+				}
+				if ref.Version != nil {
+					nref.Version = SubstituteExpr(ref.Version, bind)
+				}
+				for _, a := range ref.Args {
+					nref.Args = append(nref.Args, SubstituteExpr(a, bind))
+				}
+				o = append(o, nref)
+			}
+			return o
+		}
+		nr.To = cloneRefs(r.To)
+		nr.From = cloneRefs(r.From)
+		if r.Where != nil {
+			nr.Where = SubstituteExpr(r.Where, bind)
+		}
+		nr.Body = SubstituteStmts(r.Body, bind)
+		out.Rules = append(out.Rules, nr)
+	}
+	return out, nil
+}
+
+// SubstituteExpr returns e with bound identifiers replaced. Unbound
+// subtrees are shared, bound ones rebuilt.
+func SubstituteExpr(e Expr, bind map[string]Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Num:
+		return x
+	case *Ident:
+		if r, ok := bind[x.Name]; ok {
+			return r
+		}
+		return x
+	case *Binary:
+		return &Binary{Op: x.Op, L: SubstituteExpr(x.L, bind), R: SubstituteExpr(x.R, bind)}
+	case *Unary:
+		return &Unary{Op: x.Op, X: SubstituteExpr(x.X, bind)}
+	case *Call:
+		out := &Call{Fn: x.Fn}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, SubstituteExpr(a, bind))
+		}
+		return out
+	case *Cond:
+		return &Cond{
+			C: SubstituteExpr(x.C, bind),
+			A: SubstituteExpr(x.A, bind),
+			B: SubstituteExpr(x.B, bind),
+		}
+	case *Index:
+		out := &Index{Base: x.Base}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, SubstituteExpr(a, bind))
+		}
+		return out
+	}
+	return e
+}
+
+// SubstituteStmts rebuilds a statement list with bound identifiers
+// replaced in every expression position.
+func SubstituteStmts(stmts []Stmt, bind map[string]Expr) []Stmt {
+	var out []Stmt
+	for _, s := range stmts {
+		out = append(out, substituteStmt(s, bind))
+	}
+	return out
+}
+
+func substituteStmt(s Stmt, bind map[string]Expr) Stmt {
+	switch st := s.(type) {
+	case *Assign:
+		return &Assign{LHS: SubstituteExpr(st.LHS, bind), Op: st.Op, RHS: SubstituteExpr(st.RHS, bind)}
+	case *Decl:
+		return &Decl{Type: st.Type, Name: st.Name, Init: SubstituteExpr(st.Init, bind)}
+	case *If:
+		return &If{
+			Cond: SubstituteExpr(st.Cond, bind),
+			Then: SubstituteStmts(st.Then, bind),
+			Else: SubstituteStmts(st.Else, bind),
+		}
+	case *For:
+		var init, post Stmt
+		if st.Init != nil {
+			init = substituteStmt(st.Init, bind)
+		}
+		if st.Post != nil {
+			post = substituteStmt(st.Post, bind)
+		}
+		return &For{
+			Init: init,
+			Cond: SubstituteExpr(st.Cond, bind),
+			Post: post,
+			Body: SubstituteStmts(st.Body, bind),
+		}
+	case *IncDec:
+		return st
+	case *ExprStmt:
+		return &ExprStmt{X: SubstituteExpr(st.X, bind)}
+	case *Return:
+		return &Return{X: SubstituteExpr(st.X, bind)}
+	}
+	return s
+}

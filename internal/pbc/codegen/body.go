@@ -1,0 +1,383 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"petabricks/internal/pbc/analysis"
+	"petabricks/internal/pbc/ast"
+)
+
+// stmts translates a rule body into Go statements. Body scalars are
+// float64; matrix indices convert at use sites.
+func (g *gen) stmts(body []ast.Stmt, binds map[string]*bindingInfo, ri *analysis.RuleInfo, indent string) (string, error) {
+	var b strings.Builder
+	for _, s := range body {
+		code, err := g.stmt(s, binds, ri, indent)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(code)
+	}
+	return b.String(), nil
+}
+
+func (g *gen) stmt(s ast.Stmt, binds map[string]*bindingInfo, ri *analysis.RuleInfo, indent string) (string, error) {
+	switch st := s.(type) {
+	case *ast.Decl:
+		init := "0"
+		if st.Init != nil {
+			e, err := g.fexpr(st.Init, binds, ri)
+			if err != nil {
+				return "", err
+			}
+			init = e
+			if st.Type == "int" {
+				init = "math.Trunc(" + init + ")"
+			}
+		}
+		binds["lv_"+st.Name] = nil // reserve
+		binds[st.Name] = &bindingInfo{kind: "scalar", float: "lv_" + st.Name}
+		return fmt.Sprintf("%svar lv_%s float64 = %s\n%s_ = lv_%s\n", indent, st.Name, init, indent, st.Name), nil
+	case *ast.Assign:
+		return g.assign(st, binds, ri, indent)
+	case *ast.IncDec:
+		bi, ok := binds[st.Name]
+		if !ok || bi == nil || bi.kind != "scalar" {
+			return "", fmt.Errorf("codegen: %s on non-scalar %q", st.Op, st.Name)
+		}
+		return fmt.Sprintf("%s%s%s\n", indent, bi.float, st.Op), nil
+	case *ast.If:
+		cond, err := g.fexpr(st.Cond, binds, ri)
+		if err != nil {
+			return "", err
+		}
+		then, err := g.stmts(st.Then, binds, ri, indent+"\t")
+		if err != nil {
+			return "", err
+		}
+		out := fmt.Sprintf("%sif (%s) != 0 {\n%s%s}", indent, cond, then, indent)
+		if st.Else != nil {
+			els, err := g.stmts(st.Else, binds, ri, indent+"\t")
+			if err != nil {
+				return "", err
+			}
+			out += fmt.Sprintf(" else {\n%s%s}", els, indent)
+		}
+		return out + "\n", nil
+	case *ast.For:
+		// The whole loop lives in its own Go block so sibling loops may
+		// redeclare the same induction variable (C scoping semantics).
+		var init, post string
+		var err error
+		if st.Init != nil {
+			init, err = g.stmt(st.Init, binds, ri, indent+"\t")
+			if err != nil {
+				return "", err
+			}
+		}
+		cond, err := g.fexpr(st.Cond, binds, ri)
+		if err != nil {
+			return "", err
+		}
+		body, err := g.stmts(st.Body, binds, ri, indent+"\t\t")
+		if err != nil {
+			return "", err
+		}
+		if st.Post != nil {
+			post, err = g.stmt(st.Post, binds, ri, indent+"\t\t")
+			if err != nil {
+				return "", err
+			}
+		}
+		return fmt.Sprintf("%s{\n%s%s\tfor (%s) != 0 {\n%s%s%s\t}\n%s}\n",
+			indent, init, indent, cond, body, post, indent, indent), nil
+	case *ast.ExprStmt:
+		e, err := g.fexpr(st.X, binds, ri)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s_ = %s\n", indent, e), nil
+	case *ast.Return:
+		return "", fmt.Errorf("codegen: return not allowed in rule bodies")
+	}
+	return "", fmt.Errorf("codegen: unknown statement %T", s)
+}
+
+func (g *gen) assign(st *ast.Assign, binds map[string]*bindingInfo, ri *analysis.RuleInfo, indent string) (string, error) {
+	switch lhs := st.LHS.(type) {
+	case *ast.Ident:
+		bi, ok := binds[lhs.Name]
+		if !ok || bi == nil {
+			// Implicit scalar definition.
+			rhs, err := g.fexpr(st.RHS, binds, ri)
+			if err != nil {
+				return "", err
+			}
+			if st.Op != "=" {
+				return "", fmt.Errorf("codegen: %q on undefined %q", st.Op, lhs.Name)
+			}
+			binds[lhs.Name] = &bindingInfo{kind: "scalar", float: "lv_" + lhs.Name}
+			return fmt.Sprintf("%slv_%s := %s\n%s_ = lv_%s\n", indent, lhs.Name, rhs, indent, lhs.Name), nil
+		}
+		switch bi.kind {
+		case "scalar":
+			rhs, err := g.fexpr(st.RHS, binds, ri)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%s%s %s %s\n", indent, bi.float, st.Op, rhs), nil
+		case "cell":
+			rhs, err := g.fexpr(st.RHS, binds, ri)
+			if err != nil {
+				return "", err
+			}
+			cur := fmt.Sprintf("%s.Get(%s)", bi.mat, strings.Join(bi.idx, ", "))
+			switch st.Op {
+			case "=":
+				return fmt.Sprintf("%s%s.Set(%s, %s)\n", indent, bi.mat, rhs, strings.Join(bi.idx, ", ")), nil
+			case "+=":
+				return fmt.Sprintf("%s%s.Set(%s+(%s), %s)\n", indent, bi.mat, cur, rhs, strings.Join(bi.idx, ", ")), nil
+			case "-=":
+				return fmt.Sprintf("%s%s.Set(%s-(%s), %s)\n", indent, bi.mat, cur, rhs, strings.Join(bi.idx, ", ")), nil
+			}
+			return "", fmt.Errorf("codegen: bad cell assignment op %q", st.Op)
+		case "view":
+			if st.Op != "=" {
+				return "", fmt.Errorf("codegen: %q on region binding %q", st.Op, lhs.Name)
+			}
+			rhs, err := g.mexpr(st.RHS, binds, ri)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%s%s.CopyFrom(%s)\n", indent, bi.view, rhs), nil
+		}
+		return "", fmt.Errorf("codegen: cannot assign to %q", lhs.Name)
+	case *ast.Index:
+		bi, ok := binds[lhs.Base]
+		if !ok || bi == nil || bi.kind != "view" {
+			return "", fmt.Errorf("codegen: indexed assignment needs a region binding, got %q", lhs.Base)
+		}
+		idx := make([]string, len(lhs.Args))
+		for i, a := range lhs.Args {
+			s, err := g.iexpr(a, binds, ri)
+			if err != nil {
+				return "", err
+			}
+			idx[i] = s
+		}
+		rhs, err := g.fexpr(st.RHS, binds, ri)
+		if err != nil {
+			return "", err
+		}
+		cur := fmt.Sprintf("%s.Get(%s)", bi.view, strings.Join(idx, ", "))
+		switch st.Op {
+		case "=":
+			return fmt.Sprintf("%s%s.Set(%s, %s)\n", indent, bi.view, rhs, strings.Join(idx, ", ")), nil
+		case "+=":
+			return fmt.Sprintf("%s%s.Set(%s+(%s), %s)\n", indent, bi.view, cur, rhs, strings.Join(idx, ", ")), nil
+		case "-=":
+			return fmt.Sprintf("%s%s.Set(%s-(%s), %s)\n", indent, bi.view, cur, rhs, strings.Join(idx, ", ")), nil
+		}
+	}
+	return "", fmt.Errorf("codegen: bad assignment target")
+}
+
+// fexpr renders a body expression as a float64 Go expression.
+func (g *gen) fexpr(e ast.Expr, binds map[string]*bindingInfo, ri *analysis.RuleInfo) (string, error) {
+	switch x := e.(type) {
+	case *ast.Num:
+		if x.IsFl {
+			return fmt.Sprintf("%g", x.Val), nil
+		}
+		return fmt.Sprintf("float64(%d)", int64(x.Val)), nil
+	case *ast.Ident:
+		if bi, ok := binds[x.Name]; ok && bi != nil {
+			switch bi.kind {
+			case "scalar":
+				return bi.float, nil
+			case "cell":
+				return fmt.Sprintf("%s.Get(%s)", bi.mat, strings.Join(bi.idx, ", ")), nil
+			case "view":
+				return "", fmt.Errorf("codegen: region %q used as a scalar", x.Name)
+			}
+		}
+		// Size or center variable (an int in generated code).
+		for _, v := range ri.CenterVars {
+			if v == x.Name {
+				return "float64(cv_" + x.Name + ")", nil
+			}
+		}
+		return "float64(" + x.Name + ")", nil
+	case *ast.Unary:
+		inner, err := g.fexpr(x.X, binds, ri)
+		if err != nil {
+			return "", err
+		}
+		if x.Op == "-" {
+			return "-(" + inner + ")", nil
+		}
+		return "b2f((" + inner + ") == 0)", nil
+	case *ast.Binary:
+		l, err := g.fexpr(x.L, binds, ri)
+		if err != nil {
+			return "", err
+		}
+		r, err := g.fexpr(x.R, binds, ri)
+		if err != nil {
+			return "", err
+		}
+		switch x.Op {
+		case "+", "-", "*", "/":
+			return "(" + l + " " + x.Op + " " + r + ")", nil
+		case "%":
+			return "math.Mod(" + l + ", " + r + ")", nil
+		case "<", "<=", ">", ">=", "==", "!=":
+			return "b2f(" + l + " " + x.Op + " " + r + ")", nil
+		case "&&":
+			return "b2f((" + l + ") != 0 && (" + r + ") != 0)", nil
+		case "||":
+			return "b2f((" + l + ") != 0 || (" + r + ") != 0)", nil
+		}
+		return "", fmt.Errorf("codegen: operator %q", x.Op)
+	case *ast.Cond:
+		c, err := g.fexpr(x.C, binds, ri)
+		if err != nil {
+			return "", err
+		}
+		a, err := g.fexpr(x.A, binds, ri)
+		if err != nil {
+			return "", err
+		}
+		bb, err := g.fexpr(x.B, binds, ri)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("pbIf((%s) != 0, %s, %s)", c, a, bb), nil
+	case *ast.Index:
+		bi, ok := binds[x.Base]
+		if !ok || bi == nil || bi.kind != "view" {
+			return "", fmt.Errorf("codegen: %q is not an indexable region", x.Base)
+		}
+		idx := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			s, err := g.iexpr(a, binds, ri)
+			if err != nil {
+				return "", err
+			}
+			idx[i] = s
+		}
+		return fmt.Sprintf("%s.Get(%s)", bi.view, strings.Join(idx, ", ")), nil
+	case *ast.Call:
+		return g.call(x, binds, ri)
+	}
+	return "", fmt.Errorf("codegen: unknown expression %T", e)
+}
+
+// iexpr renders an index expression as an int Go expression.
+func (g *gen) iexpr(e ast.Expr, binds map[string]*bindingInfo, ri *analysis.RuleInfo) (string, error) {
+	// Affine fast path through the symbolic engine when only size and
+	// center variables appear.
+	if se, err := analysis.ToSymbolic(e); err == nil {
+		onlyKnown := true
+		for _, v := range se.Vars() {
+			if bi, ok := binds[v]; ok && bi != nil {
+				onlyKnown = false
+			}
+		}
+		if onlyKnown {
+			return g.goCenterExpr(se, ri)
+		}
+	}
+	f, err := g.fexpr(e, binds, ri)
+	if err != nil {
+		return "", err
+	}
+	return "int(" + f + ")", nil
+}
+
+func (g *gen) call(x *ast.Call, binds map[string]*bindingInfo, ri *analysis.RuleInfo) (string, error) {
+	unary := map[string]string{"abs": "math.Abs", "sqrt": "math.Sqrt", "floor": "math.Floor", "ceil": "math.Ceil"}
+	if fn, ok := unary[x.Fn]; ok && len(x.Args) == 1 {
+		a, err := g.fexpr(x.Args[0], binds, ri)
+		if err != nil {
+			return "", err
+		}
+		return fn + "(" + a + ")", nil
+	}
+	switch x.Fn {
+	case "min", "max":
+		fn := "math.Min"
+		if x.Fn == "max" {
+			fn = "math.Max"
+		}
+		out, err := g.fexpr(x.Args[0], binds, ri)
+		if err != nil {
+			return "", err
+		}
+		for _, a := range x.Args[1:] {
+			s, err := g.fexpr(a, binds, ri)
+			if err != nil {
+				return "", err
+			}
+			out = fn + "(" + out + ", " + s + ")"
+		}
+		return out, nil
+	case "pow":
+		a, err := g.fexpr(x.Args[0], binds, ri)
+		if err != nil {
+			return "", err
+		}
+		b, err := g.fexpr(x.Args[1], binds, ri)
+		if err != nil {
+			return "", err
+		}
+		return "math.Pow(" + a + ", " + b + ")", nil
+	case "sum":
+		m, err := g.mexpr(x.Args[0], binds, ri)
+		if err != nil {
+			return "", err
+		}
+		return "pbSum(" + m + ")", nil
+	case "dot":
+		a, err := g.mexpr(x.Args[0], binds, ri)
+		if err != nil {
+			return "", err
+		}
+		b, err := g.mexpr(x.Args[1], binds, ri)
+		if err != nil {
+			return "", err
+		}
+		return "pbDot(" + a + ", " + b + ")", nil
+	}
+	// Transform call: returns the (single) output matrix.
+	if sub, ok := g.byName[x.Fn]; ok {
+		if len(sub.Transform.To) != 1 {
+			return "", fmt.Errorf("codegen: transform %s has %d outputs", x.Fn, len(sub.Transform.To))
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			s, err := g.mexpr(a, binds, ri)
+			if err != nil {
+				return "", err
+			}
+			args[i] = s
+		}
+		return "PB_" + x.Fn + "(" + strings.Join(args, ", ") + ")", nil
+	}
+	return "", fmt.Errorf("codegen: unknown function %q", x.Fn)
+}
+
+// mexpr renders an expression whose value is a matrix.
+func (g *gen) mexpr(e ast.Expr, binds map[string]*bindingInfo, ri *analysis.RuleInfo) (string, error) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if bi, ok := binds[x.Name]; ok && bi != nil && bi.kind == "view" {
+			return bi.view, nil
+		}
+		return "", fmt.Errorf("codegen: %q is not a region binding", x.Name)
+	case *ast.Call:
+		return g.call(x, binds, ri)
+	}
+	return "", fmt.Errorf("codegen: expression %s is not a matrix", ast.ExprString(e))
+}

@@ -1,0 +1,706 @@
+package interp
+
+import (
+	"fmt"
+	"sync"
+
+	"petabricks/internal/choice"
+	"petabricks/internal/matrix"
+	"petabricks/internal/pbc/analysis"
+	"petabricks/internal/pbc/ast"
+	"petabricks/internal/pbc/symbolic"
+	"petabricks/internal/runtime"
+)
+
+// Engine executes the transforms of one program. It is safe for
+// concurrent use once constructed.
+type Engine struct {
+	Prog *ast.Program
+	Cfg  *choice.Config
+	Pool *runtime.Pool // nil: sequential execution
+
+	mu       sync.Mutex
+	analyses map[string]*analysis.Result
+}
+
+// New analyzes every transform in the program eagerly so compile errors
+// surface before execution.
+func New(prog *ast.Program) (*Engine, error) {
+	e := &Engine{Prog: prog, Cfg: choice.NewConfig(), analyses: map[string]*analysis.Result{}}
+	for _, t := range prog.Transforms {
+		if len(t.Templates) > 0 {
+			// Template transforms are analyzed per instance, when
+			// RunTemplate binds their parameters.
+			continue
+		}
+		res, err := analysis.Analyze(prog, t)
+		if err != nil {
+			return nil, err
+		}
+		e.analyses[t.Name] = res
+	}
+	return e, nil
+}
+
+// Analysis returns the analysis result for a transform.
+func (e *Engine) Analysis(name string) (*analysis.Result, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.analyses[name]
+	return r, ok
+}
+
+// SelectorName returns the config key holding the rule selector for a
+// transform (DSL transforms live under the "pbc." prefix).
+func SelectorName(transform string) string { return "pbc." + transform }
+
+// MaxDepth bounds transform-call recursion; configurations whose
+// selectors lack a base-case level would otherwise recurse forever.
+const MaxDepth = 256
+
+// Run executes the named transform on the inputs (keyed by declared
+// matrix name) and returns its outputs.
+func (e *Engine) Run(name string, inputs map[string]*matrix.Matrix) (map[string]*matrix.Matrix, error) {
+	return e.run(name, inputs, 0, nil)
+}
+
+func (e *Engine) run(name string, inputs map[string]*matrix.Matrix, depth int, w *runtime.Worker) (map[string]*matrix.Matrix, error) {
+	if depth > MaxDepth {
+		return nil, fmt.Errorf("interp: recursion limit exceeded in %s; the configuration has no base-case level", name)
+	}
+	res, ok := e.Analysis(name)
+	if !ok {
+		return nil, fmt.Errorf("interp: unknown transform %q", name)
+	}
+	ex := &exec{engine: e, res: res, depth: depth, worker: w, sizes: map[string]int64{}, mats: map[string]*matrix.Matrix{}}
+	// Bind size variables by unifying input declarations with shapes.
+	for _, d := range res.Transform.From {
+		in, ok := inputs[d.Name]
+		if !ok {
+			return nil, fmt.Errorf("interp: missing input %q for %s", d.Name, name)
+		}
+		if err := ex.bindShape(d, in); err != nil {
+			return nil, err
+		}
+		ex.mats[d.Name] = in
+	}
+	// Allocate outputs and intermediates.
+	for _, d := range append(append([]*ast.MatrixDecl{}, res.Transform.To...), res.Transform.Through...) {
+		m, err := ex.allocate(d)
+		if err != nil {
+			return nil, err
+		}
+		ex.mats[d.Name] = m
+	}
+	if err := ex.runSchedule(); err != nil {
+		return nil, err
+	}
+	out := map[string]*matrix.Matrix{}
+	for _, d := range res.Transform.To {
+		out[d.Name] = ex.mats[d.Name]
+	}
+	return out, nil
+}
+
+// Run1 runs a transform with a single input and single output.
+func (e *Engine) Run1(name string, in *matrix.Matrix) (*matrix.Matrix, error) {
+	res, ok := e.Analysis(name)
+	if !ok {
+		return nil, fmt.Errorf("interp: unknown transform %q", name)
+	}
+	if len(res.Transform.From) != 1 || len(res.Transform.To) != 1 {
+		return nil, fmt.Errorf("interp: %s is not single-input single-output", name)
+	}
+	outs, err := e.Run(name, map[string]*matrix.Matrix{res.Transform.From[0].Name: in})
+	if err != nil {
+		return nil, err
+	}
+	return outs[res.Transform.To[0].Name], nil
+}
+
+// exec is one transform invocation.
+type exec struct {
+	engine *Engine
+	res    *analysis.Result
+	depth  int
+	// worker is the scheduler thread this invocation entered on (nil for
+	// calls from outside the pool); nested joins help through it instead
+	// of blocking, which is what makes recursive parallel transforms
+	// deadlock-free.
+	worker *runtime.Worker
+	sizes  map[string]int64
+	mats   map[string]*matrix.Matrix
+}
+
+// dslDims returns the matrix's extents in DSL (x, y, …) order.
+func dslDims(m *matrix.Matrix) []int {
+	nd := m.Dims()
+	out := make([]int, nd)
+	for i := 0; i < nd; i++ {
+		out[i] = m.Size(nd - 1 - i)
+	}
+	return out
+}
+
+// bindShape unifies a declaration's symbolic dims with a concrete shape.
+func (ex *exec) bindShape(d *ast.MatrixDecl, m *matrix.Matrix) error {
+	mi := ex.res.Matrices[d.Name]
+	actual := dslDims(m)
+	if len(actual) != len(mi.Dims) {
+		return fmt.Errorf("interp: input %s has %d dims, declared %d", d.Name, len(actual), len(mi.Dims))
+	}
+	for i, se := range mi.Dims {
+		if err := ex.unify(d.Name, se, int64(actual[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unify binds free variables of the declared size expression against an
+// actual extent: single-unknown affine sizes solve exactly.
+func (ex *exec) unify(matName string, se *symbolic.Expr, actual int64) error {
+	aff, ok := se.Affine()
+	if !ok {
+		return fmt.Errorf("interp: non-affine size %s for %s", se, matName)
+	}
+	var unknown string
+	for _, v := range aff.Vars() {
+		if _, bound := ex.sizes[v]; !bound {
+			if unknown != "" {
+				return fmt.Errorf("interp: size %s of %s has two unknowns", se, matName)
+			}
+			unknown = v
+		}
+	}
+	if unknown == "" {
+		got, err := se.Eval(ex.sizes)
+		if err != nil {
+			return err
+		}
+		if got != actual {
+			return fmt.Errorf("interp: %s size mismatch: declared %s = %d, actual %d", matName, se, got, actual)
+		}
+		return nil
+	}
+	// Solve coef·v + rest = actual.
+	coef := aff.Coeff(unknown)
+	rest := aff.Sub(symbolic.AffineVar(unknown).Scale(coef)).Expr()
+	restV, err := rest.Eval(ex.sizes)
+	if err != nil {
+		return err
+	}
+	num := symbolic.RatInt(actual - restV).Div(coef)
+	if !num.IsInt() || num.Int() < 0 {
+		return fmt.Errorf("interp: cannot solve %s = %d for %s", se, actual, unknown)
+	}
+	ex.sizes[unknown] = num.Int()
+	return nil
+}
+
+// allocate builds an output/intermediate matrix from its declared dims.
+func (ex *exec) allocate(d *ast.MatrixDecl) (*matrix.Matrix, error) {
+	mi := ex.res.Matrices[d.Name]
+	dims := make([]int, len(mi.Dims))
+	for i, se := range mi.Dims {
+		v, err := se.Eval(ex.sizes)
+		if err != nil {
+			return nil, fmt.Errorf("interp: sizing %s: %w", d.Name, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("interp: negative size %d for %s", v, d.Name)
+		}
+		dims[i] = int(v)
+	}
+	// Reverse to (row, col) storage order.
+	rev := make([]int, len(dims))
+	for i := range dims {
+		rev[i] = dims[len(dims)-1-i]
+	}
+	return matrix.New(rev...), nil
+}
+
+// evalRegion evaluates a symbolic region (DSL coordinates) to concrete
+// bounds given extra center-variable bindings.
+func (ex *exec) evalRegion(reg symbolic.Region, extra map[string]int64) ([][2]int64, error) {
+	envv := ex.sizes
+	if len(extra) > 0 {
+		envv = make(map[string]int64, len(ex.sizes)+len(extra))
+		for k, v := range ex.sizes {
+			envv[k] = v
+		}
+		for k, v := range extra {
+			envv[k] = v
+		}
+	}
+	out := make([][2]int64, len(reg))
+	for d, iv := range reg {
+		lo, hi, err := iv.Eval(envv)
+		if err != nil {
+			return nil, err
+		}
+		out[d] = [2]int64{lo, hi}
+	}
+	return out, nil
+}
+
+// evalNodeRegion evaluates a grid-node region and clamps it to the
+// matrix's concrete domain. Inputs smaller than the analysis's size
+// assumption (Result.MinInputSize) would otherwise produce cells outside
+// the matrix; clamping keeps execution in bounds (boundary cells may
+// then be covered by more than one grid cell, which is harmless because
+// the §3.5 consistency property makes overlapping rules agree).
+func (ex *exec) evalNodeRegion(matName string, reg symbolic.Region) ([][2]int64, error) {
+	b, err := ex.evalRegion(reg, nil)
+	if err != nil {
+		return nil, err
+	}
+	dims := dslDims(ex.mats[matName])
+	for d := range b {
+		ext := int64(dims[d])
+		if b[d][0] < 0 {
+			b[d][0] = 0
+		}
+		if b[d][0] > ext {
+			b[d][0] = ext
+		}
+		if b[d][1] < b[d][0] {
+			b[d][1] = b[d][0]
+		}
+		if b[d][1] > ext {
+			b[d][1] = ext
+		}
+	}
+	return b, nil
+}
+
+// runSchedule walks the static schedule.
+func (ex *exec) runSchedule() error {
+	// Macro-path check: if the config selects a macro rule for an output
+	// matrix, run it once instead of the per-cell schedule for that
+	// matrix.
+	done := map[string]bool{}
+	for _, step := range ex.res.Schedule {
+		for _, node := range step.Nodes {
+			if node.Input || done[node.Matrix] {
+				continue
+			}
+			grid := ex.res.Grids[node.Matrix]
+			if ri := ex.chooseMacro(grid, node.Matrix); ri != nil {
+				if err := ex.runMacro(ri); err != nil {
+					return err
+				}
+				done[node.Matrix] = true
+			}
+		}
+	}
+	if ex.engine.Pool != nil {
+		return ex.runScheduleParallel(done)
+	}
+	for _, step := range ex.res.Schedule {
+		if err := ex.runStep(step, done, ex.worker); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runScheduleParallel realizes §3.2: one dependency-counted task per
+// schedule step, with edges taken from the choice dependency graph, fed
+// to the work-stealing scheduler so independent regions compute
+// concurrently ("Dependency edges between tasks are detected at compile
+// time and encoded in the tasks as they are created").
+func (ex *exec) runScheduleParallel(done map[string]bool) error {
+	pool := ex.engine.Pool
+	steps := ex.res.Schedule
+	stepOf := map[*analysis.Node]int{}
+	for i, st := range steps {
+		for _, n := range st.Nodes {
+			stepOf[n] = i
+		}
+	}
+	errs := make([]error, len(steps))
+	tasks := make([]*runtime.Task, len(steps))
+	for i, st := range steps {
+		i, st := i, st
+		tasks[i] = pool.NewTask("step", func(tw *runtime.Worker) {
+			errs[i] = ex.runStep(st, done, tw)
+		})
+	}
+	for _, e := range ex.res.Graph.Edges {
+		from, okF := stepOf[e.From]
+		to, okT := stepOf[e.To]
+		if !okF || !okT || from == to {
+			continue // input producers and intra-step edges
+		}
+		tasks[to].DependsOn(tasks[from])
+	}
+	for _, t := range tasks {
+		pool.Submit(t)
+	}
+	for _, t := range tasks {
+		if ex.worker != nil {
+			// Already on a scheduler thread (nested transform call):
+			// help execute queued tasks instead of blocking the worker.
+			ex.worker.WaitTask(t)
+		} else {
+			t.Wait()
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chooseMacro consults the configuration: if the selector for this
+// transform picks a macro rule (by rule index) for the current size, it
+// returns that rule.
+func (ex *exec) chooseMacro(grid *analysis.ChoiceGrid, matName string) *analysis.RuleInfo {
+	if len(grid.Macro) == 0 {
+		return nil
+	}
+	size := ex.problemSize(matName)
+	sel := ex.engine.Cfg.Selector(SelectorName(ex.res.Transform.Name), ex.defaultRule(grid))
+	want := sel.Choose(size).Choice
+	for _, ri := range grid.Macro {
+		if ri.Rule.Index == want {
+			return ri
+		}
+	}
+	return nil
+}
+
+// defaultRule picks the fallback rule index when no configuration
+// exists: the first cell rule if any cell has one, else the first macro.
+func (ex *exec) defaultRule(grid *analysis.ChoiceGrid) int {
+	for _, gc := range grid.Cells {
+		if len(gc.Rules) > 0 {
+			return gc.Rules[0].Rule.Index
+		}
+	}
+	if len(grid.Macro) > 0 {
+		return grid.Macro[0].Rule.Index
+	}
+	return 0
+}
+
+// problemSize is the size metric the rule selector is indexed by: the
+// smallest extent over every matrix of the invocation. Recursive macro
+// rules (e.g. MatrixMultiply's decompositions) always shrink some
+// dimension, so this metric decreases toward the selector's base-case
+// levels; a max-extent metric would not.
+func (ex *exec) problemSize(matName string) int64 {
+	size := int64(1 << 62)
+	for _, m := range ex.mats {
+		for d := 0; d < m.Dims(); d++ {
+			if int64(m.Size(d)) < size {
+				size = int64(m.Size(d))
+			}
+		}
+	}
+	if size == 1<<62 {
+		return 0
+	}
+	return size
+}
+
+func (ex *exec) runStep(step *analysis.Step, done map[string]bool, w *runtime.Worker) error {
+	if step.Lex != nil {
+		return ex.runLex(step, done, w)
+	}
+	if step.Cyclic {
+		return ex.runCyclic(step, done, w)
+	}
+	for _, node := range step.Nodes {
+		if node.Input || done[node.Matrix] {
+			continue
+		}
+		if err := ex.runNode(node, nil, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runNode executes the chosen cell rule over a node's region; slice,
+// when non-nil, restricts one dimension to a single index (cyclic
+// wavefront execution).
+func (ex *exec) runNode(node *analysis.Node, slice *sliceConstraint, w *runtime.Worker) error {
+	gc := node.Cell
+	if gc == nil || len(gc.Rules) == 0 {
+		if gc != nil && len(gc.Rules) == 0 {
+			// Region computable only via macros; those ran already, or
+			// the region is empty.
+			if empty, _ := ex.regionEmpty(gc.Region); empty {
+				return nil
+			}
+			return fmt.Errorf("interp: region %s of %s requires a macro rule; configure the selector to use one", gc.Region, node.Matrix)
+		}
+		return nil
+	}
+	ri := ex.chooseCellRule(gc, node.Matrix)
+	return ex.applyCellRule(ri, node.Matrix, gc.Region, slice, w)
+}
+
+func (ex *exec) regionEmpty(reg symbolic.Region) (bool, error) {
+	b, err := ex.evalRegion(reg, nil)
+	if err != nil {
+		return false, err
+	}
+	for _, iv := range b {
+		if iv[1] <= iv[0] {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// chooseCellRule picks among a grid cell's rules using the configured
+// selector; falls back to the first applicable rule.
+func (ex *exec) chooseCellRule(gc *analysis.GridCell, matName string) *analysis.RuleInfo {
+	size := ex.problemSize(matName)
+	sel := ex.engine.Cfg.Selector(SelectorName(ex.res.Transform.Name), gc.Rules[0].Rule.Index)
+	want := sel.Choose(size).Choice
+	for _, ri := range gc.Rules {
+		if ri.Rule.Index == want {
+			return ri
+		}
+	}
+	return gc.Rules[0]
+}
+
+type sliceConstraint struct {
+	dim int
+	idx int64
+}
+
+// runCyclic iterates the step's axis in the scheduled direction,
+// executing each node's slice at every index (wavefront order).
+func (ex *exec) runCyclic(step *analysis.Step, done map[string]bool, w *runtime.Worker) error {
+	d := step.IterDim
+	lo, hi := int64(1<<62), int64(-1<<62)
+	for _, node := range step.Nodes {
+		if done[node.Matrix] {
+			continue
+		}
+		b, err := ex.evalNodeRegion(node.Matrix, node.Region)
+		if err != nil {
+			return err
+		}
+		if d >= len(b) {
+			return fmt.Errorf("interp: iteration dim %d out of range", d)
+		}
+		if b[d][0] < lo {
+			lo = b[d][0]
+		}
+		if b[d][1] > hi {
+			hi = b[d][1]
+		}
+	}
+	if lo >= hi {
+		return nil
+	}
+	idxs := make([]int64, 0, hi-lo)
+	if step.IterDir >= 0 {
+		for i := lo; i < hi; i++ {
+			idxs = append(idxs, i)
+		}
+	} else {
+		for i := hi - 1; i >= lo; i-- {
+			idxs = append(idxs, i)
+		}
+	}
+	for _, idx := range idxs {
+		for _, node := range step.Nodes {
+			if node.Input || done[node.Matrix] {
+				continue
+			}
+			if err := ex.runNode(node, &sliceConstraint{dim: d, idx: idx}, w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyCellRule iterates the rule's centers over the region and runs the
+// body per center. Independent cells run in parallel when a pool is
+// available and the region is large.
+func (ex *exec) applyCellRule(ri *analysis.RuleInfo, matName string, reg symbolic.Region, slice *sliceConstraint, w *runtime.Worker) error {
+	b, err := ex.evalNodeRegion(matName, reg)
+	if err != nil {
+		return err
+	}
+	if slice != nil {
+		if slice.idx < b[slice.dim][0] || slice.idx >= b[slice.dim][1] {
+			return nil
+		}
+		b[slice.dim] = [2]int64{slice.idx, slice.idx + 1}
+	}
+	count := int64(1)
+	for _, iv := range b {
+		if iv[1] <= iv[0] {
+			return nil
+		}
+		count *= iv[1] - iv[0]
+	}
+	run := func(center []int64, cw *runtime.Worker) error {
+		binding := map[string]int64{}
+		for d, v := range ri.CenterVars {
+			if v != "" {
+				binding[v] = center[d]
+			}
+		}
+		return ex.runRuleBody(ri, binding, cw)
+	}
+	// Parallel path: flat index over the region. Cells of a non-cyclic
+	// node are fully independent; within one wavefront slice of a cyclic
+	// node they are independent too (the scheduled axis carries every
+	// internal dependency), so both parallelize.
+	const parGrain = 256
+	if ex.engine.Pool != nil && count >= parGrain*2 {
+		var firstErr error
+		var mu sync.Mutex
+		body := func(cw *runtime.Worker, lo, hi int) {
+			center := make([]int64, len(b))
+			for flat := lo; flat < hi; flat++ {
+				unflatten(int64(flat), b, center)
+				if err := run(center, cw); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}
+		if w != nil {
+			w.For(0, int(count), parGrain, body) // helping join
+		} else {
+			ex.engine.Pool.ParallelFor(0, int(count), parGrain, body)
+		}
+		return firstErr
+	}
+	center := make([]int64, len(b))
+	for flat := int64(0); flat < count; flat++ {
+		unflatten(flat, b, center)
+		if err := run(center, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unflatten converts a flat index into per-dimension coordinates, last
+// DSL dimension fastest (x innermost keeps ascending order along dim 0
+// for wavefront-safe single-dim regions: dim 0 varies fastest instead).
+func unflatten(flat int64, b [][2]int64, out []int64) {
+	// Dimension 0 (x) varies fastest: ascending x order.
+	for d := 0; d < len(b); d++ {
+		w := b[d][1] - b[d][0]
+		out[d] = b[d][0] + flat%w
+		flat /= w
+	}
+}
+
+// runLex executes a lexicographic-wavefront step: the cells of the
+// (single) node are visited in the scheduled dimension order and
+// directions, under which every internal dependency reads
+// already-computed cells (e.g. 2-D recurrences iterated row-major).
+func (ex *exec) runLex(step *analysis.Step, done map[string]bool, w *runtime.Worker) error {
+	for _, node := range step.Nodes {
+		if node.Input || done[node.Matrix] {
+			continue
+		}
+		gc := node.Cell
+		if gc == nil || len(gc.Rules) == 0 {
+			continue
+		}
+		ri := ex.chooseCellRule(gc, node.Matrix)
+		b, err := ex.evalNodeRegion(node.Matrix, gc.Region)
+		if err != nil {
+			return err
+		}
+		center := make([]int64, len(b))
+		var walk func(li int) error
+		walk = func(li int) error {
+			if li == len(step.Lex) {
+				binding := map[string]int64{}
+				for d, v := range ri.CenterVars {
+					if v != "" {
+						binding[v] = center[d]
+					}
+				}
+				return ex.runRuleBody(ri, binding, w)
+			}
+			ld := step.Lex[li]
+			lo, hi := b[ld.Dim][0], b[ld.Dim][1]
+			if ld.Dir >= 0 {
+				for i := lo; i < hi; i++ {
+					center[ld.Dim] = i
+					if err := walk(li + 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for i := hi - 1; i >= lo; i-- {
+				center[ld.Dim] = i
+				if err := walk(li + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunTemplate instantiates a template transform with the given integer
+// template arguments, analyzes the instance (cached under its mangled
+// name, e.g. "Smooth<3>"), and runs it. Each instance has its own
+// selector key, so "each template instance is autotuned separately".
+func (e *Engine) RunTemplate(name string, targs []int64, inputs map[string]*matrix.Matrix) (map[string]*matrix.Matrix, error) {
+	inst, err := e.instantiate(name, targs)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(inst, inputs)
+}
+
+// instantiate specializes and caches a template instance, returning the
+// instance's transform name.
+func (e *Engine) instantiate(name string, targs []int64) (string, error) {
+	t, ok := e.Prog.Find(name)
+	if !ok {
+		return "", fmt.Errorf("interp: unknown transform %q", name)
+	}
+	if len(t.Templates) == 0 {
+		return "", fmt.Errorf("interp: transform %q is not a template", name)
+	}
+	inst, err := ast.Instantiate(t, targs)
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	_, cached := e.analyses[inst.Name]
+	e.mu.Unlock()
+	if cached {
+		return inst.Name, nil
+	}
+	res, err := analysis.Analyze(e.Prog, inst)
+	if err != nil {
+		return "", fmt.Errorf("interp: instantiating %s: %w", inst.Name, err)
+	}
+	e.mu.Lock()
+	e.analyses[inst.Name] = res
+	e.mu.Unlock()
+	return inst.Name, nil
+}

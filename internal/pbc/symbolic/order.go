@@ -1,0 +1,271 @@
+package symbolic
+
+import "fmt"
+
+// Bound is an optional inclusive rational bound.
+type Bound struct {
+	Set bool
+	Val Rat
+}
+
+// BoundAt returns a set bound with value v.
+func BoundAt(v int64) Bound { return Bound{Set: true, Val: RatInt(v)} }
+
+// VarBounds records the assumed inclusive range of one free variable.
+type VarBounds struct {
+	Lo Bound
+	Hi Bound
+}
+
+// Assumptions maps free variables to their assumed ranges. The compiler
+// assumes every transform size variable is >= 1 and every loop index is
+// >= 0 unless a rule states otherwise.
+type Assumptions map[string]VarBounds
+
+// WithLo returns a copy of a with the lower bound of name set to lo.
+func (a Assumptions) WithLo(name string, lo int64) Assumptions {
+	out := make(Assumptions, len(a)+1)
+	for k, v := range a {
+		out[k] = v
+	}
+	vb := out[name]
+	vb.Lo = BoundAt(lo)
+	out[name] = vb
+	return out
+}
+
+// WithRange returns a copy of a with name assumed to lie in [lo, hi].
+func (a Assumptions) WithRange(name string, lo, hi int64) Assumptions {
+	out := a.WithLo(name, lo)
+	vb := out[name]
+	vb.Hi = BoundAt(hi)
+	out[name] = vb
+	return out
+}
+
+// Order is the result of a symbolic comparison.
+type Order int
+
+// Possible comparison outcomes. OrderUnknown means the comparison cannot
+// be decided from the assumptions alone.
+const (
+	OrderUnknown Order = iota
+	OrderLT
+	OrderLE
+	OrderEQ
+	OrderGE
+	OrderGT
+)
+
+func (o Order) String() string {
+	switch o {
+	case OrderLT:
+		return "<"
+	case OrderLE:
+		return "<="
+	case OrderEQ:
+		return "=="
+	case OrderGE:
+		return ">="
+	case OrderGT:
+		return ">"
+	default:
+		return "?"
+	}
+}
+
+// rangeOf computes the inclusive rational range [lo, hi] attainable by the
+// affine function under the assumptions. Either end may be unbounded.
+func rangeOf(a Affine, assume Assumptions) (lo, hi Bound) {
+	lo = Bound{Set: true, Val: a.konst}
+	hi = Bound{Set: true, Val: a.konst}
+	for v, c := range a.terms {
+		vb := assume[v]
+		// Contribution range of c*v.
+		var cl, ch Bound
+		if c.Sign() > 0 {
+			cl, ch = vb.Lo, vb.Hi
+		} else {
+			cl, ch = vb.Hi, vb.Lo
+		}
+		if lo.Set && cl.Set {
+			lo.Val = lo.Val.Add(c.Mul(cl.Val))
+		} else {
+			lo.Set = false
+		}
+		if hi.Set && ch.Set {
+			hi.Val = hi.Val.Add(c.Mul(ch.Val))
+		} else {
+			hi.Set = false
+		}
+	}
+	return lo, hi
+}
+
+// Compare symbolically compares a and b under the assumptions. It decides
+// the strongest order it can prove, or OrderUnknown. Affine expressions
+// compare through interval analysis of their difference; min/max nodes
+// compare structurally (min(x,…) ≤ b when some operand is ≤ b, and so on).
+func Compare(a, b *Expr, assume Assumptions) Order {
+	if a.Equal(b) {
+		return OrderEQ
+	}
+	lt := leRec(a, b, assume, true)
+	gt := leRec(b, a, assume, true)
+	switch {
+	case lt:
+		return OrderLT
+	case gt:
+		return OrderGT
+	}
+	le := leRec(a, b, assume, false)
+	ge := leRec(b, a, assume, false)
+	switch {
+	case le && ge:
+		return OrderEQ
+	case le:
+		return OrderLE
+	case ge:
+		return OrderGE
+	}
+	return OrderUnknown
+}
+
+// leRec proves a <= b (or a < b when strict) by affine interval analysis
+// at the leaves and structural decomposition of min/max nodes.
+func leRec(a, b *Expr, assume Assumptions, strict bool) bool {
+	if aa, aok := a.Affine(); aok {
+		if ba, bok := b.Affine(); bok {
+			d := aa.Sub(ba)
+			_, hi := rangeOf(d, assume)
+			if !hi.Set {
+				return false
+			}
+			if strict {
+				return hi.Val.Sign() < 0
+			}
+			return hi.Val.Sign() <= 0
+		}
+	}
+	// Decompose a: min(xs) <= b if SOME x <= b; max(xs) <= b if ALL x <= b.
+	switch a.op {
+	case OpMin:
+		for _, x := range a.args {
+			if leRec(x, b, assume, strict) {
+				return true
+			}
+		}
+	case OpMax:
+		all := len(a.args) > 0
+		for _, x := range a.args {
+			if !leRec(x, b, assume, strict) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	// Decompose b: a <= min(ys) if ALL a <= y; a <= max(ys) if SOME a <= y.
+	switch b.op {
+	case OpMin:
+		all := len(b.args) > 0
+		for _, y := range b.args {
+			if !leRec(a, y, assume, strict) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	case OpMax:
+		for _, y := range b.args {
+			if leRec(a, y, assume, strict) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ProvablyLE reports whether a <= b is provable under the assumptions.
+func ProvablyLE(a, b *Expr, assume Assumptions) bool {
+	switch Compare(a, b, assume) {
+	case OrderLT, OrderLE, OrderEQ:
+		return true
+	}
+	return false
+}
+
+// ProvablyLT reports whether a < b is provable under the assumptions.
+func ProvablyLT(a, b *Expr, assume Assumptions) bool {
+	return Compare(a, b, assume) == OrderLT
+}
+
+// ProvablyGE reports whether a >= b is provable under the assumptions.
+func ProvablyGE(a, b *Expr, assume Assumptions) bool {
+	switch Compare(a, b, assume) {
+	case OrderGT, OrderGE, OrderEQ:
+		return true
+	}
+	return false
+}
+
+// SimplifyMinMax prunes dominated operands of min/max nodes using the
+// assumptions, recursing into children. Other nodes are rebuilt with the
+// standard constructors.
+func SimplifyMinMax(e *Expr, assume Assumptions) *Expr {
+	switch e.op {
+	case OpConst, OpVar:
+		return e
+	}
+	args := make([]*Expr, len(e.args))
+	for i, a := range e.args {
+		args[i] = SimplifyMinMax(a, assume)
+	}
+	switch e.op {
+	case OpAdd:
+		return Add(args...)
+	case OpMul:
+		return Mul(args...)
+	case OpDiv:
+		return Div(args[0], args[1])
+	case OpMin, OpMax:
+		keep := make([]*Expr, 0, len(args))
+		for i, x := range args {
+			dominated := false
+			for j, y := range args {
+				if i == j {
+					continue
+				}
+				ord := Compare(x, y, assume)
+				if e.op == OpMin {
+					// x dominated (removable) if x >= y. A provable GE
+					// with the reverse also provable would have been EQ,
+					// so GE needs no index guard; EQ keeps the first.
+					if ord == OrderGT || ord == OrderGE || (ord == OrderEQ && j < i) {
+						dominated = true
+					}
+				} else {
+					if ord == OrderLT || ord == OrderLE || (ord == OrderEQ && j < i) {
+						dominated = true
+					}
+				}
+				if dominated {
+					break
+				}
+			}
+			if !dominated {
+				keep = append(keep, x)
+			}
+		}
+		if len(keep) == 0 {
+			// All mutually equal; keep the first.
+			keep = args[:1]
+		}
+		return minMax(e.op, keep)
+	}
+	panic(fmt.Sprintf("symbolic: unknown op %v", e.op))
+}

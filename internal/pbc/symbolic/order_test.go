@@ -1,0 +1,129 @@
+package symbolic
+
+import "testing"
+
+func sizeAssume() Assumptions {
+	// n is a size variable: n >= 1. i is an index in [0, n).
+	a := Assumptions{}.WithLo("n", 1)
+	a = a.WithLo("i", 0)
+	return a
+}
+
+func TestCompareConstants(t *testing.T) {
+	if got := Compare(Const(1), Const(2), nil); got != OrderLT {
+		t.Errorf("1 vs 2 = %v", got)
+	}
+	if got := Compare(Const(2), Const(2), nil); got != OrderEQ {
+		t.Errorf("2 vs 2 = %v", got)
+	}
+	if got := Compare(Const(3), Const(2), nil); got != OrderGT {
+		t.Errorf("3 vs 2 = %v", got)
+	}
+}
+
+func TestCompareWithAssumptions(t *testing.T) {
+	n := Var("n")
+	i := Var("i")
+	a := sizeAssume()
+	if got := Compare(Const(0), n, a); got != OrderLT {
+		t.Errorf("0 vs n (n>=1) = %v, want <", got)
+	}
+	if got := Compare(Const(1), n, a); got != OrderLE {
+		t.Errorf("1 vs n (n>=1) = %v, want <=", got)
+	}
+	if got := Compare(i, Const(0), a); got != OrderGE {
+		t.Errorf("i vs 0 (i>=0) = %v, want >=", got)
+	}
+	// i vs n undecidable without an upper bound on i.
+	if got := Compare(i, n, a); got != OrderUnknown {
+		t.Errorf("i vs n = %v, want unknown", got)
+	}
+	// With i in [0, 5] and n >= 10, i < n.
+	b := Assumptions{}.WithRange("i", 0, 5).WithLo("n", 10)
+	if got := Compare(i, n, b); got != OrderLT {
+		t.Errorf("i vs n bounded = %v, want <", got)
+	}
+}
+
+func TestCompareSelf(t *testing.T) {
+	e := Add(Var("n"), Const(1))
+	if got := Compare(e, e, nil); got != OrderEQ {
+		t.Errorf("self compare = %v", got)
+	}
+}
+
+func TestCompareNonAffine(t *testing.T) {
+	a := Min(Var("x"), Var("y"))
+	b := Var("z")
+	if got := Compare(a, b, nil); got != OrderUnknown {
+		t.Errorf("non-affine compare = %v, want unknown", got)
+	}
+	if got := Compare(a, a, nil); got != OrderEQ {
+		t.Errorf("identical non-affine = %v, want ==", got)
+	}
+}
+
+func TestProvablyHelpers(t *testing.T) {
+	a := sizeAssume()
+	n := Var("n")
+	if !ProvablyLE(Const(1), n, a) {
+		t.Error("1 <= n should be provable with n>=1")
+	}
+	if !ProvablyLT(Const(0), n, a) {
+		t.Error("0 < n should be provable with n>=1")
+	}
+	if !ProvablyGE(n, Const(1), a) {
+		t.Error("n >= 1 should be provable")
+	}
+	if ProvablyLT(n, Const(10), a) {
+		t.Error("n < 10 should not be provable")
+	}
+}
+
+func TestSimplifyMinMax(t *testing.T) {
+	a := sizeAssume()
+	n := Var("n")
+	// max(0, n) = n when n >= 1.
+	if got := SimplifyMinMax(Max(Const(0), n), a); got.String() != "n" {
+		t.Errorf("max(0,n) simplified to %s", got)
+	}
+	// min(n, n+1) = n.
+	if got := SimplifyMinMax(Min(n, Add(n, Const(1))), a); got.String() != "n" {
+		t.Errorf("min(n,n+1) simplified to %s", got)
+	}
+	// min(0, i) = 0 when i >= 0.
+	if got := SimplifyMinMax(Min(Const(0), Var("i")), a); got.String() != "0" {
+		t.Errorf("min(0,i) simplified to %s", got)
+	}
+	// Unknown relation: keep both.
+	got := SimplifyMinMax(Min(Var("i"), n), a)
+	if got.Op() != OpMin || len(got.Args()) != 2 {
+		t.Errorf("min(i,n) should stay, got %s", got)
+	}
+	// Duplicate elimination: min(n, 2n-n) = n.
+	if got := SimplifyMinMax(Min(n, Sub(Mul(Const(2), n), n)), a); got.String() != "n" {
+		t.Errorf("min(n, 2n-n) simplified to %s", got)
+	}
+}
+
+func TestWithRange(t *testing.T) {
+	a := Assumptions{}.WithRange("k", 2, 8)
+	vb := a["k"]
+	if !vb.Lo.Set || !vb.Hi.Set || vb.Lo.Val.Int() != 2 || vb.Hi.Val.Int() != 8 {
+		t.Fatalf("WithRange bounds wrong: %+v", vb)
+	}
+	// Original map unchanged (copy semantics).
+	b := a.WithLo("k", 5)
+	if a["k"].Lo.Val.Int() != 2 {
+		t.Fatal("WithLo mutated the receiver")
+	}
+	if b["k"].Lo.Val.Int() != 5 || b["k"].Hi.Val.Int() != 8 {
+		t.Fatal("WithLo lost the high bound")
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if OrderLT.String() != "<" || OrderUnknown.String() != "?" || OrderGE.String() != ">=" {
+		t.Error("Order.String mismatch")
+	}
+}

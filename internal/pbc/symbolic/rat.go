@@ -1,0 +1,168 @@
+// Package symbolic implements the exact symbolic arithmetic used by the
+// PetaBricks compiler for dependency normalization, applicable-region
+// computation, and choice-grid construction.
+//
+// The original PetaBricks implementation delegated this reasoning to the
+// Maxima computer algebra system. Every construct accepted by the
+// PetaBricks front end produces affine expressions over the transform's
+// free size variables, so this package implements, from scratch, exactly
+// the affine fragment the compiler needs: exact rational arithmetic,
+// expression simplification, substitution, sign analysis under variable
+// bounds, and interval/region algebra with symbolic endpoints.
+package symbolic
+
+import "fmt"
+
+// Rat is an exact rational number with int64 numerator and denominator.
+// The denominator is always positive and the fraction is always reduced;
+// the zero value is the number 0.
+type Rat struct {
+	num int64
+	den int64 // 0 means 1 (so the zero value is 0/1)
+}
+
+// RatInt returns the rational n/1.
+func RatInt(n int64) Rat { return Rat{num: n, den: 1} }
+
+// RatFrac returns the reduced rational num/den. It panics if den is zero.
+func RatFrac(num, den int64) Rat {
+	if den == 0 {
+		panic("symbolic: rational with zero denominator")
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := gcd64(abs64(num), den)
+	if g > 1 {
+		num /= g
+		den /= g
+	}
+	return Rat{num: num, den: den}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func (r Rat) norm() (num, den int64) {
+	if r.den == 0 {
+		return r.num, 1
+	}
+	return r.num, r.den
+}
+
+// Num returns the reduced numerator.
+func (r Rat) Num() int64 { n, _ := r.norm(); return n }
+
+// Den returns the reduced (positive) denominator.
+func (r Rat) Den() int64 { _, d := r.norm(); return d }
+
+// IsZero reports whether r == 0.
+func (r Rat) IsZero() bool { return r.Num() == 0 }
+
+// IsInt reports whether r is an integer.
+func (r Rat) IsInt() bool { return r.Den() == 1 }
+
+// Int returns the integer value of r; it panics if r is not an integer.
+func (r Rat) Int() int64 {
+	if !r.IsInt() {
+		panic(fmt.Sprintf("symbolic: %s is not an integer", r))
+	}
+	return r.Num()
+}
+
+// Floor returns the greatest integer <= r.
+func (r Rat) Floor() int64 {
+	n, d := r.norm()
+	q := n / d
+	if n%d != 0 && n < 0 {
+		q--
+	}
+	return q
+}
+
+// Ceil returns the least integer >= r.
+func (r Rat) Ceil() int64 {
+	n, d := r.norm()
+	q := n / d
+	if n%d != 0 && n > 0 {
+		q++
+	}
+	return q
+}
+
+// Add returns r + o.
+func (r Rat) Add(o Rat) Rat {
+	rn, rd := r.norm()
+	on, od := o.norm()
+	return RatFrac(rn*od+on*rd, rd*od)
+}
+
+// Sub returns r - o.
+func (r Rat) Sub(o Rat) Rat { return r.Add(o.Neg()) }
+
+// Neg returns -r.
+func (r Rat) Neg() Rat {
+	n, d := r.norm()
+	return Rat{num: -n, den: d}
+}
+
+// Mul returns r * o.
+func (r Rat) Mul(o Rat) Rat {
+	rn, rd := r.norm()
+	on, od := o.norm()
+	return RatFrac(rn*on, rd*od)
+}
+
+// Div returns r / o. It panics if o is zero.
+func (r Rat) Div(o Rat) Rat {
+	on, od := o.norm()
+	if on == 0 {
+		panic("symbolic: division by zero")
+	}
+	return r.Mul(RatFrac(od, on))
+}
+
+// Cmp compares r and o, returning -1, 0, or +1.
+func (r Rat) Cmp(o Rat) int {
+	d := r.Sub(o)
+	switch {
+	case d.Num() < 0:
+		return -1
+	case d.Num() > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Sign returns -1, 0, or +1 according to the sign of r.
+func (r Rat) Sign() int { return r.Cmp(Rat{}) }
+
+// Float returns the float64 value of r.
+func (r Rat) Float() float64 {
+	n, d := r.norm()
+	return float64(n) / float64(d)
+}
+
+// String renders r as "n" or "n/d".
+func (r Rat) String() string {
+	n, d := r.norm()
+	if d == 1 {
+		return fmt.Sprintf("%d", n)
+	}
+	return fmt.Sprintf("%d/%d", n, d)
+}

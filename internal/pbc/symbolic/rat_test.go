@@ -1,0 +1,145 @@
+package symbolic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRatBasics(t *testing.T) {
+	cases := []struct {
+		a, b Rat
+		add  string
+		mul  string
+	}{
+		{RatInt(1), RatInt(2), "3", "2"},
+		{RatFrac(1, 2), RatFrac(1, 3), "5/6", "1/6"},
+		{RatFrac(-1, 2), RatFrac(1, 2), "0", "-1/4"},
+		{RatFrac(2, 4), RatFrac(3, 6), "1", "1/4"},
+	}
+	for _, c := range cases {
+		if got := c.a.Add(c.b).String(); got != c.add {
+			t.Errorf("%v+%v = %s, want %s", c.a, c.b, got, c.add)
+		}
+		if got := c.a.Mul(c.b).String(); got != c.mul {
+			t.Errorf("%v*%v = %s, want %s", c.a, c.b, got, c.mul)
+		}
+	}
+}
+
+func TestRatZeroValue(t *testing.T) {
+	var z Rat
+	if !z.IsZero() || !z.IsInt() || z.Int() != 0 {
+		t.Fatalf("zero value Rat should be 0, got %v", z)
+	}
+	if got := z.Add(RatInt(5)); got.Cmp(RatInt(5)) != 0 {
+		t.Fatalf("0+5 = %v", got)
+	}
+}
+
+func TestRatNegativeDenominator(t *testing.T) {
+	r := RatFrac(3, -6)
+	if r.String() != "-1/2" {
+		t.Fatalf("3/-6 normalized to %s, want -1/2", r)
+	}
+	if r.Den() != 2 {
+		t.Fatalf("denominator %d, want 2", r.Den())
+	}
+}
+
+func TestRatFloorCeil(t *testing.T) {
+	cases := []struct {
+		r          Rat
+		floor, cel int64
+	}{
+		{RatFrac(7, 2), 3, 4},
+		{RatFrac(-7, 2), -4, -3},
+		{RatInt(5), 5, 5},
+		{RatInt(-5), -5, -5},
+		{RatFrac(1, 3), 0, 1},
+		{RatFrac(-1, 3), -1, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Floor(); got != c.floor {
+			t.Errorf("floor(%v) = %d, want %d", c.r, got, c.floor)
+		}
+		if got := c.r.Ceil(); got != c.cel {
+			t.Errorf("ceil(%v) = %d, want %d", c.r, got, c.cel)
+		}
+	}
+}
+
+func TestRatCmpSign(t *testing.T) {
+	if RatFrac(1, 3).Cmp(RatFrac(1, 2)) != -1 {
+		t.Error("1/3 should compare < 1/2")
+	}
+	if RatFrac(-1, 3).Sign() != -1 || RatInt(0).Sign() != 0 || RatFrac(1, 9).Sign() != 1 {
+		t.Error("Sign misbehaved")
+	}
+}
+
+func TestRatDivPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic dividing by zero")
+		}
+	}()
+	_ = RatInt(1).Div(RatInt(0))
+}
+
+func TestRatFracPanicsOnZeroDen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero denominator")
+		}
+	}()
+	_ = RatFrac(1, 0)
+}
+
+// Property: field axioms on a bounded domain.
+func TestRatFieldProperties(t *testing.T) {
+	clamp := func(x int64) int64 {
+		x %= 1000
+		return x
+	}
+	clampNZ := func(x int64) int64 {
+		x = clamp(x)
+		if x == 0 {
+			return 1
+		}
+		return x
+	}
+	commut := func(an, ad, bn, bd int64) bool {
+		a := RatFrac(clamp(an), clampNZ(ad))
+		b := RatFrac(clamp(bn), clampNZ(bd))
+		return a.Add(b).Cmp(b.Add(a)) == 0 && a.Mul(b).Cmp(b.Mul(a)) == 0
+	}
+	if err := quick.Check(commut, nil); err != nil {
+		t.Error(err)
+	}
+	distrib := func(an, ad, bn, bd, cn, cd int64) bool {
+		a := RatFrac(clamp(an), clampNZ(ad))
+		b := RatFrac(clamp(bn), clampNZ(bd))
+		c := RatFrac(clamp(cn), clampNZ(cd))
+		return a.Mul(b.Add(c)).Cmp(a.Mul(b).Add(a.Mul(c))) == 0
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Error(err)
+	}
+	inverse := func(an, ad int64) bool {
+		a := RatFrac(clampNZ(an), clampNZ(ad))
+		return a.Mul(RatInt(1).Div(a)).Cmp(RatInt(1)) == 0
+	}
+	if err := quick.Check(inverse, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatFloorInverseOfInt(t *testing.T) {
+	prop := func(x int64) bool {
+		x %= 1 << 40
+		return RatInt(x).Floor() == x && RatInt(x).Ceil() == x
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+package symbolic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalIntersect(t *testing.T) {
+	n := Var("n")
+	a := sizeAssume()
+	// [0,n) ∩ [1,n) = [1,n)  (the RollingSum rule-1 applicable region).
+	full := NewInterval(Const(0), n)
+	tail := NewInterval(Const(1), n)
+	got := full.Intersect(tail).Simplify(a)
+	if got.String() != "[1, n)" {
+		t.Errorf("intersection = %s, want [1, n)", got)
+	}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	a := sizeAssume()
+	if !IntervalInt(3, 3).ProvablyEmpty(a) {
+		t.Error("[3,3) should be provably empty")
+	}
+	if !IntervalInt(5, 2).ProvablyEmpty(a) {
+		t.Error("[5,2) should be provably empty")
+	}
+	n := Var("n")
+	if NewInterval(Const(0), n).ProvablyEmpty(a) {
+		t.Error("[0,n) with n>=1 should not be provably empty")
+	}
+	if !NewInterval(Const(0), n).ProvablyNonEmpty(a) {
+		t.Error("[0,n) with n>=1 should be provably non-empty")
+	}
+	// [n, n+1) non-empty regardless.
+	if !NewInterval(n, Add(n, Const(1))).ProvablyNonEmpty(a) {
+		t.Error("[n,n+1) should be provably non-empty")
+	}
+}
+
+func TestIntervalShiftEval(t *testing.T) {
+	iv := NewInterval(Var("i"), Add(Var("i"), Const(4))).Shift(Const(-1))
+	lo, hi, err := iv.Eval(map[string]int64{"i": 10})
+	if err != nil || lo != 9 || hi != 13 {
+		t.Fatalf("shifted eval = [%d,%d) err=%v", lo, hi, err)
+	}
+}
+
+func TestRegionOps(t *testing.T) {
+	w, h, c := Var("w"), Var("h"), Var("c")
+	// Matrix multiply: A is [c,h], i.e. region [0,c)x[0,h).
+	regA := NewRegion(NewInterval(Const(0), c), NewInterval(Const(0), h))
+	if regA.Dims() != 2 {
+		t.Fatal("dims")
+	}
+	if regA.String() != "[0, c)x[0, h)" {
+		t.Fatalf("String = %s", regA.String())
+	}
+	// Left half in c: [0, c/2)x[0,h).
+	left := NewRegion(NewInterval(Const(0), Div(c, Const(2))), NewInterval(Const(0), h))
+	inter := regA.Intersect(left)
+	assume := Assumptions{}.WithLo("c", 1).WithLo("h", 1).WithLo("w", 1)
+	simp := inter.Simplify(assume)
+	if !simp.Equal(left) {
+		t.Errorf("A ∩ leftHalf = %s, want %s", simp, left)
+	}
+	_ = w
+}
+
+func TestRegionSubstituteVars(t *testing.T) {
+	n := Var("n")
+	r := NewRegion(NewInterval(Const(0), n))
+	r2 := r.Substitute(map[string]*Expr{"n": Const(16)})
+	lo, hi, err := r2[0].Eval(nil)
+	if err != nil || lo != 0 || hi != 16 {
+		t.Fatalf("substituted region eval: [%d,%d) err=%v", lo, hi, err)
+	}
+	vars := r.Vars()
+	if len(vars) != 1 || vars[0] != "n" {
+		t.Fatalf("Vars = %v", vars)
+	}
+}
+
+func TestRegionEmptyAndScalar(t *testing.T) {
+	scalar := NewRegion()
+	if scalar.String() != "[scalar]" || scalar.Dims() != 0 {
+		t.Fatal("scalar region misrendered")
+	}
+	assume := Assumptions{}
+	empty := NewRegion(IntervalInt(0, 5), IntervalInt(2, 2))
+	if !empty.ProvablyEmpty(assume) {
+		t.Error("region with an empty dimension should be provably empty")
+	}
+}
+
+func TestRegionIntersectDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim mismatch")
+		}
+	}()
+	NewRegion(IntervalInt(0, 1)).Intersect(NewRegion(IntervalInt(0, 1), IntervalInt(0, 1)))
+}
+
+// Property: intersection is commutative under evaluation.
+func TestIntersectCommutativeEval(t *testing.T) {
+	prop := func(a1, a2, b1, b2, shift int64) bool {
+		a1, a2, b1, b2 = a1%100, a2%100, b1%100, b2%100
+		i1 := IntervalInt(minI(a1, a2), maxI(a1, a2))
+		i2 := IntervalInt(minI(b1, b2), maxI(b1, b2))
+		x := i1.Intersect(i2)
+		y := i2.Intersect(i1)
+		xl, xh, err1 := x.Eval(nil)
+		yl, yh, err2 := y.Eval(nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Same point set (both may be empty in different renderings).
+		xEmpty := xh <= xl
+		yEmpty := yh <= yl
+		if xEmpty != yEmpty {
+			return false
+		}
+		return xEmpty || (xl == yl && xh == yh)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection is contained in both operands.
+func TestIntersectContained(t *testing.T) {
+	prop := func(a1, a2, b1, b2 int64) bool {
+		a1, a2, b1, b2 = a1%100, a2%100, b1%100, b2%100
+		i1 := IntervalInt(minI(a1, a2), maxI(a1, a2)+1)
+		i2 := IntervalInt(minI(b1, b2), maxI(b1, b2)+1)
+		x := i1.Intersect(i2)
+		xl, xh, err := x.Eval(nil)
+		if err != nil {
+			return false
+		}
+		if xh <= xl {
+			return true // empty is contained in everything
+		}
+		l1, h1, _ := i1.Eval(nil)
+		l2, h2, _ := i2.Eval(nil)
+		return xl >= l1 && xh <= h1 && xl >= l2 && xh <= h2
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

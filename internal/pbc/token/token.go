@@ -1,0 +1,139 @@
+// Package token defines the lexical tokens of the PetaBricks language
+// (§2 of the paper): transforms, rules, to/from/through headers, where
+// clauses, priorities, tunables, generators, templates, matrix version
+// syntax, and %{ ... }% raw escapes.
+package token
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	RAWCPP // %{ ... }% escape block, lexeme is the raw contents
+
+	// Keywords.
+	KwTransform
+	KwFrom
+	KwTo
+	KwThrough
+	KwWhere
+	KwPriority
+	KwPrimary
+	KwSecondary
+	KwGenerator
+	KwTunable
+	KwTemplate
+	KwRule
+	KwIf
+	KwElse
+	KwFor
+	KwReturn
+	KwInt
+	KwDouble
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	LAngle // <
+	RAngle // >
+	Comma
+	Semi
+	Dot
+	DotDot // ..
+	Assign // =
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Eq  // ==
+	Neq // !=
+	Leq // <=
+	Geq // >=
+	AndAnd
+	OrOr
+	Not
+	PlusAssign  // +=
+	MinusAssign // -=
+	PlusPlus    // ++
+	MinusMinus  // --
+	Question
+	Colon
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number", RAWCPP: "%{...}%",
+	KwTransform: "transform", KwFrom: "from", KwTo: "to", KwThrough: "through",
+	KwWhere: "where", KwPriority: "priority", KwPrimary: "primary",
+	KwSecondary: "secondary", KwGenerator: "generator", KwTunable: "tunable",
+	KwTemplate: "template", KwRule: "rule", KwIf: "if", KwElse: "else",
+	KwFor: "for", KwReturn: "return", KwInt: "int", KwDouble: "double",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBracket: "[",
+	RBracket: "]", LAngle: "<", RAngle: ">", Comma: ",", Semi: ";",
+	Dot: ".", DotDot: "..", Assign: "=", Plus: "+", Minus: "-", Star: "*",
+	Slash: "/", Percent: "%", Eq: "==", Neq: "!=", Leq: "<=", Geq: ">=",
+	AndAnd: "&&", OrOr: "||", Not: "!", PlusAssign: "+=", MinusAssign: "-=",
+	PlusPlus: "++", MinusMinus: "--", Question: "?", Colon: ":",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps identifier spellings to keyword kinds.
+var Keywords = map[string]Kind{
+	"transform": KwTransform,
+	"from":      KwFrom,
+	"to":        KwTo,
+	"through":   KwThrough,
+	"where":     KwWhere,
+	"priority":  KwPriority,
+	"primary":   KwPrimary,
+	"secondary": KwSecondary,
+	"generator": KwGenerator,
+	"tunable":   KwTunable,
+	"template":  KwTemplate,
+	"rule":      KwRule,
+	"if":        KwIf,
+	"else":      KwElse,
+	"for":       KwFor,
+	"return":    KwReturn,
+	"int":       KwInt,
+	"double":    KwDouble,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind   Kind
+	Lexeme string
+	Pos    Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER:
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Lexeme)
+	default:
+		return t.Kind.String()
+	}
+}

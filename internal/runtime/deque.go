@@ -1,0 +1,117 @@
+// Package runtime implements the PetaBricks parallel runtime: a
+// work-stealing dynamic scheduler with per-worker deques, random victim
+// selection, helping fork-join joins, and dependency-counted task graphs.
+//
+// The design follows §3.2 and §3.4 of the paper, which in turn follows
+// Cilk: each worker treats the top of its own deque as a stack (pushing
+// spawned tasks and popping them in LIFO order to preserve locality),
+// while idle workers steal from the bottom (the victim's least recently
+// pushed — most nested continuation) of a random victim's deque. The
+// deque uses the THE-style protocol: the owner pushes and pops without a
+// lock in the common case, and only synchronizes with thieves through a
+// mutex when the deque is nearly empty.
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// deque is a THE-protocol work-stealing deque. The owner calls push and
+// pop; any goroutine may call steal. Indices grow monotonically; the ring
+// buffer is resized by the owner under the thief lock.
+type deque struct {
+	mu   sync.Mutex
+	buf  atomic.Pointer[[]*Task]
+	head atomic.Int64 // next index to steal; advanced only under mu
+	tail atomic.Int64 // next index to push; owned by the owner
+}
+
+func newDeque() *deque {
+	d := &deque{}
+	buf := make([]*Task, 64)
+	d.buf.Store(&buf)
+	return d
+}
+
+// size returns a racy estimate of the number of queued tasks.
+func (d *deque) size() int64 {
+	s := d.tail.Load() - d.head.Load()
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// push appends a task at the owner end. Owner-only.
+func (d *deque) push(t *Task) {
+	tail := d.tail.Load()
+	head := d.head.Load()
+	buf := *d.buf.Load()
+	if tail-head >= int64(len(buf)) {
+		d.grow()
+		buf = *d.buf.Load()
+	}
+	buf[tail%int64(len(buf))] = t
+	d.tail.Store(tail + 1) // release: publishes the element to thieves
+}
+
+// grow doubles the ring buffer. Called by the owner; takes the lock so no
+// thief reads the old buffer mid-copy.
+func (d *deque) grow() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := *d.buf.Load()
+	head, tail := d.head.Load(), d.tail.Load()
+	buf := make([]*Task, len(old)*2)
+	for i := head; i < tail; i++ {
+		buf[i%int64(len(buf))] = old[i%int64(len(old))]
+	}
+	d.buf.Store(&buf)
+}
+
+// pop removes and returns the most recently pushed task, or nil. Owner-only.
+func (d *deque) pop() *Task {
+	t := d.tail.Load() - 1
+	d.tail.Store(t)
+	h := d.head.Load()
+	if t < h {
+		// Deque was empty; restore and bail.
+		d.tail.Store(h)
+		return nil
+	}
+	buf := *d.buf.Load()
+	task := buf[t%int64(len(buf))]
+	if t > h {
+		return task // fast path: no possible conflict with a thief
+	}
+	// t == h: we are contending for the last element with thieves.
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h = d.head.Load()
+	if t >= h {
+		// We won; claim the element by emptying the deque.
+		d.head.Store(t + 1)
+		d.tail.Store(t + 1)
+		return task
+	}
+	// A thief took it first.
+	d.tail.Store(h)
+	return nil
+}
+
+// steal removes and returns the least recently pushed task, or nil.
+// Safe to call from any goroutine.
+func (d *deque) steal() *Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := d.head.Load()
+	t := d.tail.Load()
+	if h >= t {
+		return nil
+	}
+	buf := *d.buf.Load()
+	task := buf[h%int64(len(buf))]
+	d.head.Store(h + 1)
+	return task
+}

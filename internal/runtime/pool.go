@@ -1,0 +1,148 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects the scheduling discipline; the work-stealing mode is the
+// paper's design, the central-queue mode exists as an ablation baseline.
+type Mode int
+
+// Scheduler modes.
+const (
+	// ModeWorkStealing uses per-worker deques with random victim
+	// selection (the paper's scheduler).
+	ModeWorkStealing Mode = iota
+	// ModeCentralQueue funnels every task through one shared queue; used
+	// by the scheduler ablation benchmark.
+	ModeCentralQueue
+)
+
+// Pool is a fixed set of worker goroutines executing Tasks. Use NewPool,
+// submit work with Run/Submit, and release the workers with Close.
+type Pool struct {
+	mode    Mode
+	workers []*Worker
+
+	injectMu sync.Mutex
+	injected []*Task
+
+	sleepMu  sync.Mutex
+	sleepCv  *sync.Cond
+	sleeping int
+	closed   atomic.Bool
+
+	steals atomic.Int64 // statistics: successful steals
+	execs  atomic.Int64 // statistics: tasks executed
+}
+
+// NewPool starts a work-stealing pool with n workers. If n <= 0, it uses
+// runtime.NumCPU().
+func NewPool(n int) *Pool { return NewPoolMode(n, ModeWorkStealing) }
+
+// NewPoolMode starts a pool with an explicit scheduling mode.
+func NewPoolMode(n int, mode Mode) *Pool {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	p := &Pool{mode: mode}
+	p.sleepCv = sync.NewCond(&p.sleepMu)
+	p.workers = make([]*Worker, n)
+	for i := range p.workers {
+		p.workers[i] = &Worker{
+			pool:  p,
+			id:    i,
+			deque: newDeque(),
+			rng:   rand.New(rand.NewSource(int64(i)*7919 + 1)),
+		}
+	}
+	for _, w := range p.workers {
+		go w.loop()
+	}
+	return p
+}
+
+// NumWorkers returns the number of worker goroutines.
+func (p *Pool) NumWorkers() int { return len(p.workers) }
+
+// Steals returns the number of successful steals so far (diagnostics).
+func (p *Pool) Steals() int64 { return p.steals.Load() }
+
+// Executed returns the number of tasks executed so far (diagnostics).
+func (p *Pool) Executed() int64 { return p.execs.Load() }
+
+// Close shuts the pool down after the currently queued work drains is NOT
+// guaranteed; callers must finish their Run/Wait calls first. Close is
+// idempotent.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.sleepMu.Lock()
+	p.sleepCv.Broadcast()
+	p.sleepMu.Unlock()
+}
+
+// NewTask creates a task executing fn. The task runs once all its
+// dependencies complete and it has been submitted.
+func (p *Pool) NewTask(name string, fn func(*Worker)) *Task {
+	t := &Task{pool: p, fn: fn, name: name, doneCh: make(chan struct{})}
+	t.pending.Store(1) // the submit token
+	return t
+}
+
+// Submit marks the task ready to run as soon as its dependencies finish.
+func (p *Pool) Submit(t *Task) {
+	if t.pool != p {
+		panic("runtime: Submit of task from another pool")
+	}
+	if t.submitted.Swap(true) {
+		panic(fmt.Sprintf("runtime: task %q submitted twice", t.name))
+	}
+	if t.pending.Add(-1) == 0 {
+		t.enqueue(nil)
+	}
+}
+
+// Run executes fn on a pool worker and blocks until it (including all its
+// nested Do/For joins) returns. It is the entry point for external
+// goroutines.
+func (p *Pool) Run(fn func(*Worker)) {
+	t := p.NewTask("run", fn)
+	p.Submit(t)
+	t.Wait()
+	t.rethrow()
+}
+
+// inject adds a task to the shared overflow queue and wakes a worker.
+func (p *Pool) inject(t *Task) {
+	p.injectMu.Lock()
+	p.injected = append(p.injected, t)
+	p.injectMu.Unlock()
+	p.signal()
+}
+
+func (p *Pool) popInjected() *Task {
+	p.injectMu.Lock()
+	defer p.injectMu.Unlock()
+	n := len(p.injected)
+	if n == 0 {
+		return nil
+	}
+	t := p.injected[0]
+	copy(p.injected, p.injected[1:])
+	p.injected = p.injected[:n-1]
+	return t
+}
+
+func (p *Pool) signal() {
+	p.sleepMu.Lock()
+	if p.sleeping > 0 {
+		p.sleepCv.Signal()
+	}
+	p.sleepMu.Unlock()
+}

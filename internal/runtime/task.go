@@ -1,0 +1,116 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is a unit of work with optional dependency edges. A task becomes
+// runnable when all the tasks it depends on have completed (§3.2: "A task
+// may not be executed until all the tasks that it depends on have
+// completed"). Tasks are created with Pool.NewTask, wired with DependsOn,
+// and scheduled with Pool.Submit.
+type Task struct {
+	pool *Pool
+	fn   func(*Worker)
+	name string
+
+	pending   atomic.Int32 // outstanding dependencies + the submit token
+	mu        sync.Mutex
+	succs     []*Task
+	done      atomic.Bool
+	submitted atomic.Bool
+	doneCh    chan struct{}
+	panicVal  atomic.Pointer[taskPanic]
+}
+
+// taskPanic carries a recovered panic from a task to its waiter.
+type taskPanic struct{ val any }
+
+// Panicked returns the recovered panic value of a completed task, if any.
+func (t *Task) Panicked() (any, bool) {
+	if p := t.panicVal.Load(); p != nil {
+		return p.val, true
+	}
+	return nil, false
+}
+
+// rethrow re-panics a captured task panic in the caller.
+func (t *Task) rethrow() {
+	if p := t.panicVal.Load(); p != nil {
+		panic(fmt.Sprintf("runtime: task %q panicked: %v", t.name, p.val))
+	}
+}
+
+// Name returns the task's diagnostic name.
+func (t *Task) Name() string { return t.name }
+
+// Done reports whether the task has finished executing.
+func (t *Task) Done() bool { return t.done.Load() }
+
+// DependsOn adds dependency edges: t will not run until each dep has
+// completed. It must be called before t is submitted. Edges to already
+// completed dependencies are ignored.
+func (t *Task) DependsOn(deps ...*Task) {
+	if t.submitted.Load() {
+		panic("runtime: DependsOn after Submit")
+	}
+	for _, d := range deps {
+		if d == nil || d == t {
+			continue
+		}
+		d.mu.Lock()
+		if d.done.Load() {
+			d.mu.Unlock()
+			continue
+		}
+		t.pending.Add(1)
+		d.succs = append(d.succs, t)
+		d.mu.Unlock()
+	}
+}
+
+// Wait blocks until the task has completed. It must be called from
+// outside the pool's workers (workers should use Worker.WaitTask, which
+// helps execute queued work instead of blocking).
+func (t *Task) Wait() { <-t.doneCh }
+
+// finish marks t complete and releases its successors.
+func (t *Task) finish(w *Worker) {
+	t.mu.Lock()
+	t.done.Store(true)
+	succs := t.succs
+	t.succs = nil
+	t.mu.Unlock()
+	close(t.doneCh)
+	for _, s := range succs {
+		if s.pending.Add(-1) == 0 {
+			s.enqueue(w)
+		}
+	}
+}
+
+// enqueue makes a ready task runnable, preferring the local deque of the
+// worker that released it (depth-first order, as the paper's scheduler
+// does to maximize locality).
+func (t *Task) enqueue(w *Worker) {
+	if w != nil && w.pool == t.pool {
+		w.deque.push(t)
+		t.pool.signal()
+		return
+	}
+	t.pool.inject(t)
+}
+
+func (t *Task) execute(w *Worker) {
+	defer func() {
+		// A panicking task must still complete, or every join waiting on
+		// it deadlocks; the panic is captured and re-thrown at the join.
+		if r := recover(); r != nil {
+			t.panicVal.Store(&taskPanic{val: r})
+		}
+		t.finish(w)
+	}()
+	t.fn(w)
+}

@@ -1,0 +1,81 @@
+package simarch
+
+import (
+	"testing"
+
+	"petabricks/internal/choice"
+	"petabricks/internal/kernels/matmul"
+)
+
+func mmCfg(levels ...choice.Level) *choice.Config {
+	cfg := choice.NewConfig()
+	cfg.SetSelector("matmul", choice.Selector{Levels: levels}.Normalize())
+	cfg.SetInt("matmul.seqcutoff", 64)
+	return cfg
+}
+
+func TestMatMulModelCubicGrowth(t *testing.T) {
+	m := MatMulModel{Arch: Xeon1}
+	cfg := mmCfg(choice.Level{Cutoff: choice.Inf, Choice: matmul.ChoiceBasic})
+	r := m.Measure(cfg, 256) / m.Measure(cfg, 128)
+	if r < 6 || r > 10 {
+		t.Fatalf("doubling n should ~8x the cost, got %gx", r)
+	}
+}
+
+func TestMatMulModelRecursionMatchesFlops(t *testing.T) {
+	// A pure recursive decomposition performs the same flops as basic;
+	// on one core the model times should be within the add-pass overhead.
+	m := MatMulModel{Arch: Xeon1}
+	basic := m.Measure(mmCfg(choice.Level{Cutoff: choice.Inf, Choice: matmul.ChoiceBasic}), 256)
+	recw := m.Measure(mmCfg(
+		choice.Level{Cutoff: 16, Choice: matmul.ChoiceBasic},
+		choice.Level{Cutoff: choice.Inf, Choice: matmul.ChoiceRecW}), 256)
+	if recw < basic*0.9 || recw > basic*1.3 {
+		t.Fatalf("sequential recursive cost %g vs basic %g", recw, basic)
+	}
+}
+
+func TestMatMulModelStrassenWinsAtScale(t *testing.T) {
+	m := MatMulModel{Arch: Xeon1}
+	basic := m.Measure(mmCfg(choice.Level{Cutoff: choice.Inf, Choice: matmul.ChoiceBasic}), 2048)
+	str := m.Measure(mmCfg(
+		choice.Level{Cutoff: 256, Choice: matmul.ChoiceBlocked},
+		choice.Level{Cutoff: choice.Inf, Choice: matmul.ChoiceStrassen}), 2048)
+	if str >= basic {
+		t.Fatalf("Strassen (%g) should beat basic (%g) at n=2048", str, basic)
+	}
+}
+
+func TestMatMulModelParallelSpeedup(t *testing.T) {
+	m := MatMulModel{Arch: Xeon8}
+	cfg := mmCfg(
+		choice.Level{Cutoff: 64, Choice: matmul.ChoiceBlocked},
+		choice.Level{Cutoff: choice.Inf, Choice: matmul.ChoiceRecW})
+	sp := m.Speedup(cfg, 512)
+	if sp < 3 || sp > 8 {
+		t.Fatalf("speedup = %g, want (3,8)", sp)
+	}
+	// A sequential-only config must not speed up much.
+	seq := mmCfg(choice.Level{Cutoff: choice.Inf, Choice: matmul.ChoiceBlocked})
+	if sp2 := m.Speedup(seq, 512); sp2 > 1.01 {
+		t.Fatalf("sequential config speedup = %g", sp2)
+	}
+}
+
+func TestMatMulModelDegenerateShapes(t *testing.T) {
+	m := MatMulModel{Arch: Xeon8}
+	// Pure recursive configs terminate via the basic fallback.
+	for _, c := range []int{matmul.ChoiceRecC, matmul.ChoiceRecW, matmul.ChoiceRecH, matmul.ChoiceStrassen} {
+		cfg := mmCfg(choice.Level{Cutoff: choice.Inf, Choice: c})
+		v := m.Measure(cfg, 128)
+		if v <= 0 || v > 1e15 {
+			t.Fatalf("choice %d cost %g", c, v)
+		}
+	}
+	// Unknown choice disqualifies.
+	bad := mmCfg(choice.Level{Cutoff: choice.Inf, Choice: 99})
+	if m.Measure(bad, 64) < 1e15 {
+		t.Fatal("unknown choice should be prohibitive")
+	}
+}

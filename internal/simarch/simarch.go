@@ -1,0 +1,76 @@
+// Package simarch models the paper's hardware testbeds (Intel Core 2 Duo
+// Mobile, Xeon E7340 used 1-way and 8-way, Sun Fire T200 Niagara) as
+// deterministic machine models, replacing hardware we do not have.
+//
+// Each Arch describes core count, per-core scalar speed, task-spawn
+// overhead, and a memory-traffic penalty. A work/span cost model for the
+// sort benchmark (the benchmark Tables 1 and 2 use) predicts execution
+// time of any tuned configuration on any architecture. Training against
+// the model exercises the same autotuner code path as wall-clock
+// training, and reproduces the paper's qualitative result: configurations
+// tuned for one machine are mutually suboptimal on the others, with
+// few-fast-core machines preferring low-work sequential algorithms and
+// many-slow-core machines preferring parallel recursive ones.
+package simarch
+
+import "fmt"
+
+// Arch is a simulated machine.
+type Arch struct {
+	// Name as used in the paper's tables.
+	Name string
+	// Cores available to the scheduler.
+	Cores int
+	// Speed is per-core scalar throughput relative to a Xeon core.
+	Speed float64
+	// SpawnOverhead is the model cost of creating + scheduling one task.
+	SpawnOverhead float64
+	// MemPenalty multiplies the cost of bandwidth-bound inner loops.
+	MemPenalty float64
+}
+
+// The four testbeds of Table 2. The paper's reading of its own results
+// drives the constants: "The Intel architectures (with larger
+// computation to communication ratios) appear to perform better when
+// PetaBricks produces code with less parallelism", so the Intel parts
+// carry a high per-task spawn/communication overhead relative to their
+// scalar speed, while the Niagara's hardware threading makes task
+// creation nearly free but each core slow.
+var (
+	// Mobile is the Core 2 Duo Mobile, 1.6 GHz, 2 of 2 cores.
+	Mobile = Arch{Name: "Mobile", Cores: 2, Speed: 0.67, SpawnOverhead: 600, MemPenalty: 1.4}
+	// Xeon1 is the Xeon E7340 restricted to 1 of 8 cores.
+	Xeon1 = Arch{Name: "Xeon 1-way", Cores: 1, Speed: 1.0, SpawnOverhead: 500, MemPenalty: 1.0}
+	// Xeon8 is the Xeon E7340 using all 8 cores.
+	Xeon8 = Arch{Name: "Xeon 8-way", Cores: 8, Speed: 1.0, SpawnOverhead: 500, MemPenalty: 1.0}
+	// Niagara is the Sun Fire T200: 8 slow, highly threaded cores with
+	// cheap fine-grained parallelism.
+	Niagara = Arch{Name: "Niagara", Cores: 8, Speed: 0.30, SpawnOverhead: 10, MemPenalty: 0.7}
+)
+
+// All returns the four architectures in the paper's table order.
+func All() []Arch { return []Arch{Mobile, Xeon1, Xeon8, Niagara} }
+
+// ByName looks an architecture up by its table name.
+func ByName(name string) (Arch, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Arch{}, fmt.Errorf("simarch: unknown architecture %q", name)
+}
+
+// Time converts a (work, span, tasks) triple in abstract operation units
+// into model seconds on this architecture using the randomized
+// work-stealing bound T ≤ work/P + ((P−1)/P)·span (Blumofe–Leiserson),
+// plus per-task spawn/communication overhead. The additive span term —
+// unlike the greedy max(span, work/P) bound — rewards finer-grained
+// parallelism, which is what lets cheap-spawn machines (Niagara) and
+// expensive-spawn machines (Xeon) tune to different grain sizes, the
+// effect behind the paper's Tables 1 and 2.
+func (a Arch) Time(work, span, tasks float64) float64 {
+	p := float64(a.Cores)
+	t := work/p + (p-1)/p*span + a.SpawnOverhead*tasks/p
+	return t / a.Speed
+}

@@ -1,0 +1,193 @@
+package simarch
+
+import (
+	"testing"
+
+	"petabricks/internal/autotuner"
+	"petabricks/internal/choice"
+	"petabricks/internal/kernels/sortk"
+)
+
+func pure(c int, seqcut int64) *choice.Config {
+	cfg := choice.NewConfig()
+	sel := choice.NewSelector(c)
+	if c == sortk.ChoiceMS {
+		sel.Levels[0] = sel.Levels[0].WithParam("k", 2)
+	}
+	cfg.SetSelector("sort", sel)
+	cfg.SetInt("sort.seqcutoff", seqcut)
+	return cfg
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		got, err := ByName(a.Name)
+		if err != nil || got.Name != a.Name {
+			t.Fatalf("ByName(%q) = %+v, %v", a.Name, got, err)
+		}
+	}
+	if _, err := ByName("PDP-11"); err == nil {
+		t.Fatal("unknown arch should error")
+	}
+}
+
+func TestTimeBounds(t *testing.T) {
+	a := Arch{Name: "t", Cores: 4, Speed: 2, SpawnOverhead: 0}
+	// Brent bound: (work/P + (P-1)/P·span)/speed.
+	if got, want := a.Time(800, 1, 0), (200.0+0.75)/2; got != want {
+		t.Fatalf("parallel time = %g, want %g", got, want)
+	}
+	if got, want := a.Time(10, 1000, 0), (2.5+750.0)/2; got != want {
+		t.Fatalf("span time = %g, want %g", got, want)
+	}
+	// On one core the span term vanishes: T = work/speed.
+	c := Arch{Name: "t1", Cores: 1, Speed: 1, SpawnOverhead: 0}
+	if got := c.Time(100, 100, 0); got != 100 {
+		t.Fatalf("sequential time = %g, want 100", got)
+	}
+	// Spawn overhead charged per task across cores.
+	b := Arch{Name: "t2", Cores: 2, Speed: 1, SpawnOverhead: 10}
+	if got, want := b.Time(2, 1, 4), 1.0+0.5+20.0; got != want {
+		t.Fatalf("spawn time = %g, want %g", got, want)
+	}
+}
+
+func TestInsertionQuadratic(t *testing.T) {
+	m := SortModel{Arch: Xeon1}
+	small := m.Measure(pure(sortk.ChoiceIS, 1<<30), 100)
+	big := m.Measure(pure(sortk.ChoiceIS, 1<<30), 1000)
+	ratio := big / small
+	if ratio < 50 || ratio > 200 {
+		t.Fatalf("insertion sort 10x size ratio = %g, want ~100", ratio)
+	}
+}
+
+func TestRadixWinsSequentiallyAtScale(t *testing.T) {
+	// On one fast core the lowest-work algorithm must win at n=100,000 —
+	// the paper's Xeon 1-way config tops out with RS(∞).
+	m := SortModel{Arch: Xeon1}
+	n := int64(100000)
+	rs := m.Measure(pure(sortk.ChoiceRS, 1<<30), n)
+	for _, c := range []int{sortk.ChoiceQS, sortk.ChoiceMS} {
+		if other := m.Measure(pure(c, 1<<30), n); rs >= other {
+			t.Fatalf("radix (%g) should beat choice %d (%g) on 1 core", rs, c, other)
+		}
+	}
+}
+
+func TestParallelMergeWinsOnNiagara(t *testing.T) {
+	// Many slow cores: the parallel-merge 2-way merge sort must beat the
+	// sequential-span radix sort (the paper's Niagara config is all MS).
+	m := SortModel{Arch: Niagara}
+	n := int64(100000)
+	ms := m.Measure(pure(sortk.ChoiceMS, 1024), n)
+	rs := m.Measure(pure(sortk.ChoiceRS, 1024), n)
+	qs := m.Measure(pure(sortk.ChoiceQS, 1024), n)
+	if ms >= rs {
+		t.Fatalf("2MS (%g) should beat RS (%g) on Niagara", ms, rs)
+	}
+	if ms >= qs {
+		t.Fatalf("2MS (%g) should beat QS (%g) on Niagara", ms, qs)
+	}
+}
+
+func TestParallelismHelpsOnXeon8(t *testing.T) {
+	m8 := SortModel{Arch: Xeon8}
+	m1 := SortModel{Arch: Xeon1}
+	cfg := pure(sortk.ChoiceMS, 1024)
+	n := int64(100000)
+	if m8.Measure(cfg, n) >= m1.Measure(cfg, n) {
+		t.Fatal("8 cores should beat 1 core for parallel merge sort")
+	}
+	if sp := m8.Speedup(cfg, n); sp < 2 || sp > 8 {
+		t.Fatalf("speedup = %g, want within (2,8)", sp)
+	}
+}
+
+func TestSeqCutoffLimitsSpeedup(t *testing.T) {
+	m := SortModel{Arch: Xeon8}
+	n := int64(100000)
+	withPar := m.Measure(pure(sortk.ChoiceQS, 512), n)
+	noPar := m.Measure(pure(sortk.ChoiceQS, 1<<40), n)
+	if withPar >= noPar {
+		t.Fatal("enabling parallelism should reduce model time")
+	}
+}
+
+func tuneOn(t *testing.T, arch Arch) *choice.Config {
+	t.Helper()
+	tr := sortk.New()
+	space := sortk.Space(tr)
+	cfg, _, err := autotuner.Tune(space, SortModel{Arch: arch}, autotuner.Options{
+		MinSize: 64, MaxSize: 100000, Repeats: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestCrossArchitectureSlowdowns(t *testing.T) {
+	// Table 1's shape: a configuration trained elsewhere is never faster
+	// than the natively trained configuration.
+	archs := All()
+	cfgs := make([]*choice.Config, len(archs))
+	for i, a := range archs {
+		cfgs[i] = tuneOn(t, a)
+	}
+	n := int64(100000)
+	// Cross-pollination, as the harness does: "training on X" keeps the
+	// best candidate its model has seen, wherever it was discovered.
+	for i, a := range archs {
+		m := SortModel{Arch: a}
+		best, bestCost := cfgs[i], SortModel{Arch: a}.Measure(cfgs[i], n)
+		for _, cand := range cfgs {
+			if c := m.Measure(cand, n); c < bestCost {
+				best, bestCost = cand, c
+			}
+		}
+		cfgs[i] = best
+	}
+	differs := false
+	for run, runArch := range archs {
+		m := SortModel{Arch: runArch}
+		native := m.Measure(cfgs[run], n)
+		for train := range archs {
+			cross := m.Measure(cfgs[train], n)
+			if cross < native*0.999 {
+				t.Errorf("config trained on %s beats native on %s (%g < %g)",
+					archs[train].Name, runArch.Name, cross, native)
+			}
+			if cross > native*1.05 {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Error("expected at least one significant cross-architecture slowdown")
+	}
+}
+
+func TestTunedBeatsAllPureOnEachArch(t *testing.T) {
+	for _, arch := range All() {
+		cfg := tuneOn(t, arch)
+		m := SortModel{Arch: arch}
+		n := int64(100000)
+		tuned := m.Measure(cfg, n)
+		for c := 0; c < 4; c++ {
+			if p := m.Measure(pure(c, 2048), n); tuned > p*1.001 {
+				t.Errorf("%s: tuned (%g) loses to pure %s (%g)",
+					arch.Name, tuned, sortk.ChoiceNames[c], p)
+			}
+		}
+	}
+}
+
+func TestUnknownChoiceDisqualified(t *testing.T) {
+	cfg := choice.NewConfig()
+	cfg.SetSelector("sort", choice.NewSelector(9))
+	m := SortModel{Arch: Xeon8}
+	if m.Measure(cfg, 1000) < 1e15 {
+		t.Fatal("unknown choice should cost ~infinity")
+	}
+}
