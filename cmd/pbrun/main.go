@@ -1,6 +1,7 @@
 // Command pbrun executes a benchmark under a given configuration file
 // and reports the wall time, or interprets a PetaBricks source file
-// directly.
+// directly. Benchmark names resolve through the internal/bench registry
+// shared with pbserve.
 //
 // Usage:
 //
@@ -17,13 +18,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
+	"petabricks/internal/bench"
 	"petabricks/internal/choice"
-	"petabricks/internal/kernels/eigen"
-	"petabricks/internal/kernels/matmul"
-	"petabricks/internal/kernels/poisson"
-	"petabricks/internal/kernels/sortk"
 	"petabricks/internal/matrix"
 	"petabricks/internal/pbc/interp"
 	"petabricks/internal/pbc/parser"
@@ -32,7 +31,7 @@ import (
 
 func main() {
 	var (
-		bench     = flag.String("bench", "", "benchmark: sort, matmul, eigen, poisson")
+		benchName = flag.String("bench", "", "benchmark: "+strings.Join(bench.Names(), ", "))
 		src       = flag.String("src", "", "PetaBricks source file to interpret")
 		transform = flag.String("transform", "", "transform to run with -src")
 		cfgPath   = flag.String("config", "", "configuration file")
@@ -43,6 +42,15 @@ func main() {
 		seed      = flag.Int64("seed", 1, "input generator seed")
 	)
 	flag.Parse()
+	if *benchName == "" && *src == "" {
+		fmt.Fprintln(os.Stderr, "pbrun: pick one of -bench or -src")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *benchName != "" && *src != "" {
+		fmt.Fprintln(os.Stderr, "pbrun: -bench and -src are mutually exclusive")
+		os.Exit(2)
+	}
 	cfg := choice.NewConfig()
 	if *cfgPath != "" {
 		var err error
@@ -55,69 +63,32 @@ func main() {
 		runDSL(*src, *transform, cfg, *n, *seed)
 		return
 	}
+	b, ok := bench.Lookup(*benchName)
+	if !ok {
+		fatal(fmt.Errorf("unknown benchmark %q (have: %s)", *benchName, strings.Join(bench.Names(), ", ")))
+	}
 	pool := runtime.NewPool(*workers)
-	defer pool.Close()
+	defer pool.Shutdown()
+	if *trials < 1 {
+		*trials = 1
+	}
 	best := 0.0
+	detail := ""
 	for t := 0; t < *trials; t++ {
-		var sec float64
-		switch *bench {
-		case "sort":
-			rng := rand.New(rand.NewSource(*seed + int64(t)))
-			in := sortk.Generate(rng, *n)
-			start := time.Now()
-			choice.Run(choice.NewExec(pool, cfg), sortk.New(), in)
-			sec = time.Since(start).Seconds()
-			if !sortk.IsSorted(in.Data) {
-				fatal(fmt.Errorf("output not sorted"))
-			}
-		case "matmul":
-			rng := rand.New(rand.NewSource(*seed + int64(t)))
-			in := matmul.Generate(rng, *n)
-			start := time.Now()
-			choice.Run(choice.NewExec(pool, cfg), matmul.New(), in)
-			sec = time.Since(start).Seconds()
-		case "eigen":
-			rng := rand.New(rand.NewSource(*seed + int64(t)))
-			tri := eigen.Generate(rng, *n)
-			start := time.Now()
-			out := choice.Run(choice.NewExec(nil, cfg), eigen.New(), tri)
-			sec = time.Since(start).Seconds()
-			if out.Err != nil {
-				fatal(out.Err)
-			}
-		case "poisson":
-			k, err := poisson.LevelOf(*n)
-			if err != nil {
-				fatal(err)
-			}
-			policy := poisson.DecodePolicy(cfg, k)
-			if len(policy.Accuracies) == 0 {
-				fatal(fmt.Errorf("configuration has no poisson policy; run pbtune -bench poisson"))
-			}
-			ai := *accIdx
-			if ai < 0 {
-				ai = len(policy.Accuracies) - 1
-			}
-			rng := rand.New(rand.NewSource(*seed + int64(t)))
-			pr := poisson.Generate(rng, *n)
-			x := matrix.New(*n, *n)
-			start := time.Now()
-			if err := policy.Solve(x, pr.B, ai); err != nil {
-				fatal(err)
-			}
-			sec = time.Since(start).Seconds()
-			e0 := poisson.ErrorVs(matrix.New(*n, *n), pr.Exact)
-			acc := e0 / poisson.ErrorVs(x, pr.Exact)
-			fmt.Printf("achieved accuracy %.3g (target %.3g)\n", acc, policy.Accuracies[ai])
-		default:
-			fatal(fmt.Errorf("pick -bench or -src"))
+		res, err := b.Run(pool, cfg, *n, *seed+int64(t), bench.RunOpts{AccIndex: *accIdx})
+		if err != nil {
+			fatal(err)
 		}
-		if t == 0 || sec < best {
-			best = sec
+		if t == 0 || res.Seconds < best {
+			best = res.Seconds
 		}
+		detail = res.Detail
+	}
+	if detail != "" {
+		fmt.Println(detail)
 	}
 	fmt.Printf("%s n=%d workers=%d: %.6fs (best of %d)\n",
-		*bench, *n, pool.NumWorkers(), best, *trials)
+		*benchName, *n, pool.NumWorkers(), best, *trials)
 }
 
 func runDSL(path, transform string, cfg *choice.Config, n int, seed int64) {

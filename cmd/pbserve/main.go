@@ -1,0 +1,138 @@
+// Command pbserve runs the PetaBricks execution service: a long-lived
+// daemon exposing the benchmark kernels and interpreted .pbcc
+// transforms over HTTP. Every request executes under the best known
+// tuned configuration from a persistent config store; a background
+// tuner re-tunes hot (program, size-bucket) keys while the server is
+// idle and promotes configurations only when measurably faster, so the
+// service speeds up the longer it runs.
+//
+// Usage:
+//
+//	pbserve [-addr :8600] [-store pbserve.store.json] [flags]
+//
+//	-addr addr        listen address (default :8600)
+//	-store file       config-store snapshot file (default pbserve.store.json)
+//	-store-max n      LRU bound on stored configs (default 256)
+//	-workers n        shared pool worker threads (default all CPUs)
+//	-dsl glob         .pbcc files to serve (e.g. 'testdata/*.pbcc')
+//	-max-inflight n   concurrent executions (default 2x workers)
+//	-max-queue n      waiting requests before shedding (default 64)
+//	-queue-timeout d  max queue wait (default 10s)
+//	-max-n n          largest accepted input size (default 2097152)
+//	-tune-max n       default largest training size (default 4096)
+//	-retune d         idle re-tune check interval; 0 disables (default 2m)
+//
+// API: POST /v1/run, POST /v1/tune, GET /v1/configs, GET /v1/stats,
+// GET /v1/programs, GET /healthz. See README "Running as a service".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"petabricks/internal/configstore"
+	"petabricks/internal/runtime"
+	"petabricks/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8600", "listen address")
+		storePath = flag.String("store", "pbserve.store.json", "config-store snapshot file")
+		storeMax  = flag.Int("store-max", configstore.DefaultMax, "LRU bound on stored configs")
+		workers   = flag.Int("workers", 0, "worker threads (default all CPUs)")
+		dslGlob   = flag.String("dsl", "", "glob of .pbcc files to serve")
+		inflight  = flag.Int("max-inflight", 0, "concurrent executions (default 2x workers)")
+		maxQueue  = flag.Int("max-queue", 64, "waiting requests before shedding")
+		queueTO   = flag.Duration("queue-timeout", 10*time.Second, "max queue wait")
+		maxN      = flag.Int("max-n", 1<<21, "largest accepted input size")
+		tuneMax   = flag.Int64("tune-max", 4096, "default largest training size")
+		retune    = flag.Duration("retune", 2*time.Minute, "idle re-tune interval (0 disables)")
+	)
+	flag.Parse()
+
+	reg := server.NewRegistry()
+	if err := reg.AddKernels(); err != nil {
+		fatal(err)
+	}
+	if *dslGlob != "" {
+		paths, err := filepath.Glob(*dslGlob)
+		if err != nil {
+			fatal(err)
+		}
+		if len(paths) == 0 {
+			fatal(fmt.Errorf("no files match -dsl %q", *dslGlob))
+		}
+		for _, p := range paths {
+			if err := reg.LoadDSLFile(p); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	store, err := configstore.Open(*storePath, *storeMax)
+	if err != nil {
+		fatal(err)
+	}
+	pool := runtime.NewPool(*workers)
+
+	srv, err := server.New(server.Options{
+		Pool:           pool,
+		Store:          store,
+		Registry:       reg,
+		MaxInflight:    *inflight,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTO,
+		MaxN:           *maxN,
+		TuneMax:        *tuneMax,
+		RetuneInterval: *retune,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("pbserve: listening on %s (%d workers, %d programs, store %s, %d tuned configs)",
+		*addr, pool.NumWorkers(), len(reg.Names()), *storePath, store.Len())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("pbserve: %v; draining", s)
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+		return
+	}
+
+	// Orderly shutdown: stop accepting connections and drain in-flight
+	// requests, stop the tuner and persist the store, then drain the
+	// worker pool so no goroutine leaks past exit.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("pbserve: http shutdown: %v", err)
+	}
+	srv.Close()
+	pool.Shutdown()
+	log.Printf("pbserve: stopped cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pbserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"petabricks/internal/autotuner"
+	"petabricks/internal/choice"
+	"petabricks/internal/matrix"
+	"petabricks/internal/pbc/interp"
+	"petabricks/internal/pbc/parser"
+	"petabricks/internal/runtime"
+)
+
+// LoadDSL parses a PetaBricks source file and returns one Benchmark per
+// non-template transform, each executing through the interpreter under
+// the caller-supplied configuration. Training inputs come from the
+// transform's generator when declared, otherwise uniform random data —
+// the same rule Engine.Tune uses — so the served path and the tuned
+// path see identical instances for a given (n, seed). DSL transforms
+// interpret sequentially per request; parallelism across requests comes
+// from the caller running many at once.
+func LoadDSL(path string) ([]*Benchmark, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	eng, err := interp.New(prog)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var out []*Benchmark
+	for _, t := range prog.Transforms {
+		if len(t.Templates) > 0 {
+			continue // template transforms are instantiated per call site
+		}
+		res, ok := eng.Analysis(t.Name)
+		if !ok || len(res.Transform.From) == 0 {
+			continue // generators with no inputs are not servable entry points
+		}
+		name := t.Name
+		out = append(out, &Benchmark{
+			Name: name,
+			Run: func(_ *runtime.Pool, cfg *choice.Config, n int, seed int64, _ RunOpts) (Result, error) {
+				e := eng.WithConfig(cfg)
+				inputs, err := e.GenerateInputs(name, int64(n), seed)
+				if err != nil {
+					return Result{}, err
+				}
+				start := time.Now()
+				outs, err := e.Run(name, inputs)
+				if err != nil {
+					return Result{}, err
+				}
+				sec := time.Since(start).Seconds()
+				return Result{Seconds: sec, Checksum: matrixChecksum(outs)}, nil
+			},
+			Space: func() *choice.Space {
+				res, _ := eng.Analysis(name)
+				return interp.Space(res)
+			},
+			Program: func(*runtime.Pool) autotuner.Program {
+				return &dslProgram{eng: eng, name: name}
+			},
+			Baseline: choice.NewConfig,
+			CheckTol: 1e-9,
+			MinSize:  8,
+			Trials:   1,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no servable transforms", path)
+	}
+	return out, nil
+}
+
+// dslProgram adapts one interpreted transform to the autotuner's Program
+// interface. Each Run executes on a WithConfig view so concurrent
+// serving traffic on the shared engine is never perturbed.
+type dslProgram struct {
+	eng  *interp.Engine
+	name string
+}
+
+func (p *dslProgram) Run(cfg *choice.Config, size, seed int64) (any, error) {
+	e := p.eng.WithConfig(cfg)
+	inputs, err := e.GenerateInputs(p.name, size, seed)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(p.name, inputs)
+}
+
+func (p *dslProgram) Same(a, b any, tol float64) bool {
+	x, y := a.(map[string]*matrix.Matrix), b.(map[string]*matrix.Matrix)
+	if len(x) != len(y) {
+		return false
+	}
+	for k, m := range x {
+		o, ok := y[k]
+		if !ok || !m.AlmostEqual(o, tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// matrixChecksum fingerprints a named-matrix result set deterministically
+// (position-weighted so permuted outputs do not collide).
+func matrixChecksum(outs map[string]*matrix.Matrix) float64 {
+	names := make([]string, 0, len(outs))
+	for k := range outs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	sum := 0.0
+	pos := 1.0
+	for _, k := range names {
+		outs[k].Walk(func(_ []int, v float64) { sum += v * pos; pos++ })
+	}
+	return sum
+}

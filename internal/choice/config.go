@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -220,17 +221,31 @@ func parseSelectorConfig(s string) (Selector, error) {
 	return sel.Normalize(), nil
 }
 
-// Save writes the configuration to a file.
+// Save writes the configuration to a file atomically: the bytes go to a
+// temporary file in the same directory which is then renamed over path,
+// so a concurrent Load never observes a half-written configuration and a
+// crash mid-write leaves the previous file intact.
 func (c *Config) Save(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := c.Write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Load reads a configuration from a file.

@@ -259,3 +259,65 @@ func TestTunableClamp(t *testing.T) {
 		t.Fatal("Clamp broken")
 	}
 }
+
+func TestSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "app.cfg")
+	// Save over an existing file must replace it wholesale and leave no
+	// temporary files behind.
+	old := NewConfig()
+	old.SetInt("stale.key", 1)
+	if err := old.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	c := sampleConfig()
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(back) {
+		t.Fatal("atomic save round trip mismatch")
+	}
+	if _, ok := back.Ints["stale.key"]; ok {
+		t.Fatal("old file contents leaked into replacement")
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("temporary files left behind: %v", left)
+	}
+}
+
+func TestSaveAtomicConcurrentLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "app.cfg")
+	c := sampleConfig()
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := c.Save(path); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Every load races a rename; none may observe a partial file.
+	for i := 0; i < 50; i++ {
+		back, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Equal(back) {
+			t.Fatal("observed partial configuration during concurrent save")
+		}
+	}
+	<-done
+}

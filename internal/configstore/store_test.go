@@ -1,0 +1,225 @@
+package configstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"petabricks/internal/choice"
+)
+
+func cfgWith(cutoff int64) *choice.Config {
+	c := choice.NewConfig()
+	c.SetInt("sort.seqcutoff", cutoff)
+	c.SetSelector("sort", choice.Selector{Levels: []choice.Level{
+		{Cutoff: cutoff, Choice: 0},
+		{Cutoff: choice.Inf, Choice: 2, Params: map[string]int64{"k": 2}},
+	}})
+	return c
+}
+
+func TestBucket(t *testing.T) {
+	cases := map[int64]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11, 100000: 17}
+	for size, want := range cases {
+		if got := Bucket(size); got != want {
+			t.Errorf("Bucket(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestPutLookupExact(t *testing.T) {
+	s, err := Open("", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyFor("sort", 100000, 8)
+	s.Put(k, cfgWith(600), 0.5, time.Unix(1, 0))
+	got, usedKey, ok := s.Lookup("sort", 100000, 8)
+	if !ok || usedKey != k {
+		t.Fatalf("exact lookup failed: ok=%v key=%v", ok, usedKey)
+	}
+	if got.Int("sort.seqcutoff", 0) != 600 {
+		t.Fatal("wrong config returned")
+	}
+	// Mutating the returned clone must not touch the stored entry.
+	got.SetInt("sort.seqcutoff", 999)
+	again, _, _ := s.Lookup("sort", 100000, 8)
+	if again.Int("sort.seqcutoff", 0) != 600 {
+		t.Fatal("lookup returned aliased config; store state was mutated")
+	}
+	if _, _, ok := s.Lookup("matmul", 100, 8); ok {
+		t.Fatal("lookup for unknown program must miss")
+	}
+}
+
+func TestLookupNearestBucket(t *testing.T) {
+	s, _ := Open("", 10)
+	s.Put(Key{"sort", 10, 8}, cfgWith(10), 1, time.Unix(1, 0))
+	s.Put(Key{"sort", 17, 8}, cfgWith(17), 1, time.Unix(1, 0))
+	s.Put(Key{"sort", 13, 4}, cfgWith(13), 1, time.Unix(1, 0))
+
+	// Bucket 12, workers 8: nearest same-workers entries are b10 (d=2)
+	// and b17 (d=5) -> b10. The b13/w4 entry is closer but has the wrong
+	// worker count and must not win over a same-workers entry.
+	_, k, ok := s.Lookup("sort", 1<<12, 8)
+	if !ok || k.Bucket != 10 {
+		t.Fatalf("nearest lookup: got %v ok=%v, want bucket 10", k, ok)
+	}
+	// Bucket 16 -> b17 wins (d=1 beats d=6).
+	_, k, _ = s.Lookup("sort", 1<<16, 8)
+	if k.Bucket != 17 {
+		t.Fatalf("nearest lookup: got bucket %d, want 17", k.Bucket)
+	}
+	// Equidistant (b10 vs b17 from b13.5 is not equal; use b12 entries):
+	// larger bucket wins distance ties.
+	s.Put(Key{"sort", 12, 8}, cfgWith(12), 1, time.Unix(1, 0))
+	s.Put(Key{"sort", 14, 8}, cfgWith(14), 1, time.Unix(1, 0))
+	_, k, _ = s.Lookup("sort", 1<<13, 8)
+	if k.Bucket != 14 {
+		t.Fatalf("tie break: got bucket %d, want 14 (larger side)", k.Bucket)
+	}
+	// Workers fallback: only wrong-workers entries exist for matmul.
+	s.Put(Key{"matmul", 8, 2}, cfgWith(8), 1, time.Unix(1, 0))
+	_, k, ok = s.Lookup("matmul", 1<<8, 16)
+	if !ok || k.Workers != 2 {
+		t.Fatalf("workers fallback failed: %v ok=%v", k, ok)
+	}
+}
+
+func TestPromoteOnlyWhenFaster(t *testing.T) {
+	s, _ := Open("", 10)
+	k := Key{"sort", 10, 8}
+	now := time.Unix(1, 0)
+	if !s.Promote(k, cfgWith(1), 1.0, 0, 0.02, now) {
+		t.Fatal("first promotion (no incumbent) must succeed")
+	}
+	if s.Promote(k, cfgWith(2), 0.999, 1.0, 0.02, now) {
+		t.Fatal("0.1% improvement is within the margin; must be rejected")
+	}
+	if !s.Promote(k, cfgWith(3), 0.5, 1.0, 0.02, now) {
+		t.Fatal("2x faster must be promoted")
+	}
+	got, cost, ok := s.Get(k)
+	if !ok || cost != 0.5 || got.Int("sort.seqcutoff", 0) != 3 {
+		t.Fatalf("store kept the wrong entry: cost=%g cfg=%v", cost, got.Ints)
+	}
+	st := s.Stats()
+	if st.Promotions != 2 || st.Rejections != 1 {
+		t.Fatalf("stats = %+v, want 2 promotions / 1 rejection", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, _ := Open("", 3)
+	now := time.Unix(1, 0)
+	for b := 0; b < 3; b++ {
+		s.Put(Key{"sort", b, 8}, cfgWith(int64(b)), 1, now)
+	}
+	// Touch buckets 0 and 2 so bucket 1 is least recently used.
+	s.Lookup("sort", 1, 8)    // bucket 0
+	s.Lookup("sort", 1<<2, 8) // bucket 2
+	s.Put(Key{"sort", 9, 8}, cfgWith(9), 1, now)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	if _, _, ok := s.Get(Key{"sort", 1, 8}); ok {
+		t.Fatal("LRU entry (bucket 1) should have been evicted")
+	}
+	for _, b := range []int{0, 2, 9} {
+		if _, _, ok := s.Get(Key{"sort", b, 8}); !ok {
+			t.Fatalf("bucket %d missing after eviction", b)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	s, err := Open(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1700000000, 0).UTC()
+	s.Put(Key{"sort", 17, 8}, cfgWith(600), 0.123, now)
+	s.Put(Key{"RollingSum", 6, 8}, cfgWith(4), 0.001, now)
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// No temp litter.
+	left, _ := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if len(left) != 0 {
+		t.Fatalf("temp files left behind: %v", left)
+	}
+	// The on-disk payload is JSON with embedded textual configs.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ff map[string]any
+	if err := json.Unmarshal(raw, &ff); err != nil {
+		t.Fatalf("store file is not JSON: %v", err)
+	}
+
+	back, err := Open(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("loaded %d entries, want 2", back.Len())
+	}
+	cfg, cost, ok := back.Get(Key{"sort", 17, 8})
+	if !ok || cost != 0.123 {
+		t.Fatalf("sort entry not restored (ok=%v cost=%g)", ok, cost)
+	}
+	if !cfg.Equal(cfgWith(600)) {
+		t.Fatal("config did not survive the round trip")
+	}
+	snap := back.Snapshot()
+	if len(snap) != 2 || !snap[0].TunedAt.Equal(now) {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+}
+
+func TestOpenMissingFileAndBadFile(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "nope.json"), 4)
+	if err != nil || s.Len() != 0 {
+		t.Fatalf("missing file must open empty: err=%v len=%d", err, s.Len())
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := Open(bad, 4); err == nil {
+		t.Fatal("corrupt store file must be reported")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.json")
+	s, _ := Open(path, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := Key{"sort", g, 8}
+				s.Put(k, cfgWith(int64(i)), float64(i), time.Unix(int64(i), 0))
+				s.Lookup("sort", 1<<g, 8)
+				s.Promote(k, cfgWith(int64(i)), 0.1, 1, 0.02, time.Unix(int64(i), 0))
+				if i%10 == 0 {
+					if err := s.Save(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if _, err := Open(path, 32); err != nil {
+		t.Fatalf("store file corrupted by concurrent saves: %v", err)
+	}
+}

@@ -2,10 +2,10 @@ package harness
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"petabricks/internal/autotuner"
+	"petabricks/internal/bench"
 	"petabricks/internal/choice"
 	"petabricks/internal/kernels/eigen"
 	"petabricks/internal/runtime"
@@ -29,38 +29,13 @@ func DefaultEigenParams() EigenParams {
 	}
 }
 
-type eigenProgram struct{}
-
-func (eigenProgram) Run(cfg *choice.Config, size, seed int64) (any, error) {
-	rng := rand.New(rand.NewSource(seed))
-	tri := eigen.Generate(rng, int(size))
-	tr := eigen.New()
-	out := choice.Run(choice.NewExec(nil, cfg), tr, tri)
-	if out.Err != nil {
-		return nil, out.Err
-	}
-	return out.R.Values, nil
-}
-
-func (eigenProgram) Same(a, b any, tol float64) bool {
-	x, y := a.([]float64), b.([]float64)
-	if len(x) != len(y) {
-		return false
-	}
-	for i := range x {
-		if math.Abs(x[i]-y[i]) > tol {
-			return false
-		}
-	}
-	return true
-}
-
 // TuneEigen wall-clock-trains the eigenproblem benchmark. The paper's
-// result: divide-and-conquer above a cutoff near 48, QR below.
+// result: divide-and-conquer above a cutoff near 48, QR below. The
+// Program adapter is shared with pbserve via internal/bench.
 func TuneEigen(maxSize int64) (*choice.Config, error) {
 	tr := eigen.New()
 	space := eigen.Space(tr)
-	prog := eigenProgram{}
+	prog := bench.EigenProgram(nil)
 	cfg, _, err := autotuner.Tune(space, &autotuner.WallClock{P: prog, Trials: 1, Seed: 21}, autotuner.Options{
 		MinSize: 16,
 		MaxSize: maxSize,

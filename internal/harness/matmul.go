@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"petabricks/internal/autotuner"
+	"petabricks/internal/bench"
 	"petabricks/internal/choice"
 	"petabricks/internal/kernels/matmul"
 	"petabricks/internal/linalg"
@@ -33,28 +34,12 @@ func DefaultMatMulParams() MatMulParams {
 	}
 }
 
-type mmProgram struct {
-	pool *runtime.Pool
-}
-
-func (p *mmProgram) Run(cfg *choice.Config, size, seed int64) (any, error) {
-	rng := rand.New(rand.NewSource(seed))
-	in := matmul.Generate(rng, int(size))
-	tr := matmul.New()
-	choice.Run(choice.NewExec(p.pool, cfg), tr, in)
-	return in.C, nil
-}
-
-func (p *mmProgram) Same(a, b any, tol float64) bool {
-	x, y := a.(*matrix.Matrix), b.(*matrix.Matrix)
-	return x.MaxAbsDiff(y) <= tol
-}
-
-// TuneMatMul wall-clock-trains the matrix multiply benchmark.
+// TuneMatMul wall-clock-trains the matrix multiply benchmark. The
+// Program adapter is shared with pbserve via internal/bench.
 func TuneMatMul(pool *runtime.Pool, maxSize int64) (*choice.Config, error) {
 	tr := matmul.New()
 	space := matmul.Space(tr)
-	prog := &mmProgram{pool: pool}
+	prog := bench.MatMulProgram(pool)
 	cfg, _, err := autotuner.Tune(space, &autotuner.WallClock{P: prog, Trials: 1, Seed: 11}, autotuner.Options{
 		MinSize: 16,
 		MaxSize: maxSize,

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"petabricks/internal/autotuner"
+	"petabricks/internal/bench"
 	"petabricks/internal/choice"
 	"petabricks/internal/kernels/sortk"
 	"petabricks/internal/runtime"
@@ -31,42 +32,12 @@ func DefaultSortParams() SortParams {
 	}
 }
 
-// sortProgram adapts the sort benchmark to the autotuner's Program
-// interface (wall-clock training + §3.5 consistency checking).
-type sortProgram struct {
-	pool *runtime.Pool
-}
-
-func (p *sortProgram) Run(cfg *choice.Config, size, seed int64) (any, error) {
-	rng := rand.New(rand.NewSource(seed))
-	in := sortk.Generate(rng, int(size))
-	tr := sortk.New()
-	ex := choice.NewExec(p.pool, cfg)
-	choice.Run(ex, tr, in)
-	if !sortk.IsSorted(in.Data) {
-		return nil, fmt.Errorf("harness: configuration produced unsorted output")
-	}
-	return in.Data, nil
-}
-
-func (p *sortProgram) Same(a, b any, tol float64) bool {
-	x, y := a.([]int64), b.([]int64)
-	if len(x) != len(y) {
-		return false
-	}
-	for i := range x {
-		if x[i] != y[i] {
-			return false
-		}
-	}
-	return true
-}
-
 // TuneSort wall-clock-trains the sort benchmark on the local machine.
+// The Program adapter is shared with pbserve via internal/bench.
 func TuneSort(pool *runtime.Pool, maxSize int64) (*choice.Config, *autotuner.Report, error) {
 	tr := sortk.New()
 	space := sortk.Space(tr)
-	prog := &sortProgram{pool: pool}
+	prog := bench.SortProgram(pool)
 	return autotuner.Tune(space, &autotuner.WallClock{P: prog, Trials: 2, Seed: 7}, autotuner.Options{
 		MinSize: 64,
 		MaxSize: maxSize,

@@ -42,6 +42,25 @@ func New(prog *ast.Program) (*Engine, error) {
 	return e, nil
 }
 
+// WithConfig returns an engine view sharing this engine's program and
+// analysis results but carrying its own configuration (and the same
+// pool), so concurrent executions — e.g. server requests racing a
+// background tuner — can each run under a different Config without
+// mutating the shared Cfg field. The analysis cache is copied so
+// template instantiations on one view never race another's reads.
+func (e *Engine) WithConfig(cfg *choice.Config) *Engine {
+	if cfg == nil {
+		cfg = choice.NewConfig()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	an := make(map[string]*analysis.Result, len(e.analyses))
+	for k, v := range e.analyses {
+		an[k] = v
+	}
+	return &Engine{Prog: e.Prog, Cfg: cfg, Pool: e.Pool, analyses: an}
+}
+
 // Analysis returns the analysis result for a transform.
 func (e *Engine) Analysis(name string) (*analysis.Result, bool) {
 	e.mu.Lock()

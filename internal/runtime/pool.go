@@ -35,6 +35,7 @@ type Pool struct {
 	sleepCv  *sync.Cond
 	sleeping int
 	closed   atomic.Bool
+	wg       sync.WaitGroup // worker goroutines still running
 
 	steals atomic.Int64 // statistics: successful steals
 	execs  atomic.Int64 // statistics: tasks executed
@@ -60,8 +61,13 @@ func NewPoolMode(n int, mode Mode) *Pool {
 			rng:   rand.New(rand.NewSource(int64(i)*7919 + 1)),
 		}
 	}
+	p.wg.Add(len(p.workers))
 	for _, w := range p.workers {
-		go w.loop()
+		w := w
+		go func() {
+			defer p.wg.Done()
+			w.loop()
+		}()
 	}
 	return p
 }
@@ -85,6 +91,20 @@ func (p *Pool) Close() {
 	p.sleepMu.Lock()
 	p.sleepCv.Broadcast()
 	p.sleepMu.Unlock()
+}
+
+// Closed reports whether Close or Shutdown has been called.
+func (p *Pool) Closed() bool { return p.closed.Load() }
+
+// Shutdown closes the pool and blocks until every worker goroutine has
+// drained its remaining queued work and exited, so a daemon can stop on
+// SIGTERM without leaking workers. Callers must not Submit or Run new
+// work concurrently with or after Shutdown; in-flight Run calls should
+// be allowed to finish first (workers keep executing already-queued
+// tasks until none remain).
+func (p *Pool) Shutdown() {
+	p.Close()
+	p.wg.Wait()
 }
 
 // NewTask creates a task executing fn. The task runs once all its

@@ -1,0 +1,65 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolShutdownDrains verifies Shutdown returns only after every
+// worker goroutine has exited, and that work queued before Shutdown is
+// executed rather than dropped.
+func TestPoolShutdownDrains(t *testing.T) {
+	p := NewPool(4)
+	var ran atomic.Int64
+	const tasks = 200
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Run(func(w *Worker) {
+				w.For(0, 64, 8, func(_ *Worker, lo, hi int) {
+					ran.Add(int64(hi - lo))
+				})
+			})
+		}()
+	}
+	wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		p.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not return; workers leaked")
+	}
+	if got := ran.Load(); got != tasks*64 {
+		t.Fatalf("expected %d iterations, got %d", tasks*64, got)
+	}
+	if !p.Closed() {
+		t.Fatal("pool not marked closed after Shutdown")
+	}
+	// Shutdown is idempotent.
+	p.Shutdown()
+}
+
+// TestPoolShutdownIdleWorkers verifies sleeping workers wake up and exit.
+func TestPoolShutdownIdleWorkers(t *testing.T) {
+	p := NewPool(8)
+	// Let workers park themselves.
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		p.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung on idle workers")
+	}
+}

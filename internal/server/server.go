@@ -1,0 +1,502 @@
+// Package server implements pbserve: a long-running PetaBricks
+// execution service. It exposes the benchmark kernels and interpreted
+// .pbcc transforms over HTTP (stdlib net/http only), executes every
+// request under the best known tuned configuration from a persistent
+// config store, caps concurrent work against one shared work-stealing
+// pool through an admission layer, and re-tunes hot (program, size
+// bucket) keys in the background so the service gets faster the longer
+// it runs.
+//
+// API:
+//
+//	POST /v1/run     {"program","n","seed","acc"}        execute once
+//	POST /v1/tune    {"program","n","max","wait"}        (re)tune
+//	GET  /v1/configs                                     stored configs
+//	GET  /v1/stats                                       counters
+//	GET  /v1/programs                                    registered programs
+//	GET  /healthz                                        liveness
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"petabricks/internal/bench"
+	"petabricks/internal/configstore"
+	"petabricks/internal/runtime"
+)
+
+// Options configures a Server. Pool, Store, and Registry are required.
+type Options struct {
+	Pool     *runtime.Pool
+	Store    *configstore.Store
+	Registry *Registry
+
+	// MaxInflight caps requests executing simultaneously on the shared
+	// pool; further requests queue. Default: 2 × pool workers.
+	MaxInflight int
+	// MaxQueue caps requests waiting for an execution slot before the
+	// server sheds load with 503. Default 64.
+	MaxQueue int
+	// QueueTimeout bounds how long a queued request waits for a slot.
+	// Default 10s.
+	QueueTimeout time.Duration
+	// MaxN rejects absurd input sizes outright. Default 1<<21.
+	MaxN int
+	// TuneMax is the default largest training size for /v1/tune requests
+	// that omit "max" and for idle re-tuning. Default 4096.
+	TuneMax int64
+	// PromoteMargin is the fractional speedup a freshly tuned config
+	// must show over the incumbent to be promoted. Default 0.02.
+	PromoteMargin float64
+	// RetuneInterval is how often the background tuner considers
+	// re-tuning the hottest key while the server is idle. 0 disables
+	// idle re-tuning; /v1/tune still works.
+	RetuneInterval time.Duration
+	// RetuneMinAge keeps freshly tuned keys from being re-tuned
+	// immediately. Default 10 × RetuneInterval.
+	RetuneMinAge time.Duration
+	// Seed is the base seed for tuning measurements. Default 1.
+	Seed int64
+	// Logf, when set, receives operational log lines (tuning outcomes,
+	// save failures). Nil is silent.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Pool == nil || o.Store == nil || o.Registry == nil {
+		return o, errors.New("server: Pool, Store, and Registry are required")
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 2 * o.Pool.NumWorkers()
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 64
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = 10 * time.Second
+	}
+	if o.MaxN <= 0 {
+		o.MaxN = 1 << 21
+	}
+	if o.TuneMax <= 0 {
+		o.TuneMax = 4096
+	}
+	if o.PromoteMargin <= 0 {
+		o.PromoteMargin = 0.02
+	}
+	if o.RetuneMinAge <= 0 {
+		o.RetuneMinAge = 10 * o.RetuneInterval
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o, nil
+}
+
+// Server is the pbserve HTTP service. Construct with New, serve
+// Handler(), and Close before shutting the pool down.
+type Server struct {
+	opts  Options
+	pool  *runtime.Pool
+	store *configstore.Store
+	reg   *Registry
+	tuner *tuner
+	mux   *http.ServeMux
+
+	sem     chan struct{} // admission slots
+	waiting atomic.Int64  // requests queued for a slot
+	closed  atomic.Bool
+
+	start     time.Time
+	requests  atomic.Int64 // /v1/run requests admitted for execution
+	completed atomic.Int64 // /v1/run requests finished successfully
+	failures  atomic.Int64 // /v1/run executions that returned an error
+	shed      atomic.Int64 // requests rejected by the admission layer
+}
+
+// New builds a Server and starts its background tuner goroutine.
+func New(opts Options) (*Server, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:  opts,
+		pool:  opts.Pool,
+		store: opts.Store,
+		reg:   opts.Registry,
+		sem:   make(chan struct{}, opts.MaxInflight),
+		start: time.Now(),
+	}
+	s.tuner = newTuner(s)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/v1/tune", s.handleTune)
+	s.mux.HandleFunc("/v1/configs", s.handleConfigs)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/programs", s.handlePrograms)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.tuner.startLoop()
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops accepting work, shuts the background tuner down, and
+// saves the config store. It does not close the pool — the owner does
+// that after the HTTP listener has drained.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.tuner.stop()
+	if err := s.store.Save(); err != nil {
+		s.opts.Logf("pbserve: final store save failed: %v", err)
+	}
+}
+
+// --- admission ----------------------------------------------------------
+
+var errBusy = errors.New("server at capacity")
+
+// acquire claims an execution slot, queuing up to MaxQueue waiters for
+// at most QueueTimeout. This is the admission layer: every benchmark
+// execution shares one pool, so total concurrency is bounded no matter
+// how many HTTP connections arrive.
+func (s *Server) acquire(r *http.Request) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.opts.MaxQueue) {
+		s.waiting.Add(-1)
+		return errBusy
+	}
+	defer s.waiting.Add(-1)
+	t := time.NewTimer(s.opts.QueueTimeout)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-t.C:
+		return errBusy
+	case <-r.Context().Done():
+		return r.Context().Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// inflight returns the number of requests currently executing.
+func (s *Server) inflight() int { return len(s.sem) }
+
+// idle reports whether no request is executing or queued; the tuner
+// only re-tunes during idle periods.
+func (s *Server) idle() bool { return s.inflight() == 0 && s.waiting.Load() == 0 }
+
+// --- handlers -----------------------------------------------------------
+
+type runRequest struct {
+	Program string `json:"program"`
+	N       int    `json:"n"`
+	Seed    int64  `json:"seed"`
+	Acc     *int   `json:"acc"` // poisson accuracy index; nil = highest
+}
+
+type runResponse struct {
+	Program      string  `json:"program"`
+	N            int     `json:"n"`
+	Workers      int     `json:"workers"`
+	Seconds      float64 `json:"seconds"`
+	Checksum     float64 `json:"checksum"`
+	Detail       string  `json:"detail,omitempty"`
+	Config       string  `json:"config"`
+	ConfigSource string  `json:"config_source"` // "store" or "baseline"
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.closed.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	var req runRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	b, ok := s.reg.Get(req.Program)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown program %q", req.Program))
+		return
+	}
+	if req.N <= 0 {
+		writeErr(w, http.StatusBadRequest, "n must be positive")
+		return
+	}
+	if req.N > s.opts.MaxN {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("n exceeds the server limit %d", s.opts.MaxN))
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	acc := -1
+	if req.Acc != nil {
+		acc = *req.Acc
+	}
+
+	// Best known configuration: tuned entry from the store (nearest size
+	// bucket), falling back to the benchmark's untrained baseline.
+	cfg, key, tuned := s.store.Lookup(req.Program, int64(req.N), s.pool.NumWorkers())
+	source, keyStr := "store", key.String()
+	if !tuned {
+		if b.Baseline == nil {
+			writeErr(w, http.StatusConflict,
+				fmt.Sprintf("program %q has no tuned configuration and no baseline; tune it first", req.Program))
+			return
+		}
+		cfg = b.Baseline()
+		source, keyStr = "baseline", "baseline"
+	}
+
+	if err := s.acquire(r); err != nil {
+		s.shed.Add(1)
+		writeErr(w, http.StatusServiceUnavailable, "server at capacity; retry later")
+		return
+	}
+	s.requests.Add(1)
+	res, err := b.Run(s.pool, cfg, req.N, req.Seed, bench.RunOpts{AccIndex: acc})
+	s.release()
+	if err != nil {
+		s.failures.Add(1)
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.completed.Add(1)
+	s.tuner.recordHit(req.Program, int64(req.N))
+	writeJSON(w, http.StatusOK, runResponse{
+		Program:      req.Program,
+		N:            req.N,
+		Workers:      s.pool.NumWorkers(),
+		Seconds:      res.Seconds,
+		Checksum:     res.Checksum,
+		Detail:       res.Detail,
+		Config:       keyStr,
+		ConfigSource: source,
+	})
+}
+
+type tuneRequest struct {
+	Program string `json:"program"`
+	N       int64  `json:"n"`    // serving size the tuned key targets; default max
+	Max     int64  `json:"max"`  // largest training size; default Options.TuneMax
+	Wait    bool   `json:"wait"` // block until the tune finishes
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.closed.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	var req tuneRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	b, ok := s.reg.Get(req.Program)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown program %q", req.Program))
+		return
+	}
+	if !b.Tunable() {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("program %q is not tunable through this endpoint", req.Program))
+		return
+	}
+	if req.Max <= 0 {
+		req.Max = s.opts.TuneMax
+	}
+	if req.N <= 0 {
+		req.N = req.Max
+	}
+	if req.N > int64(s.opts.MaxN) || req.Max > int64(s.opts.MaxN) {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("size exceeds the server limit %d", s.opts.MaxN))
+		return
+	}
+	job := tuneJob{program: req.Program, size: req.N, max: req.Max}
+	if req.Wait {
+		job.reply = make(chan tuneOutcome, 1)
+	}
+	if !s.tuner.enqueue(job) {
+		writeErr(w, http.StatusServiceUnavailable, "tuning queue full; retry later")
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"status":  "queued",
+			"program": req.Program,
+			"n":       req.N,
+			"max":     req.Max,
+		})
+		return
+	}
+	select {
+	case out := <-job.reply:
+		if out.Err != nil {
+			writeErr(w, http.StatusInternalServerError, out.Err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "done",
+			"config":   out.Key,
+			"promoted": out.Promoted,
+			"new_cost": out.NewCost,
+			"old_cost": out.OldCost,
+		})
+	case <-r.Context().Done():
+		writeErr(w, http.StatusRequestTimeout, "client went away while tuning")
+	}
+}
+
+type configEntry struct {
+	Key     string    `json:"key"`
+	Program string    `json:"program"`
+	Bucket  int       `json:"bucket"`
+	Workers int       `json:"workers"`
+	Cost    float64   `json:"cost"`
+	TunedAt time.Time `json:"tuned_at"`
+	Hits    int64     `json:"hits"`
+	Config  []string  `json:"config"` // rendered "name = value" lines
+}
+
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	snap := s.store.Snapshot()
+	out := make([]configEntry, 0, len(snap))
+	for _, e := range snap {
+		lines := renderConfigLines(e)
+		out = append(out, configEntry{
+			Key:     e.Key.String(),
+			Program: e.Key.Program,
+			Bucket:  e.Key.Bucket,
+			Workers: e.Key.Workers,
+			Cost:    e.Cost,
+			TunedAt: e.TunedAt,
+			Hits:    e.Hits,
+			Config:  lines,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"entries": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"requests": map[string]any{
+			"admitted":  s.requests.Load(),
+			"completed": s.completed.Load(),
+			"failed":    s.failures.Load(),
+			"shed":      s.shed.Load(),
+			"inflight":  s.inflight(),
+			"queued":    s.waiting.Load(),
+		},
+		"pool": map[string]any{
+			"workers":  s.pool.NumWorkers(),
+			"steals":   s.pool.Steals(),
+			"executed": s.pool.Executed(),
+		},
+		"store": s.store.Stats(),
+		"tuner": s.tuner.statsSnapshot(),
+	})
+}
+
+func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	type prog struct {
+		Name    string `json:"name"`
+		Tunable bool   `json:"tunable"`
+	}
+	var out []prog
+	for _, name := range s.reg.Names() {
+		b, _ := s.reg.Get(name)
+		out = append(out, prog{Name: name, Tunable: b.Tunable()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"programs": out})
+}
+
+// --- helpers ------------------------------------------------------------
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// renderConfigLines flattens an entry's configuration into sorted
+// "name = value" / "selector name = levels" lines (the pbtune file
+// format, line by line).
+func renderConfigLines(e configstore.Entry) []string {
+	var lines []string
+	ints := make([]string, 0, len(e.Cfg.Ints))
+	for k := range e.Cfg.Ints {
+		ints = append(ints, k)
+	}
+	sort.Strings(ints)
+	for _, k := range ints {
+		lines = append(lines, fmt.Sprintf("%s = %d", k, e.Cfg.Ints[k]))
+	}
+	sels := make([]string, 0, len(e.Cfg.Sels))
+	for k := range e.Cfg.Sels {
+		sels = append(sels, k)
+	}
+	sort.Strings(sels)
+	for _, k := range sels {
+		lines = append(lines, fmt.Sprintf("selector %s = %s", k, e.Cfg.Sels[k].String()))
+	}
+	return lines
+}
