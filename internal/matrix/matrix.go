@@ -21,6 +21,22 @@ type Matrix struct {
 	dims    []int
 	strides []int
 	offset  int
+	// contig caches whether the view is a single dense row-major run;
+	// it is recomputed whenever dims/strides change so the hot paths
+	// (Data, Each, compiled rule execution) never re-derive it.
+	contig bool
+}
+
+// computeContig derives the dense row-major property from dims/strides.
+func (m *Matrix) computeContig() bool {
+	stride := 1
+	for i := len(m.dims) - 1; i >= 0; i-- {
+		if m.dims[i] != 1 && m.strides[i] != stride {
+			return false
+		}
+		stride *= m.dims[i]
+	}
+	return true
 }
 
 // New allocates a zero-filled matrix with the given dimension sizes.
@@ -44,12 +60,13 @@ func New(dims ...int) *Matrix {
 		m.strides[i] = stride
 		stride *= dims[i]
 	}
+	m.contig = true
 	return m
 }
 
 // FromSlice builds a 1-D matrix that aliases data.
 func FromSlice(data []float64) *Matrix {
-	return &Matrix{data: data, dims: []int{len(data)}, strides: []int{1}}
+	return &Matrix{data: data, dims: []int{len(data)}, strides: []int{1}, contig: true}
 }
 
 // New2D allocates an h×w matrix (rows × cols), indexed Get(row, col).
@@ -107,6 +124,23 @@ func (m *Matrix) At1(i int) float64 { return m.data[m.offset+i*m.strides[0]] }
 // SetAt1 stores v at index i of a 1-D matrix.
 func (m *Matrix) SetAt1(i int, v float64) { m.data[m.offset+i*m.strides[0]] = v }
 
+// Stride returns the element stride of dimension d. Together with
+// Offset, AtFlat, and SetFlat it lets compiled code (the interpreter's
+// rule compiler) resolve a cell to one buffer position with a handful of
+// integer multiply-adds instead of per-access index slices.
+func (m *Matrix) Stride(d int) int { return m.strides[d] }
+
+// Offset returns the view's base position in the backing buffer.
+func (m *Matrix) Offset() int { return m.offset }
+
+// AtFlat reads the element at a backing-buffer position previously
+// computed from Offset and Stride.
+func (m *Matrix) AtFlat(off int) float64 { return m.data[off] }
+
+// SetFlat stores v at a backing-buffer position previously computed
+// from Offset and Stride.
+func (m *Matrix) SetFlat(off int, v float64) { m.data[off] = v }
+
 // Region returns a view of the half-open hyper-rectangle [begin, end).
 // The view shares storage with m.
 func (m *Matrix) Region(begin, end []int) *Matrix {
@@ -126,7 +160,61 @@ func (m *Matrix) Region(begin, end []int) *Matrix {
 		out.offset += begin[d] * m.strides[d]
 		out.dims[d] = end[d] - begin[d]
 	}
+	out.contig = out.computeContig()
 	return out
+}
+
+// RegionInto configures out in place as the [begin, end) view of m,
+// reusing out's dims/strides storage when capacity allows. It is the
+// allocation-free counterpart of Region for hot loops that rebuild the
+// same view shape at every iteration (compiled rule bindings). Bounds
+// are checked exactly like Region.
+func (m *Matrix) RegionInto(out *Matrix, begin, end []int) *Matrix {
+	if len(begin) != len(m.dims) || len(end) != len(m.dims) {
+		panic("matrix: region rank mismatch")
+	}
+	nd := len(m.dims)
+	if cap(out.dims) < nd {
+		out.dims = make([]int, nd)
+	} else {
+		out.dims = out.dims[:nd]
+	}
+	if cap(out.strides) < nd {
+		out.strides = make([]int, nd)
+	} else {
+		out.strides = out.strides[:nd]
+	}
+	out.data = m.data
+	out.offset = m.offset
+	for d := range m.dims {
+		if begin[d] < 0 || end[d] > m.dims[d] || begin[d] > end[d] {
+			panic(fmt.Sprintf("matrix: bad region [%d,%d) in dim %d of size %d", begin[d], end[d], d, m.dims[d]))
+		}
+		out.offset += begin[d] * m.strides[d]
+		out.dims[d] = end[d] - begin[d]
+		out.strides[d] = m.strides[d]
+	}
+	out.contig = out.computeContig()
+	return out
+}
+
+// CollapseUnitDims drops unit-extent dimensions in place while more
+// than one dimension remains, so a 1×w row view becomes a 1-D vector —
+// the same collapsing Slice performs, without allocating a new view.
+// When every dimension is unit-extent, the last one is kept.
+func (m *Matrix) CollapseUnitDims() {
+	w := 0
+	for d := 0; d < len(m.dims); d++ {
+		if m.dims[d] == 1 && (len(m.dims)-d > 1 || w > 0) {
+			continue
+		}
+		m.dims[w] = m.dims[d]
+		m.strides[w] = m.strides[d]
+		w++
+	}
+	m.dims = m.dims[:w]
+	m.strides = m.strides[:w]
+	m.contig = m.computeContig()
 }
 
 // Slice fixes dimension d at index i, returning a view with one fewer
@@ -151,6 +239,7 @@ func (m *Matrix) Slice(d, i int) *Matrix {
 		out.dims = append(out.dims, m.dims[k])
 		out.strides = append(out.strides, m.strides[k])
 	}
+	out.contig = out.computeContig()
 	return out
 }
 
@@ -165,26 +254,19 @@ func (m *Matrix) Transposed() *Matrix {
 	if len(m.dims) != 2 {
 		panic("matrix: Transposed requires 2 dimensions")
 	}
-	return &Matrix{
+	out := &Matrix{
 		data:    m.data,
 		dims:    []int{m.dims[1], m.dims[0]},
 		strides: []int{m.strides[1], m.strides[0]},
 		offset:  m.offset,
 	}
+	out.contig = out.computeContig()
+	return out
 }
 
 // IsContiguous reports whether the view's elements are a single dense run
-// in row-major order.
-func (m *Matrix) IsContiguous() bool {
-	stride := 1
-	for i := len(m.dims) - 1; i >= 0; i-- {
-		if m.dims[i] != 1 && m.strides[i] != stride {
-			return false
-		}
-		stride *= m.dims[i]
-	}
-	return true
-}
+// in row-major order. The property is cached at view construction.
+func (m *Matrix) IsContiguous() bool { return m.contig }
 
 // Data returns the underlying contiguous element slice. It panics for
 // non-contiguous views; use Copy first in that case.
@@ -207,6 +289,27 @@ func (m *Matrix) Each(f func(idx []int, v float64) float64) {
 		return
 	}
 	idx := make([]int, len(m.dims))
+	if m.contig {
+		// Contiguous fast path: row-major order is a single dense run,
+		// so the per-element stride arithmetic reduces to off++.
+		off := m.offset
+		for {
+			m.data[off] = f(idx, m.data[off])
+			off++
+			d := len(idx) - 1
+			for d >= 0 {
+				idx[d]++
+				if idx[d] < m.dims[d] {
+					break
+				}
+				idx[d] = 0
+				d--
+			}
+			if d < 0 {
+				return
+			}
+		}
+	}
 	for {
 		off := m.offset
 		for d, i := range idx {
@@ -230,11 +333,51 @@ func (m *Matrix) Each(f func(idx []int, v float64) float64) {
 }
 
 // Walk visits every element in row-major order without modifying it.
+// Unlike Each it never writes, so concurrent Walks over a shared view
+// are safe.
 func (m *Matrix) Walk(f func(idx []int, v float64)) {
-	m.Each(func(idx []int, v float64) float64 {
-		f(idx, v)
-		return v
-	})
+	if m.Count() == 0 {
+		return
+	}
+	idx := make([]int, len(m.dims))
+	if m.contig {
+		off := m.offset
+		for {
+			f(idx, m.data[off])
+			off++
+			d := len(idx) - 1
+			for d >= 0 {
+				idx[d]++
+				if idx[d] < m.dims[d] {
+					break
+				}
+				idx[d] = 0
+				d--
+			}
+			if d < 0 {
+				return
+			}
+		}
+	}
+	for {
+		off := m.offset
+		for d, i := range idx {
+			off += i * m.strides[d]
+		}
+		f(idx, m.data[off])
+		d := len(idx) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < m.dims[d] {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
 }
 
 // Copy returns a freshly allocated contiguous copy of m.

@@ -316,3 +316,164 @@ func TestStringRendering(t *testing.T) {
 		t.Fatalf("scalar String = %q", s.String())
 	}
 }
+
+func TestCachedContiguity(t *testing.T) {
+	m := New(4, 6)
+	if !m.IsContiguous() {
+		t.Fatal("fresh matrix must be contiguous")
+	}
+	if !FromSlice([]float64{1, 2}).IsContiguous() {
+		t.Fatal("FromSlice must be contiguous")
+	}
+	// Full-extent region stays contiguous; inner column ranges do not.
+	full := m.Region([]int{0, 0}, []int{4, 6})
+	if !full.IsContiguous() {
+		t.Fatal("identity region must be contiguous")
+	}
+	rows := m.Region([]int{1, 0}, []int{3, 6})
+	if !rows.IsContiguous() {
+		t.Fatal("row-band region must be contiguous")
+	}
+	inner := m.Region([]int{0, 1}, []int{4, 5})
+	if inner.IsContiguous() {
+		t.Fatal("inner column range must not be contiguous")
+	}
+	// Row slices are unit-stride; column slices are not (unless width 1).
+	if !m.Row(2).IsContiguous() {
+		t.Fatal("row slice must be contiguous")
+	}
+	if m.Col(3).IsContiguous() {
+		t.Fatal("column slice of a wide matrix must not be contiguous")
+	}
+	if !New(4, 1).Col(0).IsContiguous() {
+		t.Fatal("column of a width-1 matrix is trivially contiguous")
+	}
+	if New(3, 3).Transposed().IsContiguous() {
+		t.Fatal("transpose must not be contiguous")
+	}
+	if !New(1, 5).Transposed().IsContiguous() {
+		t.Fatal("transpose of a single row is still one dense run")
+	}
+	// A single-row region of the non-contiguous column view is unit count.
+	one := inner.Region([]int{0, 0}, []int{1, 1})
+	if !one.IsContiguous() {
+		t.Fatal("single-element view is trivially contiguous")
+	}
+}
+
+func TestEachContiguousMatchesStrided(t *testing.T) {
+	// The contiguous fast path must visit the same (idx, value) pairs in
+	// the same order as the strided odometer.
+	m := New(3, 4, 2)
+	i := 0.0
+	m.Each(func([]int, float64) float64 { i++; return i })
+	var fast []float64
+	m.Each(func(idx []int, v float64) float64 {
+		fast = append(fast, v)
+		return v
+	})
+	var strided []float64
+	v := m.Region([]int{0, 1, 0}, []int{3, 4, 2}) // non-contiguous view
+	v.Walk(func(_ []int, x float64) { strided = append(strided, x) })
+	if len(fast) != 24 || len(strided) != 18 {
+		t.Fatalf("lengths %d %d", len(fast), len(strided))
+	}
+	for k := 1; k < len(fast); k++ {
+		if fast[k] != fast[k-1]+1 {
+			t.Fatalf("fast order broken at %d: %v", k, fast)
+		}
+	}
+	want := 0.0
+	k := 0
+	for a := 0; a < 3; a++ {
+		for b := 1; b < 4; b++ {
+			for c := 0; c < 2; c++ {
+				want = m.Get(a, b, c)
+				if strided[k] != want {
+					t.Fatalf("strided[%d] = %g, want %g", k, strided[k], want)
+				}
+				k++
+			}
+		}
+	}
+}
+
+func TestRegionIntoMatchesRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := New(5, 7)
+	m.Each(func([]int, float64) float64 { return rng.Float64() })
+	out := &Matrix{}
+	for trial := 0; trial < 50; trial++ {
+		b0, b1 := rng.Intn(5), rng.Intn(7)
+		e0, e1 := b0+rng.Intn(6-b0), b1+rng.Intn(8-b1)
+		begin, end := []int{b0, b1}, []int{e0, e1}
+		want := m.Region(begin, end)
+		got := m.RegionInto(out, begin, end)
+		if got != out {
+			t.Fatal("RegionInto must return its destination")
+		}
+		if !shapeEqual(got.dims, want.dims) || got.offset != want.offset {
+			t.Fatalf("view mismatch: got %v@%d want %v@%d", got.dims, got.offset, want.dims, want.offset)
+		}
+		if got.IsContiguous() != want.IsContiguous() {
+			t.Fatalf("contiguity mismatch for [%v,%v)", begin, end)
+		}
+		if want.Count() > 0 && want.MaxAbsDiff(got) != 0 {
+			t.Fatal("elements differ")
+		}
+	}
+	// Writes through the reused view alias the parent.
+	m.RegionInto(out, []int{1, 2}, []int{3, 5})
+	out.SetAt(0, 0, -99)
+	if m.At(1, 2) != -99 {
+		t.Fatal("RegionInto view must alias parent storage")
+	}
+}
+
+func TestCollapseUnitDims(t *testing.T) {
+	m := New(4, 6)
+	row := m.Region([]int{2, 0}, []int{3, 6}) // 1x6
+	row.CollapseUnitDims()
+	if row.Dims() != 1 || row.Size(0) != 6 {
+		t.Fatalf("row collapse: %v", row.Shape())
+	}
+	row.SetAt1(3, 8)
+	if m.At(2, 3) != 8 {
+		t.Fatal("collapsed row must alias parent")
+	}
+	col := m.Region([]int{0, 1}, []int{4, 2}) // 4x1
+	col.CollapseUnitDims()
+	if col.Dims() != 1 || col.Size(0) != 4 || col.IsContiguous() {
+		t.Fatalf("col collapse: %v contig=%v", col.Shape(), col.IsContiguous())
+	}
+	one := m.Region([]int{1, 1}, []int{2, 2}) // 1x1
+	one.CollapseUnitDims()
+	if one.Dims() != 1 || one.Size(0) != 1 {
+		t.Fatalf("1x1 collapse: %v", one.Shape())
+	}
+	mid := New(2, 1, 3)
+	v := mid.Region([]int{0, 0, 0}, []int{2, 1, 3})
+	v.CollapseUnitDims()
+	if v.Dims() != 2 || v.Size(0) != 2 || v.Size(1) != 3 {
+		t.Fatalf("middle collapse: %v", v.Shape())
+	}
+}
+
+func TestFlatAccessors(t *testing.T) {
+	m := New(3, 4)
+	m.SetAt(2, 1, 42)
+	off := m.Offset() + 2*m.Stride(0) + 1*m.Stride(1)
+	if m.AtFlat(off) != 42 {
+		t.Fatalf("AtFlat = %g", m.AtFlat(off))
+	}
+	m.SetFlat(off, 7)
+	if m.At(2, 1) != 7 {
+		t.Fatal("SetFlat did not write through")
+	}
+	// Flat positions survive view construction (same backing buffer).
+	v := m.Region([]int{1, 0}, []int{3, 4})
+	voff := v.Offset() + 1*v.Stride(0) + 1*v.Stride(1)
+	if voff != off || v.AtFlat(voff) != 7 {
+		t.Fatalf("view flat access: off=%d vs %d", voff, off)
+	}
+}

@@ -1,0 +1,128 @@
+package interp
+
+import (
+	"math/rand"
+	"testing"
+
+	"petabricks/internal/choice"
+	"petabricks/internal/matrix"
+	"petabricks/internal/pbc/parser"
+)
+
+// The BenchmarkInterp* family tracks the interpreter's per-cell cost on
+// the paper corpus. Run with
+//
+//	go test ./internal/pbc/interp -run='^$' -bench=Interp -benchmem
+//
+// and record trajectory points in BENCH_interp.json at the repo root.
+
+func benchEngine(b *testing.B, src string) *Engine {
+	b.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func benchVec(n int, seed int64) *matrix.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(rng.Intn(1000))
+	}
+	return matrix.FromSlice(data)
+}
+
+// BenchmarkInterpRollingSumScan is the Θ(n) scan rule: the body is two
+// cell reads and one cell write, so it measures pure per-cell overhead.
+func BenchmarkInterpRollingSumScan(b *testing.B) {
+	e := benchEngine(b, parser.RollingSumSrc)
+	cfg := choice.NewConfig()
+	cfg.SetSelector(SelectorName("RollingSum"), choice.NewSelector(1))
+	e.Cfg = cfg
+	in := benchVec(1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run1("RollingSum", in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpRollingSumDirect is the Θ(n²) direct rule: per-cell a
+// center-dependent region view is bound and reduced with sum().
+func BenchmarkInterpRollingSumDirect(b *testing.B) {
+	e := benchEngine(b, parser.RollingSumSrc)
+	cfg := choice.NewConfig()
+	cfg.SetSelector(SelectorName("RollingSum"), choice.NewSelector(0))
+	e.Cfg = cfg
+	in := benchVec(256, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run1("RollingSum", in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpMatrixMultiplyBase runs the base cell rule (dot of a
+// row view and a column view) over a 32³ multiply.
+func BenchmarkInterpMatrixMultiplyBase(b *testing.B) {
+	e := benchEngine(b, parser.MatrixMultiplySrc)
+	cfg := choice.NewConfig()
+	cfg.SetSelector(SelectorName("MatrixMultiply"), choice.NewSelector(0))
+	e.Cfg = cfg
+	rng := rand.New(rand.NewSource(3))
+	const n = 32
+	a := matrix.New(n, n)
+	bm := matrix.New(n, n)
+	a.Each(func([]int, float64) float64 { return rng.Float64() })
+	bm.Each(func([]int, float64) float64 { return rng.Float64() })
+	in := map[string]*matrix.Matrix{"A": a, "B": bm}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run("MatrixMultiply", in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpSummedArea exercises the lexicographic-wavefront path
+// (four region refs per cell, three rules splitting the domain).
+func BenchmarkInterpSummedArea(b *testing.B) {
+	e := benchEngine(b, parser.SummedAreaSrc)
+	rng := rand.New(rand.NewSource(4))
+	const w, h = 64, 64
+	a := matrix.New(h, w)
+	a.Each(func([]int, float64) float64 { return float64(rng.Intn(9)) })
+	in := map[string]*matrix.Matrix{"A": a}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run("SummedArea", in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpHeat1D iterates the version-dimension wavefront (three
+// constant-offset cell reads per cell).
+func BenchmarkInterpHeat1D(b *testing.B) {
+	e := benchEngine(b, parser.Heat1DSrc)
+	in := benchVec(512, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run1("Heat1D", in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,1246 @@
+package interp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"petabricks/internal/choice"
+	"petabricks/internal/matrix"
+	"petabricks/internal/pbc/analysis"
+	"petabricks/internal/pbc/ast"
+	"petabricks/internal/pbc/symbolic"
+	"petabricks/internal/runtime"
+)
+
+// This file is the interpreter's rule compiler. Instead of re-walking
+// the AST with a map[string]value environment for every cell (the
+// runRuleBody path, kept as the fallback), each rule body is lowered
+// once per (transform, input sizes, config) into a tree of Go closures
+// over a slot-indexed frame, and every region reference's bounds are
+// folded into affine base+stride coefficients of the loop variables.
+// Per-cell work then reduces to a few integer multiply-adds to rebind
+// the references plus straight-line closure calls — no map lookups, no
+// symbolic evaluation, and no per-cell allocation.
+
+// CompileKey is the config key that disables the rule compiler when set
+// to 0, forcing the AST-interpreting path (useful for differential
+// testing and for measuring the compiled path's speedup).
+const CompileKey = "pbc.compile"
+
+// progCacheMax bounds the compiled-program cache per engine family.
+// Entries are evicted FIFO; the set of (transform, size, config) keys
+// seen in steady state is small, so recency tracking isn't worth it.
+const progCacheMax = 64
+
+// programCache is the bounded, concurrency-safe compiled-program cache.
+// It is shared by pointer across Engine.WithConfig views, so server
+// requests racing a background tuner reuse each other's compilations
+// whenever their configurations genuinely match.
+type programCache struct {
+	mu      sync.Mutex
+	entries map[string]*compiledTransform
+	order   []string
+}
+
+func newProgramCache() *programCache {
+	return &programCache{entries: map[string]*compiledTransform{}}
+}
+
+// lookup returns the compiled-transform holder for a key, creating (and
+// possibly evicting the oldest entry) under the lock. Holders compile
+// their rules lazily, so a miss stays cheap until a rule actually runs.
+func (pc *programCache) lookup(key string, res *analysis.Result, sizes map[string]int64) *compiledTransform {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if ct, ok := pc.entries[key]; ok {
+		return ct
+	}
+	if len(pc.order) >= progCacheMax {
+		delete(pc.entries, pc.order[0])
+		pc.order = pc.order[1:]
+	}
+	sz := make(map[string]int64, len(sizes))
+	for k, v := range sizes {
+		sz[k] = v
+	}
+	ct := &compiledTransform{res: res, sizes: sz, rules: map[int]*compiledRule{}}
+	pc.entries[key] = ct
+	pc.order = append(pc.order, key)
+	return ct
+}
+
+// configFingerprint hashes the configuration's canonical text form; it
+// keys the compiled-program cache so engine views running under
+// different configurations never share an entry.
+func configFingerprint(cfg *choice.Config) uint64 {
+	h := fnv.New64a()
+	if cfg != nil {
+		_ = cfg.Write(h)
+	}
+	return h.Sum64()
+}
+
+// compileKey builds the cache key: transform name, the bound size
+// vector (sorted for determinism), and the config fingerprint.
+func compileKey(res *analysis.Result, sizes map[string]int64, fp uint64) string {
+	keys := make([]string, 0, len(sizes))
+	for k := range sizes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := res.Transform.Name
+	for _, k := range keys {
+		s += fmt.Sprintf("|%s=%d", k, sizes[k])
+	}
+	return fmt.Sprintf("%s|cfg=%x", s, fp)
+}
+
+// compiledFor returns the compiled-program holder for one invocation,
+// or nil when compilation is disabled by configuration.
+func (e *Engine) compiledFor(res *analysis.Result, sizes map[string]int64) *compiledTransform {
+	if e.Cfg.Int(CompileKey, 1) == 0 {
+		return nil
+	}
+	key := compileKey(res, sizes, configFingerprint(e.Cfg))
+	return e.progs.lookup(key, res, sizes)
+}
+
+// compiledTransform holds the lazily compiled rules of one transform at
+// one size binding.
+type compiledTransform struct {
+	res   *analysis.Result
+	sizes map[string]int64
+
+	mu    sync.Mutex
+	rules map[int]*compiledRule // rule index → compiled form (nil: fell back)
+}
+
+// rule returns the compiled form of ri, compiling on first use. A nil
+// result means the rule is outside the compilable fragment and must run
+// through the AST interpreter.
+func (ct *compiledTransform) rule(ri *analysis.RuleInfo) *compiledRule {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if cr, ok := ct.rules[ri.Rule.Index]; ok {
+		return cr
+	}
+	cr, err := compileRule(ct.res, ri, ct.sizes)
+	if err != nil {
+		cr = nil
+	}
+	ct.rules[ri.Rule.Index] = cr
+	return cr
+}
+
+// compiledRule returns the compiled form of a rule for this invocation,
+// or nil when the rule (or engine state) requires the AST interpreter.
+func (ex *exec) compiledRule(ri *analysis.RuleInfo) *compiledRule {
+	if ex.comp == nil {
+		return nil
+	}
+	return ex.comp.rule(ri)
+}
+
+// --- Compiled representation ---------------------------------------------
+
+// stmtFn executes one compiled statement against a frame.
+type stmtFn func(f *frame) error
+
+// scalarFn evaluates a compiled expression to a float64.
+type scalarFn func(f *frame) (float64, error)
+
+// valueFn evaluates a compiled expression to a value (for matrix views,
+// cell references, and call results).
+type valueFn func(f *frame) (value, error)
+
+// affineBound is one concrete region bound, base + Σ coeff[d]·center[d],
+// with the size variables already folded into base. Evaluating it per
+// cell is a handful of integer multiply-adds.
+type affineBound struct {
+	base  int64
+	coeff []int64 // per center dimension; nil when constant
+}
+
+func (ab affineBound) at(center []int64) int64 {
+	v := ab.base
+	for d, c := range ab.coeff {
+		if c != 0 {
+			v += c * center[d]
+		}
+	}
+	return v
+}
+
+// plus returns the bound shifted by a constant (sharing the read-only
+// coefficient slice).
+func (ab affineBound) plus(k int64) affineBound {
+	return affineBound{base: ab.base + k, coeff: ab.coeff}
+}
+
+// compiledRef is one region reference with precomputed affine bounds.
+type compiledRef struct {
+	ref      *ast.RegionRef
+	cell     bool          // bound as an assignable cell, not a view
+	collapse bool          // row/column accessors drop unit dimensions
+	slot     int           // frame slot of the binding (-1: unbound)
+	nd       int           // rank of the reference (DSL dimensions)
+	lo, hi   []affineBound // DSL-order bounds, len nd
+}
+
+// compiledRule is one rule lowered to closures over a frame.
+type compiledRule struct {
+	ri         *analysis.RuleInfo
+	name       string // diagnostic rule name
+	nCenter    int
+	centerSlot []int // slot per center dimension (-1: unnamed)
+	refs       []compiledRef
+	body       []stmtFn
+	nSlots     int
+	scratch    []int // row-major index scratch lengths, one per index site
+	argSites   []int // argument buffer lengths, one per call site
+}
+
+// frame is the per-worker execution state of one compiled rule: slots
+// replace the per-cell map environment, refs hold the reusable views
+// and flat offsets of the rule's region bindings, and the scratch
+// buffers make per-cell execution allocation-free. One frame serves a
+// whole worker chunk of cells.
+type frame struct {
+	cr      *compiledRule
+	ex      *exec
+	worker  *runtime.Worker
+	slots   []value
+	refs    []refState
+	center  []int64
+	scratch [][]int
+	args    [][]value
+}
+
+// refState is a frame's live binding of one region reference.
+type refState struct {
+	m *matrix.Matrix
+	// Cell refs: flat data offset of the current cell (-1 when the cell
+	// is out of range — an error only if the body touches it, matching
+	// the interpreter's lazy cell access) and the row-major coordinate
+	// buffer aliased by the slot's value.
+	off int
+	idx []int
+	// Region refs: the reusable view and row-major bound buffers.
+	view       *matrix.Matrix
+	begin, end []int
+}
+
+// newFrame binds a compiled rule to one invocation's matrices.
+func (cr *compiledRule) newFrame(ex *exec, w *runtime.Worker) *frame {
+	f := &frame{
+		cr:     cr,
+		ex:     ex,
+		worker: w,
+		slots:  make([]value, cr.nSlots),
+		refs:   make([]refState, len(cr.refs)),
+		center: make([]int64, cr.nCenter),
+	}
+	for i := range cr.refs {
+		cref := &cr.refs[i]
+		rs := &f.refs[i]
+		rs.m = ex.mats[cref.ref.Matrix]
+		if cref.slot < 0 {
+			continue
+		}
+		if cref.cell {
+			rs.idx = make([]int, cref.nd)
+			f.slots[cref.slot] = value{kind: valCell, ref: rs.m, idx: rs.idx, name: cref.ref.Binding}
+			continue
+		}
+		rs.view = &matrix.Matrix{}
+		rs.begin = make([]int, cref.nd)
+		rs.end = make([]int, cref.nd)
+		f.slots[cref.slot] = matval(rs.view)
+	}
+	if len(cr.scratch) > 0 {
+		f.scratch = make([][]int, len(cr.scratch))
+		for i, n := range cr.scratch {
+			f.scratch[i] = make([]int, n)
+		}
+	}
+	if len(cr.argSites) > 0 {
+		f.args = make([][]value, len(cr.argSites))
+		for i, n := range cr.argSites {
+			f.args[i] = make([]value, n)
+		}
+	}
+	return f
+}
+
+// runCell rebinds the rule at one center and executes the compiled
+// body. center is nil for macro rules.
+func (f *frame) runCell(center []int64) error {
+	cr := f.cr
+	for d := 0; d < cr.nCenter; d++ {
+		f.center[d] = center[d]
+		if s := cr.centerSlot[d]; s >= 0 {
+			f.slots[s] = scalar(float64(center[d]))
+		}
+	}
+	if err := f.bindRefs(); err != nil {
+		return err
+	}
+	for _, st := range cr.body {
+		if err := st(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bindRefs recomputes every bound reference at the current center:
+// integer multiply-adds for the bounds, an in-place view rebuild for
+// region refs, and a flat offset for cell refs.
+func (f *frame) bindRefs() error {
+	cr := f.cr
+	for i := range cr.refs {
+		cref := &cr.refs[i]
+		if cref.slot < 0 {
+			continue
+		}
+		rs := &f.refs[i]
+		m := rs.m
+		nd := cref.nd
+		if cref.cell {
+			off := m.Offset()
+			for d := 0; d < nd; d++ {
+				v := cref.lo[d].at(f.center)
+				rd := nd - 1 - d // reverse DSL order to row-major
+				if v < 0 || v >= int64(m.Size(rd)) {
+					off = -1
+					break
+				}
+				rs.idx[rd] = int(v)
+				off += int(v) * m.Stride(rd)
+			}
+			rs.off = off
+			continue
+		}
+		for d := 0; d < nd; d++ {
+			lo := cref.lo[d].at(f.center)
+			hi := cref.hi[d].at(f.center)
+			rd := nd - 1 - d
+			if lo < 0 || hi > int64(m.Size(rd)) || lo > hi {
+				return fmt.Errorf("interp: %s binding %s: view [%d,%d) out of range [0,%d)", cr.name, cref.ref.Binding, lo, hi, m.Size(rd))
+			}
+			rs.begin[rd] = int(lo)
+			rs.end[rd] = int(hi)
+		}
+		m.RegionInto(rs.view, rs.begin, rs.end)
+		if cref.collapse {
+			rs.view.CollapseUnitDims()
+		}
+	}
+	return nil
+}
+
+// cellErr reports a body access to a cell binding whose index fell
+// outside the matrix (rs.off == -1).
+func (f *frame) cellErr(name string) error {
+	return fmt.Errorf("interp: %s: cell binding %q out of range", f.cr.name, name)
+}
+
+// --- Rule compilation -----------------------------------------------------
+
+// errNotCompilable marks rules outside the compilable fragment; the
+// engine silently falls back to the AST interpreter for them, so the
+// compiler only ever changes performance, never which programs run.
+var errNotCompilable = fmt.Errorf("interp: rule not compilable")
+
+type ruleCompiler struct {
+	res   *analysis.Result
+	ri    *analysis.RuleInfo
+	sizes map[string]int64
+	cr    *compiledRule
+}
+
+func (c *ruleCompiler) newSlot() int {
+	s := c.cr.nSlots
+	c.cr.nSlots++
+	return s
+}
+
+func (c *ruleCompiler) newScratch(n int) int {
+	c.cr.scratch = append(c.cr.scratch, n)
+	return len(c.cr.scratch) - 1
+}
+
+func (c *ruleCompiler) newArgSite(n int) int {
+	c.cr.argSites = append(c.cr.argSites, n)
+	return len(c.cr.argSites) - 1
+}
+
+// slotKind is the statically resolved kind of a named binding.
+type slotKind int
+
+const (
+	slotScalar slotKind = iota
+	slotCell
+	slotMatrix
+)
+
+// slotVar is a compile-time binding: its kind, frame slot, and (for
+// region bindings) the compiledRef it belongs to.
+type slotVar struct {
+	kind slotKind
+	slot int
+	ref  int // refs index for slotCell/slotMatrix region bindings; -1 for locals
+}
+
+// compScope is the compile-time mirror of the interpreter's lexically
+// scoped env: names resolve to slots once, at compile time.
+type compScope struct {
+	parent *compScope
+	vars   map[string]slotVar
+}
+
+func newCompScope(parent *compScope) *compScope {
+	return &compScope{parent: parent, vars: map[string]slotVar{}}
+}
+
+func (s *compScope) lookup(name string) (slotVar, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if v, ok := sc.vars[name]; ok {
+			return v, true
+		}
+	}
+	return slotVar{}, false
+}
+
+func (s *compScope) define(name string, v slotVar) { s.vars[name] = v }
+
+// compileRule lowers one rule into closures, or reports that it is
+// outside the compilable fragment (raw-body escapes, non-affine bounds,
+// constructs whose dynamic semantics need the env world). The recover
+// guard turns any unexpected compile-time panic into a fallback rather
+// than taking down execution.
+func compileRule(res *analysis.Result, ri *analysis.RuleInfo, sizes map[string]int64) (cr *compiledRule, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cr, err = nil, fmt.Errorf("interp: compiling %s: %v", ri.Rule.Name(), r)
+		}
+	}()
+	if ri.Rule.RawBody != "" {
+		return nil, errNotCompilable
+	}
+	c := &ruleCompiler{res: res, ri: ri, sizes: sizes}
+	c.cr = &compiledRule{
+		ri:      ri,
+		name:    ri.Rule.Name(),
+		nCenter: len(ri.CenterVars),
+	}
+	root := newCompScope(nil)
+	c.cr.centerSlot = make([]int, len(ri.CenterVars))
+	for d, v := range ri.CenterVars {
+		c.cr.centerSlot[d] = -1
+		if v != "" {
+			s := c.newSlot()
+			c.cr.centerSlot[d] = s
+			root.define(v, slotVar{kind: slotScalar, slot: s, ref: -1})
+		}
+	}
+	refs := make([]*ast.RegionRef, 0, len(ri.Rule.To)+len(ri.Rule.From))
+	refs = append(refs, ri.Rule.To...)
+	refs = append(refs, ri.Rule.From...)
+	for _, ref := range refs {
+		cref, err := c.compileRef(ref)
+		if err != nil {
+			return nil, err
+		}
+		cref.slot = -1
+		if ref.Binding != "" {
+			kind := slotMatrix
+			if cref.cell {
+				kind = slotCell
+			}
+			cref.slot = c.newSlot()
+			root.define(ref.Binding, slotVar{kind: kind, slot: cref.slot, ref: len(c.cr.refs)})
+		}
+		c.cr.refs = append(c.cr.refs, cref)
+	}
+	body, err := c.compileStmts(ri.Rule.Body, root)
+	if err != nil {
+		return nil, err
+	}
+	c.cr.body = body
+	return c.cr, nil
+}
+
+// affineBoundOf folds a symbolic bound into base + Σ coeff·center. Every
+// center coefficient must be an integer: evaluation floors the final
+// rational (Expr.Eval semantics), and flooring distributes over the
+// center terms only when they contribute integers. Fractional
+// size-variable terms are fine — they fold into the constant base.
+func (c *ruleCompiler) affineBoundOf(se *symbolic.Expr) (affineBound, error) {
+	aff, ok := se.Affine()
+	if !ok {
+		return affineBound{}, errNotCompilable
+	}
+	coeffs, rest := aff.Split(c.ri.CenterVars)
+	ab := affineBound{}
+	for d, co := range coeffs {
+		if co.IsZero() {
+			continue
+		}
+		if !co.IsInt() {
+			return affineBound{}, errNotCompilable
+		}
+		if ab.coeff == nil {
+			ab.coeff = make([]int64, len(coeffs))
+		}
+		ab.coeff[d] = co.Int()
+	}
+	base, err := rest.Expr().Eval(c.sizes)
+	if err != nil {
+		return affineBound{}, errNotCompilable
+	}
+	ab.base = base
+	return ab, nil
+}
+
+// compileRef mirrors refBounds exactly, but folds the arithmetic into
+// affine bounds evaluated at frame-bind time.
+func (c *ruleCompiler) compileRef(ref *ast.RegionRef) (compiledRef, error) {
+	mi := c.res.Matrices[ref.Matrix]
+	if mi == nil {
+		return compiledRef{}, errNotCompilable
+	}
+	dims := make([]int64, len(mi.Dims))
+	for i, se := range mi.Dims {
+		v, err := se.Eval(c.sizes)
+		if err != nil {
+			return compiledRef{}, errNotCompilable
+		}
+		dims[i] = v
+	}
+	bound := func(e ast.Expr) (affineBound, error) {
+		se, err := analysis.ToSymbolic(e)
+		if err != nil {
+			return affineBound{}, errNotCompilable
+		}
+		return c.affineBoundOf(se)
+	}
+	cref := compiledRef{ref: ref, slot: -1}
+	switch ref.Kind {
+	case ast.RegionAll:
+		cref.nd = len(dims)
+		for _, ext := range dims {
+			cref.lo = append(cref.lo, affineBound{})
+			cref.hi = append(cref.hi, affineBound{base: ext})
+		}
+	case ast.RegionCell:
+		cref.cell = true
+		cref.nd = len(ref.Args)
+		for _, a := range ref.Args {
+			ab, err := bound(a)
+			if err != nil {
+				return compiledRef{}, err
+			}
+			cref.lo = append(cref.lo, ab)
+			cref.hi = append(cref.hi, ab.plus(1))
+		}
+	case ast.RegionRow:
+		if len(dims) != 2 || len(ref.Args) != 1 {
+			return compiledRef{}, errNotCompilable
+		}
+		ab, err := bound(ref.Args[0])
+		if err != nil {
+			return compiledRef{}, err
+		}
+		cref.collapse = true
+		cref.nd = 2
+		cref.lo = []affineBound{{}, ab}
+		cref.hi = []affineBound{{base: dims[0]}, ab.plus(1)}
+	case ast.RegionCol:
+		if len(dims) != 2 || len(ref.Args) != 1 {
+			return compiledRef{}, errNotCompilable
+		}
+		ab, err := bound(ref.Args[0])
+		if err != nil {
+			return compiledRef{}, err
+		}
+		cref.collapse = true
+		cref.nd = 2
+		cref.lo = []affineBound{ab, {}}
+		cref.hi = []affineBound{ab.plus(1), {base: dims[1]}}
+	case ast.RegionRegion:
+		nd := len(dims)
+		if len(ref.Args) != 2*nd {
+			return compiledRef{}, errNotCompilable
+		}
+		cref.nd = nd
+		for d := 0; d < nd; d++ {
+			lo, err := bound(ref.Args[d])
+			if err != nil {
+				return compiledRef{}, err
+			}
+			hi, err := bound(ref.Args[nd+d])
+			if err != nil {
+				return compiledRef{}, err
+			}
+			cref.lo = append(cref.lo, lo)
+			cref.hi = append(cref.hi, hi)
+		}
+	default:
+		return compiledRef{}, errNotCompilable
+	}
+	return cref, nil
+}
+
+// --- Statement compilation ------------------------------------------------
+
+func (c *ruleCompiler) compileStmts(stmts []ast.Stmt, sc *compScope) ([]stmtFn, error) {
+	out := make([]stmtFn, 0, len(stmts))
+	for _, s := range stmts {
+		fn, err := c.compileStmt(s, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fn)
+	}
+	return out, nil
+}
+
+func (c *ruleCompiler) compileStmt(s ast.Stmt, sc *compScope) (stmtFn, error) {
+	switch st := s.(type) {
+	case *ast.Decl:
+		var init scalarFn
+		if st.Init != nil {
+			fn, err := c.compileScalar(st.Init, sc)
+			if err != nil {
+				return nil, err
+			}
+			init = fn
+		}
+		slot := c.newSlot()
+		sc.define(st.Name, slotVar{kind: slotScalar, slot: slot, ref: -1})
+		trunc := st.Type == "int"
+		return func(f *frame) error {
+			v := 0.0
+			if init != nil {
+				x, err := init(f)
+				if err != nil {
+					return err
+				}
+				v = x
+			}
+			if trunc {
+				v = math.Trunc(v)
+			}
+			f.slots[slot] = scalar(v)
+			return nil
+		}, nil
+	case *ast.Assign:
+		return c.compileAssign(st, sc)
+	case *ast.IncDec:
+		// Only scalar locals compile; ++/-- on a cell binding rebinds
+		// the name to a scalar in the env world, which slots cannot
+		// express, so those rules fall back.
+		v, ok := sc.lookup(st.Name)
+		if !ok || v.kind != slotScalar {
+			return nil, errNotCompilable
+		}
+		slot := v.slot
+		delta := 1.0
+		if st.Op == "--" {
+			delta = -1.0
+		}
+		return func(f *frame) error {
+			f.slots[slot].f += delta
+			return nil
+		}, nil
+	case *ast.If:
+		cond, err := c.compileScalar(st.Cond, sc)
+		if err != nil {
+			return nil, err
+		}
+		thenFns, err := c.compileStmts(st.Then, newCompScope(sc))
+		if err != nil {
+			return nil, err
+		}
+		elseFns, err := c.compileStmts(st.Else, newCompScope(sc))
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) error {
+			v, err := cond(f)
+			if err != nil {
+				return err
+			}
+			fns := elseFns
+			if v != 0 {
+				fns = thenFns
+			}
+			for _, fn := range fns {
+				if err := fn(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	case *ast.For:
+		if st.Cond == nil {
+			return nil, errNotCompilable // interpreter reports the error
+		}
+		scope := newCompScope(sc)
+		var init, post stmtFn
+		if st.Init != nil {
+			fn, err := c.compileStmt(st.Init, scope)
+			if err != nil {
+				return nil, err
+			}
+			init = fn
+		}
+		cond, err := c.compileScalar(st.Cond, scope)
+		if err != nil {
+			return nil, err
+		}
+		bodyFns, err := c.compileStmts(st.Body, newCompScope(scope))
+		if err != nil {
+			return nil, err
+		}
+		if st.Post != nil {
+			fn, err := c.compileStmt(st.Post, scope)
+			if err != nil {
+				return nil, err
+			}
+			post = fn
+		}
+		return func(f *frame) error {
+			if init != nil {
+				if err := init(f); err != nil {
+					return err
+				}
+			}
+			for iter := 0; ; iter++ {
+				if iter > 100_000_000 {
+					return fmt.Errorf("interp: runaway for loop")
+				}
+				v, err := cond(f)
+				if err != nil {
+					return err
+				}
+				if v == 0 {
+					return nil
+				}
+				for _, fn := range bodyFns {
+					if err := fn(f); err != nil {
+						return err
+					}
+				}
+				if post != nil {
+					if err := post(f); err != nil {
+						return err
+					}
+				}
+			}
+		}, nil
+	case *ast.ExprStmt:
+		fn, err := c.compileValue(st.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) error {
+			_, err := fn(f)
+			return err
+		}, nil
+	}
+	// Return and anything unknown: the interpreter owns the error.
+	return nil, errNotCompilable
+}
+
+func (c *ruleCompiler) compileAssign(st *ast.Assign, sc *compScope) (stmtFn, error) {
+	switch lhs := st.LHS.(type) {
+	case *ast.Ident:
+		v, ok := sc.lookup(lhs.Name)
+		if !ok {
+			// Implicit local definition, as in execAssign.
+			if st.Op != "=" {
+				return nil, errNotCompilable
+			}
+			rhs, err := c.compileScalar(st.RHS, sc)
+			if err != nil {
+				return nil, err
+			}
+			slot := c.newSlot()
+			sc.define(lhs.Name, slotVar{kind: slotScalar, slot: slot, ref: -1})
+			return func(f *frame) error {
+				x, err := rhs(f)
+				if err != nil {
+					return err
+				}
+				f.slots[slot] = scalar(x)
+				return nil
+			}, nil
+		}
+		switch v.kind {
+		case slotCell:
+			rhs, err := c.compileScalar(st.RHS, sc)
+			if err != nil {
+				return nil, err
+			}
+			refIdx := v.ref
+			name := lhs.Name
+			var comb func(old, x float64) float64
+			switch st.Op {
+			case "=":
+				comb = nil
+			case "+=":
+				comb = func(old, x float64) float64 { return old + x }
+			case "-=":
+				comb = func(old, x float64) float64 { return old - x }
+			default:
+				return nil, errNotCompilable
+			}
+			return func(f *frame) error {
+				x, err := rhs(f)
+				if err != nil {
+					return err
+				}
+				rs := &f.refs[refIdx]
+				if rs.off < 0 {
+					return f.cellErr(name)
+				}
+				if comb != nil {
+					x = comb(rs.m.AtFlat(rs.off), x)
+				}
+				rs.m.SetFlat(rs.off, x)
+				return nil
+			}, nil
+		case slotScalar:
+			rhs, err := c.compileScalar(st.RHS, sc)
+			if err != nil {
+				return nil, err
+			}
+			slot := v.slot
+			switch st.Op {
+			case "=":
+				return func(f *frame) error {
+					x, err := rhs(f)
+					if err != nil {
+						return err
+					}
+					f.slots[slot] = scalar(x)
+					return nil
+				}, nil
+			case "+=", "-=":
+				neg := st.Op == "-="
+				return func(f *frame) error {
+					x, err := rhs(f)
+					if err != nil {
+						return err
+					}
+					if neg {
+						x = -x
+					}
+					f.slots[slot].f += x
+					return nil
+				}, nil
+			}
+			return nil, errNotCompilable
+		case slotMatrix:
+			// Whole-region assignment; += etc. is an interpreter error.
+			if st.Op != "=" {
+				return nil, errNotCompilable
+			}
+			rhs, err := c.compileValue(st.RHS, sc)
+			if err != nil {
+				return nil, err
+			}
+			slot := v.slot
+			return func(f *frame) error {
+				rv, err := rhs(f)
+				if err != nil {
+					return err
+				}
+				rm, err := rv.mat()
+				if err != nil {
+					return err
+				}
+				cur := f.slots[slot].m
+				if rm.Count() == 1 && cur.Count() == 1 && cur.Dims() <= 1 {
+					// Degenerate 1x1 case, as in execAssign.
+					x, _ := rv.num()
+					idx := make([]int, cur.Dims())
+					cur.Set(x, idx...)
+					return nil
+				}
+				cur.CopyFrom(rm)
+				return nil
+			}, nil
+		}
+		return nil, errNotCompilable
+	case *ast.Index:
+		base, ok := sc.lookup(lhs.Base)
+		if !ok || base.kind != slotMatrix {
+			return nil, errNotCompilable
+		}
+		rhs, err := c.compileScalar(st.RHS, sc)
+		if err != nil {
+			return nil, err
+		}
+		idxFns := make([]scalarFn, len(lhs.Args))
+		for i, a := range lhs.Args {
+			fn, err := c.compileScalar(a, sc)
+			if err != nil {
+				return nil, err
+			}
+			idxFns[i] = fn
+		}
+		site := c.newScratch(len(idxFns))
+		slot := base.slot
+		op := st.Op
+		return func(f *frame) error {
+			// RHS before indices, matching execAssign's order.
+			x, err := rhs(f)
+			if err != nil {
+				return err
+			}
+			m := f.slots[slot].m
+			idx := f.scratch[site]
+			if len(idx) != m.Dims() {
+				return fmt.Errorf("interp: %d indices for %d-dim region", len(idx), m.Dims())
+			}
+			for d, fn := range idxFns {
+				v, err := fn(f)
+				if err != nil {
+					return err
+				}
+				idx[len(idx)-1-d] = int(v)
+			}
+			switch op {
+			case "=":
+				m.Set(x, idx...)
+			case "+=":
+				m.Set(m.Get(idx...)+x, idx...)
+			case "-=":
+				m.Set(m.Get(idx...)-x, idx...)
+			default:
+				return fmt.Errorf("interp: bad assign op %q", op)
+			}
+			return nil
+		}, nil
+	}
+	return nil, errNotCompilable
+}
+
+// --- Expression compilation -----------------------------------------------
+
+func (c *ruleCompiler) compileScalar(e ast.Expr, sc *compScope) (scalarFn, error) {
+	switch x := e.(type) {
+	case *ast.Num:
+		v := x.Val
+		return func(*frame) (float64, error) { return v, nil }, nil
+	case *ast.Ident:
+		if v, ok := sc.lookup(x.Name); ok {
+			switch v.kind {
+			case slotScalar:
+				slot := v.slot
+				return func(f *frame) (float64, error) { return f.slots[slot].f, nil }, nil
+			case slotCell:
+				refIdx := v.ref
+				name := x.Name
+				return func(f *frame) (float64, error) {
+					rs := &f.refs[refIdx]
+					if rs.off < 0 {
+						return 0, f.cellErr(name)
+					}
+					return rs.m.AtFlat(rs.off), nil
+				}, nil
+			default:
+				slot := v.slot
+				return func(f *frame) (float64, error) { return f.slots[slot].num() }, nil
+			}
+		}
+		if v, ok := c.sizes[x.Name]; ok {
+			fv := float64(v)
+			return func(*frame) (float64, error) { return fv, nil }, nil
+		}
+		return nil, errNotCompilable // undefined name: interpreter owns the error
+	case *ast.Unary:
+		fn, err := c.compileScalar(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "-" {
+			return func(f *frame) (float64, error) {
+				v, err := fn(f)
+				return -v, err
+			}, nil
+		}
+		return func(f *frame) (float64, error) {
+			v, err := fn(f)
+			if err != nil {
+				return 0, err
+			}
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}, nil
+	case *ast.Binary:
+		return c.compileBinary(x, sc)
+	case *ast.Cond:
+		cf, err := c.compileScalar(x.C, sc)
+		if err != nil {
+			return nil, err
+		}
+		af, err := c.compileScalar(x.A, sc)
+		if err != nil {
+			return nil, err
+		}
+		bf, err := c.compileScalar(x.B, sc)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) (float64, error) {
+			v, err := cf(f)
+			if err != nil {
+				return 0, err
+			}
+			if v != 0 {
+				return af(f)
+			}
+			return bf(f)
+		}, nil
+	case *ast.Index:
+		base, ok := sc.lookup(x.Base)
+		if !ok || base.kind != slotMatrix {
+			return nil, errNotCompilable
+		}
+		idxFns := make([]scalarFn, len(x.Args))
+		for i, a := range x.Args {
+			fn, err := c.compileScalar(a, sc)
+			if err != nil {
+				return nil, err
+			}
+			idxFns[i] = fn
+		}
+		site := c.newScratch(len(idxFns))
+		slot := base.slot
+		return func(f *frame) (float64, error) {
+			m := f.slots[slot].m
+			idx := f.scratch[site]
+			if len(idx) != m.Dims() {
+				return 0, fmt.Errorf("interp: %d indices for %d-dim region", len(idx), m.Dims())
+			}
+			for d, fn := range idxFns {
+				v, err := fn(f)
+				if err != nil {
+					return 0, err
+				}
+				idx[len(idx)-1-d] = int(v)
+			}
+			return m.Get(idx...), nil
+		}, nil
+	case *ast.Call:
+		fn, err := c.compileCall(x, sc)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *frame) (float64, error) {
+			v, err := fn(f)
+			if err != nil {
+				return 0, err
+			}
+			return v.num()
+		}, nil
+	}
+	return nil, errNotCompilable
+}
+
+func (c *ruleCompiler) compileBinary(x *ast.Binary, sc *compScope) (scalarFn, error) {
+	lf, err := c.compileScalar(x.L, sc)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := c.compileScalar(x.R, sc)
+	if err != nil {
+		return nil, err
+	}
+	// Short-circuit logicals, matching evalBinary.
+	switch x.Op {
+	case "&&":
+		return func(f *frame) (float64, error) {
+			l, err := lf(f)
+			if err != nil || l == 0 {
+				return 0, err
+			}
+			r, err := rf(f)
+			if err != nil || r == 0 {
+				return 0, err
+			}
+			return 1, nil
+		}, nil
+	case "||":
+		return func(f *frame) (float64, error) {
+			l, err := lf(f)
+			if err != nil {
+				return 0, err
+			}
+			if l != 0 {
+				return 1, nil
+			}
+			r, err := rf(f)
+			if err != nil || r == 0 {
+				return 0, err
+			}
+			return 1, nil
+		}, nil
+	}
+	bin := func(op func(l, r float64) (float64, error)) scalarFn {
+		return func(f *frame) (float64, error) {
+			l, err := lf(f)
+			if err != nil {
+				return 0, err
+			}
+			r, err := rf(f)
+			if err != nil {
+				return 0, err
+			}
+			return op(l, r)
+		}
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch x.Op {
+	case "+":
+		return bin(func(l, r float64) (float64, error) { return l + r, nil }), nil
+	case "-":
+		return bin(func(l, r float64) (float64, error) { return l - r, nil }), nil
+	case "*":
+		return bin(func(l, r float64) (float64, error) { return l * r, nil }), nil
+	case "/":
+		return bin(func(l, r float64) (float64, error) {
+			if r == 0 {
+				return 0, fmt.Errorf("interp: division by zero")
+			}
+			return l / r, nil
+		}), nil
+	case "%":
+		return bin(func(l, r float64) (float64, error) {
+			if r == 0 {
+				return 0, fmt.Errorf("interp: modulo by zero")
+			}
+			return math.Mod(l, r), nil
+		}), nil
+	case "<":
+		return bin(func(l, r float64) (float64, error) { return b2f(l < r), nil }), nil
+	case "<=":
+		return bin(func(l, r float64) (float64, error) { return b2f(l <= r), nil }), nil
+	case ">":
+		return bin(func(l, r float64) (float64, error) { return b2f(l > r), nil }), nil
+	case ">=":
+		return bin(func(l, r float64) (float64, error) { return b2f(l >= r), nil }), nil
+	case "==":
+		return bin(func(l, r float64) (float64, error) { return b2f(l == r), nil }), nil
+	case "!=":
+		return bin(func(l, r float64) (float64, error) { return b2f(l != r), nil }), nil
+	}
+	return nil, errNotCompilable
+}
+
+func (c *ruleCompiler) compileValue(e ast.Expr, sc *compScope) (valueFn, error) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := sc.lookup(x.Name); ok {
+			slot := v.slot
+			return func(f *frame) (value, error) { return f.slots[slot], nil }, nil
+		}
+		if v, ok := c.sizes[x.Name]; ok {
+			val := scalar(float64(v))
+			return func(*frame) (value, error) { return val, nil }, nil
+		}
+		return nil, errNotCompilable
+	case *ast.Call:
+		return c.compileCall(x, sc)
+	}
+	fn, err := c.compileScalar(e, sc)
+	if err != nil {
+		return nil, err
+	}
+	return func(f *frame) (value, error) {
+		v, err := fn(f)
+		if err != nil {
+			return value{}, err
+		}
+		return scalar(v), nil
+	}, nil
+}
+
+// compileCall lowers builtins and transform invocations. Builtins bind
+// at compile time (they take precedence over transforms, matching
+// evalCall); transform calls resolve their analysis at run time so
+// compiled programs never capture engine state and stay shareable
+// across WithConfig views.
+func (c *ruleCompiler) compileCall(x *ast.Call, sc *compScope) (valueFn, error) {
+	argFns := make([]valueFn, len(x.Args))
+	for i, a := range x.Args {
+		fn, err := c.compileValue(a, sc)
+		if err != nil {
+			return nil, err
+		}
+		argFns[i] = fn
+	}
+	site := c.newArgSite(len(argFns))
+	name := x.Fn
+	if fn, ok := builtins[name]; ok {
+		return func(f *frame) (value, error) {
+			args := f.args[site]
+			for i, afn := range argFns {
+				v, err := afn(f)
+				if err != nil {
+					return value{}, err
+				}
+				args[i] = v
+			}
+			return fn(name, args)
+		}, nil
+	}
+	return func(f *frame) (value, error) {
+		args := f.args[site]
+		for i, afn := range argFns {
+			v, err := afn(f)
+			if err != nil {
+				return value{}, err
+			}
+			args[i] = v
+		}
+		ex := f.ex
+		sub, ok := ex.engine.Analysis(name)
+		if !ok {
+			return value{}, fmt.Errorf("interp: unknown function or transform %q", name)
+		}
+		if len(args) != len(sub.Transform.From) {
+			return value{}, fmt.Errorf("interp: %s takes %d inputs, got %d", name, len(sub.Transform.From), len(args))
+		}
+		if len(sub.Transform.To) != 1 {
+			return value{}, fmt.Errorf("interp: transform %s has %d outputs; only single-output transforms may appear in expressions", name, len(sub.Transform.To))
+		}
+		inputs := map[string]*matrix.Matrix{}
+		for i, d := range sub.Transform.From {
+			m, err := args[i].mat()
+			if err != nil {
+				return value{}, fmt.Errorf("interp: %s input %s: %w", name, d.Name, err)
+			}
+			inputs[d.Name] = m
+		}
+		outs, err := ex.engine.run(name, inputs, ex.depth+1, f.worker)
+		if err != nil {
+			return value{}, err
+		}
+		return matval(outs[sub.Transform.To[0].Name]), nil
+	}, nil
+}

@@ -21,12 +21,16 @@ type Engine struct {
 
 	mu       sync.Mutex
 	analyses map[string]*analysis.Result
+	// progs caches compiled rule programs keyed by (transform, size
+	// vector, config fingerprint); shared by pointer across WithConfig
+	// views.
+	progs *programCache
 }
 
 // New analyzes every transform in the program eagerly so compile errors
 // surface before execution.
 func New(prog *ast.Program) (*Engine, error) {
-	e := &Engine{Prog: prog, Cfg: choice.NewConfig(), analyses: map[string]*analysis.Result{}}
+	e := &Engine{Prog: prog, Cfg: choice.NewConfig(), analyses: map[string]*analysis.Result{}, progs: newProgramCache()}
 	for _, t := range prog.Transforms {
 		if len(t.Templates) > 0 {
 			// Template transforms are analyzed per instance, when
@@ -58,7 +62,7 @@ func (e *Engine) WithConfig(cfg *choice.Config) *Engine {
 	for k, v := range e.analyses {
 		an[k] = v
 	}
-	return &Engine{Prog: e.Prog, Cfg: cfg, Pool: e.Pool, analyses: an}
+	return &Engine{Prog: e.Prog, Cfg: cfg, Pool: e.Pool, analyses: an, progs: e.progs}
 }
 
 // Analysis returns the analysis result for a transform.
@@ -76,6 +80,15 @@ func SelectorName(transform string) string { return "pbc." + transform }
 // MaxDepth bounds transform-call recursion; configurations whose
 // selectors lack a base-case level would otherwise recurse forever.
 const MaxDepth = 256
+
+// ParGrainKey is the config key of the parallel-iteration grain: the
+// number of rule applications per work-stealing chunk. It is part of
+// every DSL transform's search space, so the autotuner can trade
+// scheduling overhead against load balance like any other cutoff.
+const ParGrainKey = "pbc.parGrain"
+
+// DefaultParGrain is the grain used when a configuration doesn't tune it.
+const DefaultParGrain = 256
 
 // Run executes the named transform on the inputs (keyed by declared
 // matrix name) and returns its outputs.
@@ -111,6 +124,7 @@ func (e *Engine) run(name string, inputs map[string]*matrix.Matrix, depth int, w
 		}
 		ex.mats[d.Name] = m
 	}
+	ex.comp = e.compiledFor(res, ex.sizes)
 	if err := ex.runSchedule(); err != nil {
 		return nil, err
 	}
@@ -149,6 +163,9 @@ type exec struct {
 	worker *runtime.Worker
 	sizes  map[string]int64
 	mats   map[string]*matrix.Matrix
+	// comp holds the invocation's compiled-program cache entry (nil when
+	// compilation is disabled).
+	comp *compiledTransform
 }
 
 // dslDims returns the matrix's extents in DSL (x, y, …) order.
@@ -566,35 +583,55 @@ func (ex *exec) applyCellRule(ri *analysis.RuleInfo, matName string, reg symboli
 		}
 		count *= iv[1] - iv[0]
 	}
-	run := func(center []int64, cw *runtime.Worker) error {
-		binding := map[string]int64{}
-		for d, v := range ri.CenterVars {
-			if v != "" {
-				binding[v] = center[d]
+	cr := ex.compiledRule(ri)
+	// runRange executes [lo, hi) of the flat cell index on one worker.
+	// The compiled path builds a single frame for the whole chunk, so
+	// the per-cell loop is allocation-free; the AST path is the
+	// fallback for rules outside the compilable fragment.
+	runRange := func(cw *runtime.Worker, lo, hi int) error {
+		center := make([]int64, len(b))
+		if cr != nil {
+			f := cr.newFrame(ex, cw)
+			for flat := lo; flat < hi; flat++ {
+				unflatten(int64(flat), b, center)
+				if err := f.runCell(center); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for flat := lo; flat < hi; flat++ {
+			unflatten(int64(flat), b, center)
+			binding := map[string]int64{}
+			for d, v := range ri.CenterVars {
+				if v != "" {
+					binding[v] = center[d]
+				}
+			}
+			if err := ex.runRuleBody(ri, binding, cw); err != nil {
+				return err
 			}
 		}
-		return ex.runRuleBody(ri, binding, cw)
+		return nil
 	}
 	// Parallel path: flat index over the region. Cells of a non-cyclic
 	// node are fully independent; within one wavefront slice of a cyclic
 	// node they are independent too (the scheduled axis carries every
 	// internal dependency), so both parallelize.
-	const parGrain = 256
-	if ex.engine.Pool != nil && count >= parGrain*2 {
+	parGrain := int(ex.engine.Cfg.Int(ParGrainKey, DefaultParGrain))
+	if parGrain < 1 {
+		parGrain = 1
+	}
+	if ex.engine.Pool != nil && count >= int64(parGrain)*2 {
 		var firstErr error
 		var mu sync.Mutex
 		body := func(cw *runtime.Worker, lo, hi int) {
-			center := make([]int64, len(b))
-			for flat := lo; flat < hi; flat++ {
-				unflatten(int64(flat), b, center)
-				if err := run(center, cw); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
+			if err := runRange(cw, lo, hi); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
 				}
+				mu.Unlock()
 			}
 		}
 		if w != nil {
@@ -604,14 +641,7 @@ func (ex *exec) applyCellRule(ri *analysis.RuleInfo, matName string, reg symboli
 		}
 		return firstErr
 	}
-	center := make([]int64, len(b))
-	for flat := int64(0); flat < count; flat++ {
-		unflatten(flat, b, center)
-		if err := run(center, w); err != nil {
-			return err
-		}
-	}
-	return nil
+	return runRange(w, 0, int(count))
 }
 
 // unflatten converts a flat index into per-dimension coordinates, last
@@ -644,10 +674,18 @@ func (ex *exec) runLex(step *analysis.Step, done map[string]bool, w *runtime.Wor
 		if err != nil {
 			return err
 		}
+		// One frame serves the whole wavefront when the rule compiles.
+		var fr *frame
+		if cr := ex.compiledRule(ri); cr != nil {
+			fr = cr.newFrame(ex, w)
+		}
 		center := make([]int64, len(b))
 		var walk func(li int) error
 		walk = func(li int) error {
 			if li == len(step.Lex) {
+				if fr != nil {
+					return fr.runCell(center)
+				}
 				binding := map[string]int64{}
 				for d, v := range ri.CenterVars {
 					if v != "" {

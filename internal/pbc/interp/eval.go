@@ -11,8 +11,11 @@ import (
 )
 
 // runRuleBody binds the rule's region references at one center and
-// executes the body statements. w is the scheduler thread the body runs
-// on (nil outside the pool); nested transform calls inherit it.
+// executes the body statements by walking the AST. It is the fallback
+// path for rules the closure compiler (compile.go) cannot lower; hot
+// rules normally execute through compiledRule/frame instead. w is the
+// scheduler thread the body runs on (nil outside the pool); nested
+// transform calls inherit it.
 func (ex *exec) runRuleBody(ri *analysis.RuleInfo, center map[string]int64, w *runtime.Worker) error {
 	if ri.Rule.RawBody != "" {
 		return fmt.Errorf("interp: %s uses a %%{...}%% escape, which the interpreter cannot execute", ri.Rule.Name())
@@ -673,5 +676,8 @@ func varargBuiltin(f func(a, b float64) float64) func(string, []value) (value, e
 
 // runMacro executes a macro rule once over its declared regions.
 func (ex *exec) runMacro(ri *analysis.RuleInfo) error {
+	if cr := ex.compiledRule(ri); cr != nil {
+		return cr.newFrame(ex, ex.worker).runCell(nil)
+	}
 	return ex.runRuleBody(ri, nil, ex.worker)
 }

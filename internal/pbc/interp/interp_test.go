@@ -693,7 +693,11 @@ tunable chunk(4, 64, 16)
 	if rec := spec.RecursiveChoices(); len(rec) != 1 || rec[0] != 1 {
 		t.Fatalf("recursive choices = %v", rec)
 	}
-	if len(sp.Tunables) != 1 || sp.Tunables[0].Name != "pbc.Tn.chunk" || sp.Tunables[0].Default != 16 {
+	// Declared tunables plus the engine's parallel-grain tunable.
+	if len(sp.Tunables) != 2 || sp.Tunables[0].Name != "pbc.Tn.chunk" || sp.Tunables[0].Default != 16 {
+		t.Fatalf("tunables = %+v", sp.Tunables)
+	}
+	if sp.Tunables[1].Name != ParGrainKey || sp.Tunables[1].Default != DefaultParGrain {
 		t.Fatalf("tunables = %+v", sp.Tunables)
 	}
 }

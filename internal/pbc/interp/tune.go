@@ -49,6 +49,15 @@ func Space(res *analysis.Result) *choice.Space {
 			LogScale: true,
 		})
 	}
+	// The engine's parallel-iteration grain is searchable like any
+	// declared cutoff (it trades scheduling overhead for load balance).
+	sp.AddTunable(choice.TunableSpec{
+		Name:     ParGrainKey,
+		Min:      1,
+		Max:      1 << 16,
+		Default:  DefaultParGrain,
+		LogScale: true,
+	})
 	return sp
 }
 

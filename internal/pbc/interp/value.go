@@ -54,8 +54,10 @@ func (v value) num() (float64, error) {
 			if v.m.Dims() == 0 {
 				return v.m.Scalar(), nil
 			}
-			idx := make([]int, v.m.Dims())
-			return v.m.Get(idx...), nil
+			// The single element of a 1-element view sits at its base
+			// offset; reading it flat avoids an index-slice allocation
+			// (this coercion is hot for center-sized region bindings).
+			return v.m.AtFlat(v.m.Offset()), nil
 		}
 		return 0, fmt.Errorf("matrix of %d elements used as a scalar", v.m.Count())
 	}

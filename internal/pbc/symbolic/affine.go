@@ -48,6 +48,29 @@ func (a Affine) Vars() []string {
 // IsConst reports whether a has no variable terms.
 func (a Affine) IsConst() bool { return len(a.terms) == 0 }
 
+// Split separates the coefficients of the given variables from the
+// rest, so that a == Σ coeffs[i]·vars[i] + rest. Variables absent from
+// a (and empty names) get a zero coefficient. This is the extraction
+// the interpreter's rule compiler uses to turn symbolic region bounds
+// into per-loop-variable strides evaluated with integer multiply-adds.
+func (a Affine) Split(vars []string) (coeffs []Rat, rest Affine) {
+	coeffs = make([]Rat, len(vars))
+	rest = a
+	for i, v := range vars {
+		if v == "" {
+			continue
+		}
+		// Read from rest, not a, so a duplicated name extracts once.
+		c := rest.Coeff(v)
+		if c.IsZero() {
+			continue
+		}
+		coeffs[i] = c
+		rest = rest.Sub(AffineVar(v).Scale(c))
+	}
+	return coeffs, rest
+}
+
 // IsZero reports whether a is identically zero.
 func (a Affine) IsZero() bool { return a.IsConst() && a.konst.IsZero() }
 

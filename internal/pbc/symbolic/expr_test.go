@@ -179,3 +179,34 @@ func TestSubstituteEvalCommutes(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Split must decompose a into Σ coeffs[i]·vars[i] + rest, with empty
+// and duplicated names handled (a duplicate extracts its coefficient
+// exactly once).
+func TestAffineSplit(t *testing.T) {
+	e := Add(Mul(Const(2), Var("i")), Mul(Const(-1), Var("j")), Div(Var("n"), Const(2)), Const(3))
+	a, ok := e.Affine()
+	if !ok {
+		t.Fatal("not affine")
+	}
+	coeffs, rest := a.Split([]string{"i", "", "j", "i", "k"})
+	wantCoeffs := []int64{2, 0, -1, 0, 0}
+	for d, w := range wantCoeffs {
+		if coeffs[d].Cmp(RatInt(w)) != 0 {
+			t.Errorf("coeff[%d] = %v, want %d", d, coeffs[d], w)
+		}
+	}
+	if got, want := rest.String(), "1/2*n+3"; got != want {
+		t.Errorf("rest = %q, want %q", got, want)
+	}
+	// Recomposition: a == Σ coeffs·vars + rest.
+	sum := rest
+	for d, v := range []string{"i", "", "j", "i", "k"} {
+		if v != "" {
+			sum = sum.Add(AffineVar(v).Scale(coeffs[d]))
+		}
+	}
+	if !sum.Equal(a) {
+		t.Errorf("recomposed %v != %v", sum, a)
+	}
+}
