@@ -1,0 +1,318 @@
+package configstore
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"petabricks/internal/choice"
+)
+
+// This file property-tests the store against an exact reference model:
+// random operation sequences are mirrored into a plain-map model of the
+// documented semantics — nearest-bucket scoring, promote-if-faster, and
+// the seq-based LRU bound — and every step cross-checks the two.
+
+type modelEntry struct {
+	key     Key
+	cfgText string
+	cost    float64
+	seq     uint64
+}
+
+type storeModel struct {
+	entries map[Key]*modelEntry
+	clock   uint64
+	max     int
+}
+
+func newStoreModel(max int) *storeModel {
+	return &storeModel{entries: map[Key]*modelEntry{}, max: max}
+}
+
+func (m *storeModel) put(k Key, cfgText string, cost float64) {
+	m.clock++
+	m.entries[k] = &modelEntry{key: k, cfgText: cfgText, cost: cost, seq: m.clock}
+	for len(m.entries) > m.max {
+		var victim *modelEntry
+		for _, e := range m.entries {
+			if victim == nil || e.seq < victim.seq {
+				victim = e
+			}
+		}
+		delete(m.entries, victim.key)
+	}
+}
+
+// score mirrors the documented Lookup preference order exactly.
+func lookupScore(k, want Key) int {
+	d := k.Bucket - want.Bucket
+	if d < 0 {
+		d = -d
+	}
+	score := d * 4
+	if k.Bucket < want.Bucket {
+		score++
+	}
+	if k.Workers != want.Workers {
+		score += 1 << 20
+	}
+	return score
+}
+
+// bestScore returns the minimal score over entries for program, or false
+// when the program has none. Ties are legal (same program and bucket,
+// two non-matching worker counts), so the model reports the score, not
+// one winner.
+func (m *storeModel) bestScore(want Key) (int, bool) {
+	best, found := 1 << 60, false
+	for k := range m.entries {
+		if k.Program != want.Program {
+			continue
+		}
+		if s := lookupScore(k, want); s < best {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+func (m *storeModel) touch(k Key) {
+	m.clock++
+	m.entries[k].seq = m.clock
+}
+
+// reloadOrder reassigns seqs the way Store.load does: sorted key order.
+func (m *storeModel) reloadOrder() {
+	keys := make([]Key, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	m.clock = 0
+	for _, k := range keys {
+		m.clock++
+		m.entries[k].seq = m.clock
+	}
+}
+
+func sortKeys(keys []Key) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keyLess(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+func keyLess(a, b Key) bool {
+	if a.Program != b.Program {
+		return a.Program < b.Program
+	}
+	if a.Bucket != b.Bucket {
+		return a.Bucket < b.Bucket
+	}
+	return a.Workers < b.Workers
+}
+
+func cfgWithID(t *testing.T, id int) (*choice.Config, string) {
+	t.Helper()
+	cfg := choice.NewConfig()
+	cfg.SetInt("prop.id", int64(id))
+	var sb strings.Builder
+	if err := cfg.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return cfg, sb.String()
+}
+
+func cfgText(t *testing.T, cfg *choice.Config) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := cfg.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// checkAgainstModel compares the full entry set: keys, costs, configs.
+func checkAgainstModel(t *testing.T, s *Store, m *storeModel, step int) {
+	t.Helper()
+	snap := s.Snapshot()
+	if len(snap) != len(m.entries) {
+		t.Fatalf("step %d: store has %d entries, model %d", step, len(snap), len(m.entries))
+	}
+	if s.Len() > m.max {
+		t.Fatalf("step %d: LRU bound violated: %d > %d", step, s.Len(), m.max)
+	}
+	for _, e := range snap {
+		me, ok := m.entries[e.Key]
+		if !ok {
+			t.Fatalf("step %d: store holds %s, model does not (LRU eviction diverged)", step, e.Key)
+		}
+		if me.cost != e.Cost {
+			t.Fatalf("step %d: %s cost %g, model %g", step, e.Key, e.Cost, me.cost)
+		}
+		if got := cfgText(t, e.Cfg); got != me.cfgText {
+			t.Fatalf("step %d: %s config diverged:\n%s\nmodel:\n%s", step, e.Key, got, me.cfgText)
+		}
+	}
+}
+
+// TestStorePropertyVsModel drives long random operation sequences
+// through the store and the reference model in lock step.
+func TestStorePropertyVsModel(t *testing.T) {
+	programs := []string{"sort", "heat", "mm"}
+	now := time.Unix(1700000000, 0)
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			max := 2 + rng.Intn(6) // tiny bound so eviction happens constantly
+			path := filepath.Join(t.TempDir(), "store.json")
+			s, err := Open(path, max)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := newStoreModel(max)
+			nextID := 0
+			randKey := func() Key {
+				return Key{
+					Program: programs[rng.Intn(len(programs))],
+					Bucket:  rng.Intn(6),
+					Workers: 1 + rng.Intn(3),
+				}
+			}
+			for step := 0; step < 400; step++ {
+				switch op := rng.Intn(10); {
+				case op < 3: // Put
+					k := randKey()
+					nextID++
+					cfg, text := cfgWithID(t, nextID)
+					cost := 1 + rng.Float64()
+					s.Put(k, cfg, cost, now)
+					m.put(k, text, cost)
+				case op < 6: // Promote
+					k := randKey()
+					nextID++
+					cfg, text := cfgWithID(t, nextID)
+					newCost := 1 + rng.Float64()
+					margin := 0.05
+					oldCost := 0.0
+					wantOK := true
+					if prev, ok := m.entries[k]; ok {
+						oldCost = prev.cost // the caller's re-measurement of the incumbent
+						wantOK = newCost < oldCost*(1-margin)
+					}
+					gotOK := s.Promote(k, cfg, newCost, oldCost, margin, now)
+					if gotOK != wantOK {
+						t.Fatalf("step %d: Promote(%s, new=%g, old=%g) = %v, model says %v",
+							step, k, newCost, oldCost, gotOK, wantOK)
+					}
+					if gotOK {
+						m.put(k, text, newCost)
+					}
+				case op < 9: // Lookup
+					program := programs[rng.Intn(len(programs))]
+					size := int64(1) << rng.Intn(7)
+					workers := 1 + rng.Intn(3)
+					want := KeyFor(program, size, workers)
+					cfg, servedBy, ok := s.Lookup(program, size, workers)
+					best, wantOK := m.bestScore(want)
+					if ok != wantOK {
+						t.Fatalf("step %d: Lookup(%s) found=%v, model says %v", step, want, ok, wantOK)
+					}
+					if !ok {
+						continue
+					}
+					me, exists := m.entries[servedBy]
+					if !exists {
+						t.Fatalf("step %d: Lookup(%s) served by %s, which the model evicted", step, want, servedBy)
+					}
+					if got := lookupScore(servedBy, want); got != best {
+						t.Fatalf("step %d: Lookup(%s) served by %s with score %d, best is %d",
+							step, want, servedBy, got, best)
+					}
+					if got := cfgText(t, cfg); got != me.cfgText {
+						t.Fatalf("step %d: Lookup(%s) returned wrong config", step, want)
+					}
+					// Mutating the returned clone must not leak into the store.
+					cfg.SetInt("prop.id", -1)
+					if again, _, ok2 := s.Get(servedBy); !ok2 || cfgText(t, again) != me.cfgText {
+						t.Fatalf("step %d: caller mutation leaked into stored config for %s", step, servedBy)
+					}
+					m.touch(servedBy)
+				default: // persistence round trip, mid-sequence
+					if err := s.Save(); err != nil {
+						t.Fatal(err)
+					}
+					s2, err := Open(path, max)
+					if err != nil {
+						t.Fatal(err)
+					}
+					s = s2
+					m.reloadOrder()
+				}
+				checkAgainstModel(t, s, m, step)
+			}
+		})
+	}
+}
+
+// TestStorePropertyConcurrent hammers one store from many goroutines
+// with random interleavings; run under -race this checks the locking,
+// and afterwards the LRU bound and counter coherence must still hold.
+func TestStorePropertyConcurrent(t *testing.T) {
+	const max = 8
+	s, err := Open("", max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1700000000, 0)
+	var wg sync.WaitGroup
+	const goroutines = 8
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 300; i++ {
+				k := Key{Program: "p", Bucket: rng.Intn(6), Workers: 1 + rng.Intn(2)}
+				switch rng.Intn(4) {
+				case 0:
+					cfg := choice.NewConfig()
+					cfg.SetInt("prop.id", int64(g*1000+i))
+					s.Put(k, cfg, 1+rng.Float64(), now)
+				case 1:
+					cfg := choice.NewConfig()
+					cfg.SetInt("prop.id", int64(g*1000+i))
+					s.Promote(k, cfg, rng.Float64(), 1.0, 0.02, now)
+				case 2:
+					if cfg, _, ok := s.Lookup("p", int64(1)<<rng.Intn(7), 1+rng.Intn(2)); ok {
+						cfg.SetInt("prop.id", -1) // must not corrupt the store
+					}
+				default:
+					s.Get(k)
+				}
+				if n := s.Len(); n > max {
+					t.Errorf("LRU bound violated mid-flight: %d > %d", n, max)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.Len(); n > max || n == 0 {
+		t.Fatalf("after concurrent ops: Len = %d, want 1..%d", n, max)
+	}
+	st := s.Stats()
+	if st.Entries != s.Len() {
+		t.Fatalf("Stats.Entries = %d, Len = %d", st.Entries, s.Len())
+	}
+	if st.Hits < 0 || st.Misses < 0 || st.Promotions == 0 {
+		t.Fatalf("implausible stats after heavy traffic: %+v", st)
+	}
+}

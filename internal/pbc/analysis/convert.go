@@ -68,8 +68,15 @@ func toSymbolic(e ast.Expr) (*symbolic.Expr, error) {
 			}
 			return out, nil
 		case "/":
-			if _, ok := r.IsConst(); !ok {
+			c, ok := r.IsConst()
+			if !ok {
 				return nil, fmt.Errorf("division by non-constant in region expression")
+			}
+			if c.IsZero() {
+				// symbolic.Div panics on a zero constant denominator;
+				// fuzzed inputs like `i / 0` or `i / (n - n)` must be
+				// a clean front-end error instead.
+				return nil, fmt.Errorf("division by zero in region expression")
 			}
 			return symbolic.Div(l, r), nil
 		default:

@@ -1,0 +1,209 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// The generator builds rule bodies out of a tiny expression language
+// whose every operation is EXACT on integer-valued float64s: +, -, *,
+// min, max, abs, and comparisons. As long as all intermediate values
+// stay far below 2^53 (the generator bounds coefficients, input values,
+// and tree depth so they do), every algebraic rewrite below preserves
+// the result bit-for-bit — which is what lets the differential oracle
+// demand bit-identical outputs across rule choices, schedules, and the
+// interpreter/compiler pair.
+
+type xp interface{ render(b *strings.Builder) }
+
+type xnum struct{ v int64 }
+
+type xref struct{ s string } // pre-rendered operand: "a", "i", "b.cell(i)"
+
+type xbin struct {
+	op   string // "+", "-", "*"
+	l, r xp
+}
+
+type xcall struct {
+	fn   string // "min", "max", "abs"
+	args []xp
+}
+
+// xcond is ((l cmp r) ? a : b).
+type xcond struct {
+	cmp  string // "<", "<=", ">", ">=", "==", "!="
+	l, r xp
+	a, b xp
+}
+
+func (x xnum) render(b *strings.Builder) {
+	if x.v < 0 {
+		fmt.Fprintf(b, "(0 - %d)", -x.v)
+		return
+	}
+	fmt.Fprintf(b, "%d", x.v)
+}
+
+func (x xref) render(b *strings.Builder) { b.WriteString(x.s) }
+
+func (x xbin) render(b *strings.Builder) {
+	b.WriteString("(")
+	x.l.render(b)
+	b.WriteString(" " + x.op + " ")
+	x.r.render(b)
+	b.WriteString(")")
+}
+
+func (x xcall) render(b *strings.Builder) {
+	b.WriteString(x.fn + "(")
+	for i, a := range x.args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a.render(b)
+	}
+	b.WriteString(")")
+}
+
+func (x xcond) render(b *strings.Builder) {
+	b.WriteString("((")
+	x.l.render(b)
+	b.WriteString(" " + x.cmp + " ")
+	x.r.render(b)
+	b.WriteString(") ? ")
+	x.a.render(b)
+	b.WriteString(" : ")
+	x.b.render(b)
+	b.WriteString(")")
+}
+
+func renderX(x xp) string {
+	var b strings.Builder
+	x.render(&b)
+	return b.String()
+}
+
+// genExpr builds a random expression over the given leaf operands.
+// depth bounds tree height; *muls bounds the total number of multiply
+// nodes so magnitudes stay small enough for exact arithmetic.
+func genExpr(rng *rand.Rand, leaves []xp, depth int, muls *int) xp {
+	leaf := func() xp {
+		if len(leaves) > 0 && rng.Intn(3) != 0 {
+			return leaves[rng.Intn(len(leaves))]
+		}
+		return xnum{int64(rng.Intn(7) - 3)}
+	}
+	if depth <= 0 || rng.Intn(4) == 0 {
+		return leaf()
+	}
+	sub := func() xp { return genExpr(rng, leaves, depth-1, muls) }
+	switch rng.Intn(9) {
+	case 0, 1:
+		return xbin{"+", sub(), sub()}
+	case 2:
+		return xbin{"-", sub(), sub()}
+	case 3, 4:
+		if *muls <= 0 {
+			return xbin{"+", sub(), sub()}
+		}
+		*muls--
+		return xbin{"*", leaf(), sub()}
+	case 5:
+		return xcall{"min", []xp{sub(), sub()}}
+	case 6:
+		return xcall{"max", []xp{sub(), sub()}}
+	case 7:
+		return xcall{"abs", []xp{sub()}}
+	default:
+		return xcond{cmp: cmpOps[rng.Intn(len(cmpOps))], l: leaf(), r: leaf(), a: sub(), b: sub()}
+	}
+}
+
+var cmpOps = []string{"<", "<=", ">", ">=", "==", "!="}
+
+// rewrite returns an expression algebraically equal to e (exactly, on
+// integer-valued inputs within range), built by randomly applying
+// identities: commutation, reassociation, distribution of a constant,
+// 2*x = x+x, min/max/abs as conditionals, a-b = a + -1*b, and flipped
+// comparisons. Each call makes different random choices, so two
+// rewrites of the same expression give two distinct-looking but
+// equivalent rule bodies.
+func rewrite(rng *rand.Rand, e xp) xp {
+	switch t := e.(type) {
+	case xbin:
+		l, r := rewrite(rng, t.l), rewrite(rng, t.r)
+		switch t.op {
+		case "+":
+			switch rng.Intn(5) {
+			case 0:
+				return xbin{"+", r, l}
+			case 1:
+				if lb, ok := l.(xbin); ok && lb.op == "+" {
+					return xbin{"+", lb.l, xbin{"+", lb.r, r}}
+				}
+			case 2:
+				// a + b = a - (0 - b)
+				return xbin{"-", l, xbin{"-", xnum{0}, r}}
+			}
+			return xbin{"+", l, r}
+		case "-":
+			if rng.Intn(3) == 0 {
+				// a - b = a + (-1)*b
+				return xbin{"+", l, xbin{"*", xnum{-1}, r}}
+			}
+			return xbin{"-", l, r}
+		case "*":
+			switch rng.Intn(5) {
+			case 0:
+				return xbin{"*", r, l}
+			case 1:
+				if rb, ok := r.(xbin); ok && (rb.op == "+" || rb.op == "-") {
+					if _, isConst := l.(xnum); isConst {
+						return xbin{rb.op, xbin{"*", l, rb.l}, xbin{"*", l, rb.r}}
+					}
+				}
+			case 2:
+				if n, ok := l.(xnum); ok && n.v == 2 {
+					return xbin{"+", r, r}
+				}
+			}
+			return xbin{"*", l, r}
+		}
+		return xbin{t.op, l, r}
+	case xcall:
+		args := make([]xp, len(t.args))
+		for i, a := range t.args {
+			args[i] = rewrite(rng, a)
+		}
+		switch t.fn {
+		case "min":
+			if len(args) == 2 && rng.Intn(3) == 0 {
+				return xcond{cmp: "<", l: args[0], r: args[1], a: args[0], b: args[1]}
+			}
+		case "max":
+			if len(args) == 2 && rng.Intn(3) == 0 {
+				return xcond{cmp: "<", l: args[0], r: args[1], a: args[1], b: args[0]}
+			}
+		case "abs":
+			if rng.Intn(3) == 0 {
+				return xcond{cmp: "<", l: args[0], r: xnum{0}, a: xbin{"-", xnum{0}, args[0]}, b: args[0]}
+			}
+		}
+		return xcall{t.fn, args}
+	case xcond:
+		a, b := rewrite(rng, t.a), rewrite(rng, t.b)
+		if rng.Intn(3) == 0 {
+			// (l < r ? a : b) = (l >= r ? b : a), and so on: negate the
+			// comparison and swap the arms. Exact — no NaNs here.
+			return xcond{cmp: negCmp[t.cmp], l: t.l, r: t.r, a: b, b: a}
+		}
+		return xcond{cmp: t.cmp, l: t.l, r: t.r, a: a, b: b}
+	}
+	return e
+}
+
+var negCmp = map[string]string{
+	"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "==",
+}

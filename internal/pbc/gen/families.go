@@ -1,0 +1,249 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// lit renders an integer literal; negatives are parenthesized so they
+// can appear anywhere an expression can.
+func lit(v int64) string { return renderX(xnum{v}) }
+
+// renderBody renders `out = e;`, sometimes split through a local
+// declaration to exercise Decl/scope handling in both execution paths.
+func renderBody(rng *rand.Rand, e xp, out string) string {
+	if bin, ok := e.(xbin); ok && bin.op == "+" && rng.Intn(2) == 0 {
+		ty := "double"
+		if rng.Intn(2) == 0 {
+			ty = "int" // all values are integral, so trunc is exact
+		}
+		return fmt.Sprintf("    %s s = %s;\n    %s = (s + %s);\n", ty, renderX(bin.l), out, renderX(bin.r))
+	}
+	return fmt.Sprintf("    %s = %s;\n", out, renderX(e))
+}
+
+// pointwise: B[i] = f(A[i], i, n) with 2-3 rewritten cell-rule
+// alternatives and, sometimes, a whole-matrix macro alternative that
+// computes the same thing with a for loop.
+func (g *Generator) pointwise() *Case {
+	rng := g.rng
+	muls := 2
+	e := genExpr(rng, []xp{xref{"@a"}, xref{"@a"}, xref{"@i"}, xref{"@n"}}, 3, &muls)
+	cellVars := map[string]string{"@a": "a", "@i": "i", "@n": "n"}
+	var rules []string
+	nAlt := 2 + rng.Intn(2)
+	for k := 0; k < nAlt; k++ {
+		ek := e
+		if k > 0 {
+			ek = rewrite(rng, e)
+		}
+		body := renderBody(rng, substX(ek, cellVars), "b")
+		rules = append(rules, "  to (B.cell(i) b) from (A.cell(i) a) {\n"+body+"  }\n")
+	}
+	if rng.Intn(2) == 0 {
+		inner := renderX(substX(rewrite(rng, e), map[string]string{"@a": "a.cell(k)", "@i": "k", "@n": "n"}))
+		rules = append(rules,
+			"  to (B b) from (A a) {\n    for (int k = 0; k < n; k++) {\n      b.cell(k) = "+inner+";\n    }\n  }\n")
+	}
+	src := "transform FzPointwise\nfrom A[n]\nto B[n]\n{\n" + strings.Join(rules, "\n") + "}\n"
+	return &Case{Family: "pointwise", Src: src, Main: "FzPointwise", MinN: 1, MakeInputs: vecInputs("A")}
+}
+
+// scan: a rolling reduction B[i] = w*sum(A[0..i]) + (i+1)*c, computed
+// either directly from a prefix region or incrementally from B[i-1] —
+// the paper's RollingSum choice, with random coefficients and an extra
+// rewritten alternative.
+func (g *Generator) scan() *Case {
+	rng := g.rng
+	w := int64(1 + rng.Intn(3))
+	c := int64(rng.Intn(5) - 2)
+	direct := fmt.Sprintf("((%s * sum(in)) + ((i + 1) * %s))", lit(w), lit(c))
+	incr := fmt.Sprintf("((left + (%s * a)) + %s)", lit(w), lit(c))
+	rules := []string{
+		"  to (B.cell(i) b) from (A.region(0, (i + 1)) in) {\n    b = " + direct + ";\n  }\n",
+		"  to (B.cell(i) b) from (A.cell(i) a, B.cell((i - 1)) left) {\n    b = " + incr + ";\n  }\n",
+	}
+	if rng.Intn(2) == 0 {
+		// Same incremental algorithm, association flipped.
+		alt := fmt.Sprintf("(left + ((%s * a) + %s))", lit(w), lit(c))
+		rules = append(rules, "  to (B.cell(i) b) from (A.cell(i) a, B.cell((i - 1)) left) {\n    b = "+alt+";\n  }\n")
+	}
+	src := "transform FzScan\nfrom A[n]\nto B[n]\n{\n" + strings.Join(rules, "\n") + "}\n"
+	return &Case{Family: "scan", Src: src, Main: "FzScan", MinN: 1, MakeInputs: vecInputs("A")}
+}
+
+// stencil: a versioned time-step recurrence B<0..T>[n] à la Heat1D,
+// with integer weights, a priority(1) interior rule (two rewritten
+// alternatives), and a priority(2) boundary rule. With tpl=true the
+// step count T becomes a template parameter.
+func (g *Generator) stencil(tpl bool) *Case {
+	rng := g.rng
+	T := int64(1 + rng.Intn(4))
+	w1, w2, w3 := int64(rng.Intn(5)-2), int64(1+rng.Intn(2)), int64(rng.Intn(5)-2)
+	k := int64(rng.Intn(5) - 2)
+	k2 := int64(rng.Intn(3) - 1)
+	muls := 1
+	e0 := genExpr(rng, []xp{xref{"a"}, xref{"a"}, xref{"i"}}, 2, &muls)
+
+	interior := fmt.Sprintf("((((%s * l) + (%s * c)) + (%s * r)) + %s)", lit(w1), lit(w2), lit(w3), lit(k))
+	interiorAlt := fmt.Sprintf("((((%s * r) + (%s * l)) + (%s * c)) + %s)", lit(w3), lit(w1), lit(w2), lit(k))
+
+	name := "FzStencil"
+	hi := fmt.Sprintf("%d", T)
+	family := "stencil"
+	header := "transform " + name + "\n"
+	if tpl {
+		name = "FzTpl"
+		family = "template"
+		header = "transform " + name + "\ntemplate <T>\n"
+		hi = "T"
+	}
+	src := header +
+		"from A[n]\nto B<0.." + hi + ">[n]\n{\n" +
+		"  to (B.cell(i, 0) b) from (A.cell(i) a) {\n" + renderBody(rng, e0, "b") + "  }\n\n" +
+		"  priority(1) to (B.cell(i, t) b)\n" +
+		"  from (B.cell((i - 1), (t - 1)) l, B.cell(i, (t - 1)) c, B.cell((i + 1), (t - 1)) r)\n" +
+		"  where t >= 1 {\n    b = " + interior + ";\n  }\n\n" +
+		"  priority(1) to (B.cell(i, t) b)\n" +
+		"  from (B.cell((i - 1), (t - 1)) l, B.cell(i, (t - 1)) c, B.cell((i + 1), (t - 1)) r)\n" +
+		"  where t >= 1 {\n    b = " + interiorAlt + ";\n  }\n\n" +
+		"  priority(2) to (B.cell(i, t) b) from (B.cell(i, (t - 1)) c) where t >= 1 {\n" +
+		"    b = (c + " + lit(k2) + ");\n  }\n" +
+		"}\n"
+	cs := &Case{Family: family, Src: src, Main: name, MinN: 1, MakeInputs: vecInputs("A")}
+	if tpl {
+		cs.TArgs = []int64{int64(1 + rng.Intn(4))}
+	}
+	return cs
+}
+
+// area2d: a 2-D prefix recurrence over B[w, h] in the SummedArea shape:
+// a primary interior rule (two rewritten alternatives), secondary edge
+// rules, and a priority(2) corner rule. Mode "sum" is the inclusion-
+// exclusion prefix sum; mode "max" is a running 2-D maximum.
+func (g *Generator) area2d() *Case {
+	rng := g.rng
+	e := int64(1 + rng.Intn(3))
+	var interior, interiorAlt, edgeY, edgeX, corner string
+	hasD := rng.Intn(2) == 0
+	if hasD {
+		interior = fmt.Sprintf("((((%s * a) + l) + u) - d)", lit(e))
+		interiorAlt = fmt.Sprintf("((l + (%s * a)) + (u - d))", lit(e))
+		edgeY = fmt.Sprintf("((%s * a) + l)", lit(e))
+		edgeX = fmt.Sprintf("((%s * a) + u)", lit(e))
+		corner = fmt.Sprintf("(%s * a)", lit(e))
+	} else {
+		interior = fmt.Sprintf("max(max((%s * a), l), u)", lit(e))
+		interiorAlt = fmt.Sprintf("max((%s * a), max(u, l))", lit(e))
+		edgeY = fmt.Sprintf("max((%s * a), l)", lit(e))
+		edgeX = fmt.Sprintf("max((%s * a), u)", lit(e))
+		corner = fmt.Sprintf("(%s * a)", lit(e))
+	}
+	fromInterior := "A.cell(x, y) a, B.cell((x - 1), y) l, B.cell(x, (y - 1)) u"
+	if hasD {
+		fromInterior += ", B.cell((x - 1), (y - 1)) d"
+	}
+	src := "transform FzArea\nfrom A[w, h]\nto B[w, h]\n{\n" +
+		"  primary to (B.cell(x, y) b)\n  from (" + fromInterior + ") {\n    b = " + interior + ";\n  }\n\n" +
+		"  primary to (B.cell(x, y) b)\n  from (" + fromInterior + ") {\n    b = " + interiorAlt + ";\n  }\n\n" +
+		"  secondary to (B.cell(x, y) b) from (A.cell(x, y) a, B.cell((x - 1), y) l) where y == 0 {\n" +
+		"    b = " + edgeY + ";\n  }\n\n" +
+		"  secondary to (B.cell(x, y) b) from (A.cell(x, y) a, B.cell(x, (y - 1)) u) where x == 0 {\n" +
+		"    b = " + edgeX + ";\n  }\n\n" +
+		"  priority(2) to (B.cell(x, y) b) from (A.cell(x, y) a) {\n    b = " + corner + ";\n  }\n" +
+		"}\n"
+	return &Case{Family: "area2d", Src: src, Main: "FzArea", MinN: 1, MakeInputs: gridInputs("A")}
+}
+
+// pipe: a two-stage pipeline through an intermediate matrix, each stage
+// with rewritten alternatives; sometimes the second stage reads a
+// prefix region of the intermediate instead of a single cell.
+func (g *Generator) pipe() *Case {
+	rng := g.rng
+	muls1, muls2 := 1, 1
+	e1 := genExpr(rng, []xp{xref{"a"}, xref{"a"}, xref{"i"}, xref{"n"}}, 2, &muls1)
+	e2 := genExpr(rng, []xp{xref{"t"}, xref{"t"}, xref{"i"}}, 2, &muls2)
+	stage1 := "  to (T.cell(i) t) from (A.cell(i) a) {\n" + renderBody(rng, e1, "t") + "  }\n"
+	stage1b := "  to (T.cell(i) t) from (A.cell(i) a) {\n" + renderBody(rng, rewrite(rng, e1), "t") + "  }\n"
+	var stage2, stage2b string
+	if rng.Intn(3) == 0 {
+		stage2 = "  to (B.cell(i) b) from (T.region(0, (i + 1)) pre, T.cell(i) t) {\n    b = (sum(pre) + " + renderX(e2) + ");\n  }\n"
+		stage2b = "  to (B.cell(i) b) from (T.region(0, (i + 1)) pre, T.cell(i) t) {\n    b = (" + renderX(rewrite(rng, e2)) + " + sum(pre));\n  }\n"
+	} else {
+		stage2 = "  to (B.cell(i) b) from (T.cell(i) t) {\n" + renderBody(rng, e2, "b") + "  }\n"
+		stage2b = "  to (B.cell(i) b) from (T.cell(i) t) {\n" + renderBody(rng, rewrite(rng, e2), "b") + "  }\n"
+	}
+	src := "transform FzPipe\nfrom A[n]\nthrough T[n]\nto B[n]\n{\n" +
+		stage1 + "\n" + stage1b + "\n" + stage2 + "\n" + stage2b + "}\n"
+	return &Case{Family: "pipe", Src: src, Main: "FzPipe", MinN: 1, MakeInputs: vecInputs("A")}
+}
+
+// recsplit: a pointwise map with a direct cell rule and a recursive
+// halving decomposition (the MergeSort shape without the merge), so
+// selector cutoffs steer real recursion. The body may use only `a` —
+// recursion re-indexes i and shrinks n.
+func (g *Generator) recsplit() *Case {
+	rng := g.rng
+	muls := 1
+	e := genExpr(rng, []xp{xref{"a"}, xref{"a"}}, 2, &muls)
+	src := "transform FzRec\nfrom A[n]\nto B[n]\n{\n" +
+		"  to (B.cell(i) b) from (A.cell(i) a) {\n" + renderBody(rng, e, "b") + "  }\n\n" +
+		"  to (B.region(0, (n / 2)) b1, B.region((n / 2), n) b2)\n" +
+		"  from (A.region(0, (n / 2)) a1, A.region((n / 2), n) a2) {\n" +
+		"    b1 = FzRec(a1);\n    b2 = FzRec(a2);\n  }\n" +
+		"}\n"
+	return &Case{Family: "recsplit", Src: src, Main: "FzRec", MinN: 1, MakeInputs: vecInputs("A")}
+}
+
+// invalid: deliberately malformed programs ("deliberately non-affine
+// regions" and friends). The front end must reject them with an error,
+// never a panic.
+func (g *Generator) invalid() *Case {
+	rng := g.rng
+	variants := []string{
+		// Non-affine region argument: product of two center variables.
+		"transform FzBad\nfrom A[n]\nto B[n]\n{\n  to (B.cell(i) b) from (A.region(0, (i * i)) in) {\n    b = sum(in);\n  }\n}\n",
+		// Division by a zero constant in a region bound.
+		"transform FzBad\nfrom A[n]\nto B[n]\n{\n  to (B.cell(i) b) from (A.region(0, (i / 0)) in) {\n    b = sum(in);\n  }\n}\n",
+		// Division by a denominator that simplifies to zero.
+		"transform FzBad\nfrom A[n]\nto B[n]\n{\n  to (B.cell(i) b) from (A.cell((i / (n - n))) a) {\n    b = a;\n  }\n}\n",
+		// Unknown matrix in a rule.
+		"transform FzBad\nfrom A[n]\nto B[n]\n{\n  to (B.cell(i) b) from (C.cell(i) c) {\n    b = c;\n  }\n}\n",
+		// Output index with a non-unit coefficient.
+		"transform FzBad\nfrom A[n]\nto B[n]\n{\n  to (B.cell((2 * i)) b) from (A.cell(i) a) {\n    b = a;\n  }\n}\n",
+		// row() on a 1-D matrix.
+		"transform FzBad\nfrom A[n]\nto B[n]\n{\n  to (B.cell(i) b) from (A.row(i) r) {\n    b = sum(r);\n  }\n}\n",
+		// Truncated source.
+		"transform FzBad\nfrom A[n]\nto B[n]\n{\n  to (B.cell(i) b) from (A.cell(i) a) {\n    b = (a + ",
+		// Where clause on something no rule covers: cells with no
+		// applicable rule must be an analysis error.
+		"transform FzBad\nfrom A[n]\nto B[n]\n{\n  to (B.cell(i) b) from (A.cell(i) a) where i < 0 {\n    b = a;\n  }\n}\n",
+	}
+	src := variants[rng.Intn(len(variants))]
+	return &Case{Family: "invalid", Src: src, Main: "FzBad", MinN: 1, WantErr: true, MakeInputs: vecInputs("A")}
+}
+
+// substX substitutes pre-rendered operand placeholders in an expression
+// tree, so one abstract body can be rendered for different binding
+// contexts (cell rule vs. macro loop).
+func substX(e xp, m map[string]string) xp {
+	switch t := e.(type) {
+	case xref:
+		if v, ok := m[t.s]; ok {
+			return xref{v}
+		}
+		return t
+	case xbin:
+		return xbin{t.op, substX(t.l, m), substX(t.r, m)}
+	case xcall:
+		args := make([]xp, len(t.args))
+		for i, a := range t.args {
+			args[i] = substX(a, m)
+		}
+		return xcall{t.fn, args}
+	case xcond:
+		return xcond{t.cmp, substX(t.l, m), substX(t.r, m), substX(t.a, m), substX(t.b, m)}
+	}
+	return e
+}

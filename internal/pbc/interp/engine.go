@@ -330,7 +330,7 @@ func (ex *exec) runSchedule() error {
 			}
 		}
 	}
-	if ex.engine.Pool != nil {
+	if ex.engine.Pool != nil && ex.sizesMeetAssumption() {
 		return ex.runScheduleParallel(done)
 	}
 	for _, step := range ex.res.Schedule {
@@ -339,6 +339,23 @@ func (ex *exec) runSchedule() error {
 		}
 	}
 	return nil
+}
+
+// sizesMeetAssumption reports whether every size variable is at least
+// the analysis's ordering assumption (Result.MinInputSize). Below it,
+// evalNodeRegion's clamping can collapse symbolically disjoint grid
+// regions onto the same concrete cells (e.g. [0,1) and [n-1,n) at n=1),
+// and the choice graph's edges then no longer order every conflicting
+// pair of schedule steps — running them concurrently is a data race.
+// Such degenerate sizes take the sequential schedule, where overlap is
+// harmless (§3.5 consistency: overlapping rules agree).
+func (ex *exec) sizesMeetAssumption() bool {
+	for _, v := range ex.sizes {
+		if v < ex.res.MinInputSize {
+			return false
+		}
+	}
+	return true
 }
 
 // runScheduleParallel realizes §3.2: one dependency-counted task per

@@ -1,0 +1,58 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"petabricks/internal/pbc/token"
+)
+
+// FuzzLex checks the lexer on arbitrary byte soup: it must never panic,
+// must terminate, and must either produce an EOF-terminated stream with
+// monotonically sane positions or return a positioned *Error.
+func FuzzLex(f *testing.F) {
+	f.Add("transform T from A[n] to B[n] { to (B b) from (A a) { b = a; } }")
+	f.Add("a + b // comment\n/* block */ c")
+	f.Add("%{ raw c++ }% 0..n 1.5e-3 <= >= == != && || ++ -- += -=")
+	f.Add("%{ unterminated")
+	f.Add("/* unterminated")
+	f.Add("#$@\x00\xff")
+	f.Add(strings.Repeat("0..", 50))
+	f.Add("1.2.3..4 e9 2e 2e+ 2e+1")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			le, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("Lex error is %T, want *lexer.Error: %v", err, err)
+			}
+			if le.Pos.Line < 1 || le.Pos.Col < 1 {
+				t.Fatalf("lex error with unpositioned location %v: %v", le.Pos, le)
+			}
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != token.EOF {
+			t.Fatalf("token stream not EOF-terminated: %v", toks)
+		}
+		lines := strings.Count(src, "\n") + 1
+		prev := token.Pos{Line: 1, Col: 1}
+		for i, tok := range toks {
+			if tok.Kind != token.EOF && tok.Lexeme == "" && tok.Kind != token.RAWCPP {
+				t.Fatalf("token %d (%v) has empty lexeme", i, tok.Kind)
+			}
+			p := tok.Pos
+			if p.Line < 1 || p.Col < 1 || p.Line > lines+1 {
+				t.Fatalf("token %d (%v) has position %v outside a %d-line input", i, tok.Kind, p, lines)
+			}
+			if p.Line < prev.Line || (p.Line == prev.Line && p.Col < prev.Col) {
+				t.Fatalf("token %d (%v) at %v precedes previous token at %v", i, tok.Kind, p, prev)
+			}
+			prev = p
+		}
+		// Lexing is a pure function of the source.
+		again, err := Lex(src)
+		if err != nil || len(again) != len(toks) {
+			t.Fatalf("re-lexing diverged: %d tokens then %d (err %v)", len(toks), len(again), err)
+		}
+	})
+}

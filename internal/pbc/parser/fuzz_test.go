@@ -1,13 +1,17 @@
 package parser
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"petabricks/internal/pbc/lexer"
 )
 
-// FuzzParse checks the front end never panics on arbitrary input and
-// that accepted programs survive the analysis-facing invariants the rest
-// of the compiler assumes (run with `go test -fuzz=FuzzParse`).
+// FuzzParse checks the front end never panics on arbitrary input, that
+// every rejection carries a source position, and that accepted programs
+// satisfy the invariants the rest of the compiler assumes (run with
+// `go test -fuzz=FuzzParse`).
 func FuzzParse(f *testing.F) {
 	f.Add(RollingSumSrc)
 	f.Add(MatrixMultiplySrc)
@@ -16,13 +20,36 @@ func FuzzParse(f *testing.F) {
 	f.Add(SummedAreaSrc)
 	f.Add("transform T from A[n] to B[n] { to (B b) from (A a) %{ raw }% }")
 	f.Add("transform T template <K> from A[K] to B<0..K>[n] tunable x(1,2) { to (B b) from (A a) where n > 0 { b = a ? 1 : 0; } }")
-	f.Add("transform ((((")
+	// Regression shapes for fuzz-found hazards: unbounded recursion in
+	// ternary/unary/statement nesting and truncation at every layer.
+	f.Add("transform " + strings.Repeat("(", 5000))
+	f.Add("transform T from A[n] to B[n] { to (B b) from (A a) { b = " + strings.Repeat("(", 5000) + "a")
+	f.Add("transform T from A[n] to B[n] { to (B b) from (A a) { b = " + strings.Repeat("-", 5000) + "a; } }")
+	f.Add("transform T from A[n] to B[n] { to (B b) from (A a) { " + strings.Repeat("if (a) ", 5000) + "b = a; } }")
+	f.Add("transform T from A[n] to B[n] { to (B b) from (A a) { b = a ? " + strings.Repeat("a ? ", 4000) + "1")
 	f.Add("%{ unterminated")
 	f.Add("to from where priority(9)")
+	f.Add("transform T from A[n] to B[n] { to (B b) from (A a) { b = a")
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := Parse(src)
 		if err != nil {
-			return // rejection is fine; panics are not
+			// Rejection is fine; panics are not, and the error must say
+			// where — either a lexical or a syntactic positioned error.
+			var pe *Error
+			var le *lexer.Error
+			switch {
+			case errors.As(err, &pe):
+				if pe.Pos.Line < 1 || pe.Pos.Col < 1 {
+					t.Fatalf("parse error without position: %v", err)
+				}
+			case errors.As(err, &le):
+				if le.Pos.Line < 1 || le.Pos.Col < 1 {
+					t.Fatalf("lex error without position: %v", err)
+				}
+			default:
+				t.Fatalf("Parse error is %T, want positioned *parser.Error or *lexer.Error: %v", err, err)
+			}
+			return
 		}
 		for _, tr := range prog.Transforms {
 			if tr.Name == "" {

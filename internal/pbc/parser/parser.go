@@ -27,7 +27,26 @@ func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 type parser struct {
 	toks []token.Token
 	pos  int
+	// depth counts nested expression/statement recursion; adversarial
+	// input like "((((…" or deeply nested ifs must produce a parse
+	// error, not a stack overflow.
+	depth int
 }
+
+// maxDepth bounds expression and statement nesting. Real programs stay
+// in the tens; the limit only exists to stop fuzzer-crafted input from
+// exhausting the goroutine stack.
+const maxDepth = 256
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxDepth {
+		return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf("nesting deeper than %d levels", maxDepth)}
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // Parse parses a whole source file.
 func Parse(src string) (*ast.Program, error) {
@@ -464,6 +483,10 @@ func (p *parser) stmtOrBlock() ([]ast.Stmt, error) {
 }
 
 func (p *parser) stmt() (ast.Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch {
 	case p.at(token.KwIf):
 		p.next()
@@ -607,6 +630,10 @@ func (p *parser) simpleStmt() (ast.Stmt, error) {
 func (p *parser) expr() (ast.Expr, error) { return p.ternary() }
 
 func (p *parser) ternary() (ast.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	c, err := p.orExpr()
 	if err != nil {
 		return nil, err
@@ -725,6 +752,10 @@ func (p *parser) mulExpr() (ast.Expr, error) {
 }
 
 func (p *parser) unary() (ast.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.at(token.Minus) || p.at(token.Not) {
 		op := p.next().Lexeme
 		x, err := p.unary()

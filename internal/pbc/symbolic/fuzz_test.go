@@ -1,0 +1,200 @@
+package symbolic
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzExprEval drives the simplifier with byte-programmed expression
+// trees and shadows every operation with math/big exact rationals: the
+// eagerly-simplifying constructors (Add/Mul/Div/Min/Max), Substitute,
+// and Affine().Expr() must all preserve evaluation. Magnitudes are
+// bounded so the int64-backed Rat arithmetic cannot overflow, keeping
+// every mismatch a real simplifier bug.
+func FuzzExprEval(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{10, 11, 20, 30, 40, 50, 60, 70})
+	f.Add([]byte{9, 9, 9, 9, 100, 101, 102, 103, 104, 105, 106})
+	f.Add([]byte{255, 254, 253, 0, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64] // bound den growth: ≤64 ops over dens ≤4 stays far inside int64
+		}
+		vars := []string{"a", "b", "n"}
+		env := map[string]int64{}
+		shadowEnv := map[string]*big.Rat{}
+		for i, v := range vars {
+			val := int64(-8)
+			if i < len(data) {
+				val = int64(data[i]%17) - 8
+			}
+			env[v] = val
+			shadowEnv[v] = new(big.Rat).SetInt64(val)
+		}
+
+		// A little stack machine: each byte either pushes a leaf or
+		// combines the top of the stack. Besides the exact shadow value,
+		// each element carries mag — a conservative bound on the
+		// numerator and denominator of every rational the simplifier can
+		// form over the subtree (coefficients, constant folds, Eval
+		// intermediates). The evaluated value alone is not enough: a
+		// chain of Div(·, 4) over a variable whose env value is 0 keeps
+		// the value at 0 while the symbolic coefficient (1/4)^k silently
+		// overflows the int64 denominator.
+		type elem struct {
+			e   *Expr
+			s   *big.Rat // exact value under env
+			mag *big.Int // bound on any coefficient num/den in the subtree
+		}
+		leafMag := big.NewInt(8) // leaf consts, dens, and env values are all ≤ 8
+		var stack []elem
+		push := func(e *Expr, s *big.Rat, m *big.Int) { stack = append(stack, elem{e, s, m}) }
+		pop := func() elem {
+			el := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			return el
+		}
+		// combine builds a binary node ONLY when every rational the
+		// simplifier can form stays inside Rat's int64 domain; otherwise
+		// the operand is pushed back untouched. Rat documents itself as
+		// int64-backed, so feeding it 4^64-sized denominators is misuse,
+		// not a simplifier bug. For any binary op, result coefficients
+		// are bounded by 2·magx·magy (cross-multiplied sums), and the
+		// un-reduced intermediates inside a Rat op by magx·magy — so
+		// keeping mag ≤ 2^20 keeps intermediates ≤ 2^40, far from wrap.
+		magLim := big.NewInt(1 << 20)
+		combine := func(x, y elem, build func(a, b *Expr) *Expr, s *big.Rat) {
+			m := new(big.Int).Mul(x.mag, y.mag)
+			m.Add(m, m)
+			if m.Cmp(magLim) > 0 || ratTooBig(s) {
+				push(x.e, x.s, x.mag)
+				return
+			}
+			push(build(x.e, y.e), s, m)
+		}
+		for _, b := range data {
+			switch op := b % 10; {
+			case op < 2 || len(stack) == 0: // const leaf
+				v := int64(b/10%9) - 4
+				push(Const(v), new(big.Rat).SetInt64(v), leafMag)
+			case op == 2: // fractional const leaf, den 2-4
+				num := int64(b/10%9) - 4
+				den := int64(2 + b%3)
+				push(ConstRat(RatFrac(num, den)), big.NewRat(num, den), leafMag)
+			case op == 3: // var leaf
+				v := vars[int(b/10)%len(vars)]
+				push(Var(v), new(big.Rat).Set(shadowEnv[v]), leafMag)
+			case op == 4 && len(stack) >= 2:
+				y, x := pop(), pop()
+				combine(x, y, func(a, b *Expr) *Expr { return Add(a, b) }, new(big.Rat).Add(x.s, y.s))
+			case op == 5 && len(stack) >= 2:
+				y, x := pop(), pop()
+				combine(x, y, Sub, new(big.Rat).Sub(x.s, y.s))
+			case op == 6 && len(stack) >= 2:
+				y, x := pop(), pop()
+				// Multiply by a constant only: the front end never
+				// builds general variable×variable products.
+				if _, ok := y.e.IsConst(); !ok {
+					combine(x, y, func(a, b *Expr) *Expr { return Min(a, b) }, ratMin(x.s, y.s))
+					continue
+				}
+				combine(x, y, func(a, b *Expr) *Expr { return Mul(a, b) }, new(big.Rat).Mul(x.s, y.s))
+			case op == 7: // divide by a small nonzero constant
+				den := int64(2 + b/10%3)
+				x := pop()
+				y := elem{Const(den), new(big.Rat).SetInt64(den), leafMag}
+				combine(x, y, Div, new(big.Rat).Quo(x.s, y.s))
+			case op == 8 && len(stack) >= 2:
+				y, x := pop(), pop()
+				combine(x, y, func(a, b *Expr) *Expr { return Min(a, b) }, ratMin(x.s, y.s))
+			default:
+				if len(stack) >= 2 {
+					y, x := pop(), pop()
+					combine(x, y, func(a, b *Expr) *Expr { return Max(a, b) }, ratMax(x.s, y.s))
+				}
+			}
+			if len(stack) > 16 {
+				break
+			}
+		}
+		for _, el := range stack {
+			checkElem(t, el.e, el.s, env)
+		}
+	})
+}
+
+// ratTooBig bounds operands so that even un-reduced intermediate
+// products (num·num, den·den) stay far inside int64.
+func ratTooBig(r *big.Rat) bool {
+	lim := big.NewInt(1 << 20)
+	return r.Num().CmpAbs(lim) > 0 || r.Denom().CmpAbs(lim) > 0
+}
+
+func ratMin(a, b *big.Rat) *big.Rat {
+	if a.Cmp(b) <= 0 {
+		return new(big.Rat).Set(a)
+	}
+	return new(big.Rat).Set(b)
+}
+
+func ratMax(a, b *big.Rat) *big.Rat {
+	if a.Cmp(b) >= 0 {
+		return new(big.Rat).Set(a)
+	}
+	return new(big.Rat).Set(b)
+}
+
+// floorBig floors a big.Rat to int64 (Eval's documented semantics).
+func floorBig(r *big.Rat) int64 {
+	q := new(big.Int)
+	m := new(big.Int)
+	q.QuoRem(r.Num(), r.Denom(), m)
+	if m.Sign() < 0 {
+		q.Sub(q, big.NewInt(1))
+	}
+	return q.Int64()
+}
+
+func checkElem(t *testing.T, e *Expr, shadow *big.Rat, env map[string]int64) {
+	t.Helper()
+	// Guard: everything must fit comfortably in the int64 Rat world.
+	lim := new(big.Int).Lsh(big.NewInt(1), 40)
+	if shadow.Num().CmpAbs(lim) > 0 || shadow.Denom().CmpAbs(lim) > 0 {
+		return
+	}
+	want := floorBig(shadow)
+
+	got, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%s) failed: %v", e, err)
+	}
+	if got != want {
+		t.Fatalf("Eval(%s) = %d, shadow says %d", e, got, want)
+	}
+
+	// Substitute every variable with its constant: the result must
+	// still evaluate identically (substitution re-simplifies).
+	bind := map[string]*Expr{}
+	for name, v := range env {
+		bind[name] = Const(v)
+	}
+	sub := e.Substitute(bind)
+	got2, err := sub.Eval(map[string]int64{})
+	if err != nil {
+		t.Fatalf("Eval(Substitute(%s)) failed: %v", e, err)
+	}
+	if got2 != want {
+		t.Fatalf("Substitute(%s) evaluates to %d, want %d", e, got2, want)
+	}
+
+	// The affine view, when it exists, must evaluate identically too.
+	if aff, ok := e.Affine(); ok {
+		got3, err := aff.Expr().Eval(env)
+		if err != nil {
+			t.Fatalf("Eval(Affine(%s).Expr()) failed: %v", e, err)
+		}
+		if got3 != want {
+			t.Fatalf("Affine(%s).Expr() evaluates to %d, want %d", e, got3, want)
+		}
+	}
+}
