@@ -1,0 +1,261 @@
+// Command benchcmp gates performance regressions in CI: it parses
+// `go test -bench` output, compares each benchmark's best ns/op against
+// the committed baseline (BENCH_interp.json), and fails when any
+// benchmark regresses beyond the threshold.
+//
+// Usage:
+//
+//	go test ./internal/pbc/interp -run='^$' -bench=Interp -count=3 | \
+//	    go run ./cmd/benchcmp -baseline BENCH_interp.json
+//
+//	-baseline file   committed baseline JSON (required)
+//	-bench file      benchmark output to check ("-" = stdin, the default)
+//	-threshold f     fail when ns/op regresses by more than this fraction
+//	                 (default 0.25)
+//	-warn f          print a warning beyond this fraction (default 0.10)
+//	-write           refresh the baseline's "after" numbers from the
+//	                 measured output instead of comparing
+//
+// With -count=N the best (minimum) ns/op per benchmark is used, which
+// filters scheduler noise on shared CI runners. A benchmark present in
+// the baseline but missing from the output fails the gate (the gate
+// must not silently lose coverage); an extra measured benchmark only
+// warns, and -write adopts it into the baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics is one benchmark measurement in the baseline file.
+type metrics struct {
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"bytes_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+}
+
+// entry is one benchmark in the baseline: the historical "before"
+// numbers (kept for the record) and the current expected "after".
+type entry struct {
+	Name        string   `json:"name"`
+	Before      *metrics `json:"before,omitempty"`
+	After       metrics  `json:"after"`
+	Speedup     float64  `json:"speedup,omitempty"`
+	AllocsRatio float64  `json:"allocs_ratio,omitempty"`
+}
+
+type baseline struct {
+	Description string            `json:"description"`
+	Environment map[string]string `json:"environment,omitempty"`
+	Benchmarks  []entry           `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "", "baseline JSON file")
+		benchPath = flag.String("bench", "-", "benchmark output file (\"-\" = stdin)")
+		threshold = flag.Float64("threshold", 0.25, "fail beyond this fractional ns/op regression")
+		warnTh    = flag.Float64("warn", 0.10, "warn beyond this fractional ns/op regression")
+		write     = flag.Bool("write", false, "refresh the baseline from the measured output")
+	)
+	flag.Parse()
+	if *basePath == "" {
+		fatal(fmt.Errorf("-baseline is required"))
+	}
+
+	var in io.Reader = os.Stdin
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(got) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in input"))
+	}
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", *basePath, err))
+	}
+
+	if *write {
+		refresh(&base, got)
+		out, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*basePath, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcmp: wrote %d benchmarks to %s\n", len(base.Benchmarks), *basePath)
+		return
+	}
+
+	fails, warns := compare(&base, got, *threshold, *warnTh)
+	for _, w := range warns {
+		fmt.Println("WARN:", w)
+	}
+	for _, f := range fails {
+		fmt.Println("FAIL:", f)
+	}
+	if len(fails) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: %d benchmarks within %.0f%% of %s\n",
+		len(base.Benchmarks), *threshold*100, *basePath)
+}
+
+// parseBench extracts per-benchmark metrics from `go test -bench`
+// output, keeping the best (minimum ns/op) run per benchmark across
+// -count repeats.
+func parseBench(r io.Reader) (map[string]metrics, error) {
+	out := map[string]metrics{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, m, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := out[name]; !seen || m.NsOp < prev.NsOp {
+			out[name] = m
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkInterpHeat1D-8   4841   247870 ns/op   40765 B/op   203 allocs/op
+//
+// The "-8" GOMAXPROCS suffix is stripped so names match across runners.
+func parseBenchLine(line string) (string, metrics, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", metrics{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var m metrics
+	haveNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", metrics{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			m.NsOp, haveNs = v, true
+		case "B/op":
+			m.BytesOp = v
+		case "allocs/op":
+			m.AllocsOp = v
+		}
+	}
+	if !haveNs {
+		return "", metrics{}, false
+	}
+	return name, m, true
+}
+
+// compare checks every baseline benchmark against the measured output.
+func compare(base *baseline, got map[string]metrics, failTh, warnTh float64) (fails, warns []string) {
+	seen := map[string]bool{}
+	for _, e := range base.Benchmarks {
+		seen[e.Name] = true
+		m, ok := got[e.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: in baseline but not measured (gate lost coverage)", e.Name))
+			continue
+		}
+		if e.After.NsOp <= 0 {
+			fails = append(fails, fmt.Sprintf("%s: baseline ns/op is %v", e.Name, e.After.NsOp))
+			continue
+		}
+		delta := m.NsOp/e.After.NsOp - 1
+		line := fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%)",
+			e.Name, m.NsOp, e.After.NsOp, delta*100)
+		switch {
+		case delta > failTh:
+			fails = append(fails, line)
+		case delta > warnTh:
+			warns = append(warns, line)
+		}
+	}
+	var extra []string
+	for name := range got {
+		if !seen[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		warns = append(warns, fmt.Sprintf("%s: measured but not in baseline (add it with -write)", name))
+	}
+	return fails, warns
+}
+
+// refresh replaces the baseline's "after" numbers with the measured
+// ones, keeping historical "before" records and recomputing the derived
+// ratios. Measured benchmarks absent from the baseline are appended.
+func refresh(base *baseline, got map[string]metrics) {
+	for i := range base.Benchmarks {
+		e := &base.Benchmarks[i]
+		m, ok := got[e.Name]
+		if !ok {
+			continue
+		}
+		e.After = m
+		if e.Before != nil {
+			e.Speedup = round1(e.Before.NsOp / m.NsOp)
+			if m.AllocsOp > 0 {
+				e.AllocsRatio = round1(e.Before.AllocsOp / m.AllocsOp)
+			}
+		}
+	}
+	known := map[string]bool{}
+	for _, e := range base.Benchmarks {
+		known[e.Name] = true
+	}
+	var extra []string
+	for name := range got {
+		if !known[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		base.Benchmarks = append(base.Benchmarks, entry{Name: name, After: got[name]})
+	}
+}
+
+func round1(v float64) float64 { return math.Round(v*10) / 10 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

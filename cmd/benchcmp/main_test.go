@@ -1,0 +1,144 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: petabricks/internal/pbc/interp
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkInterpRollingSumScan-8    	       3	  900000 ns/op	  891670 B/op	   11315 allocs/op
+BenchmarkInterpRollingSumScan-8    	       3	  868689 ns/op	  891670 B/op	   11315 allocs/op
+BenchmarkInterpRollingSumScan-8    	       3	  950123 ns/op	  891670 B/op	   11315 allocs/op
+BenchmarkInterpHeat1D-8            	    4841	  247870 ns/op	   40765 B/op	     203 allocs/op
+PASS
+ok  	petabricks/internal/pbc/interp	4.2s
+`
+
+func TestParseBenchKeepsBestRun(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	scan := got["BenchmarkInterpRollingSumScan"]
+	if scan.NsOp != 868689 {
+		t.Errorf("ns/op = %v, want the minimum across -count repeats (868689)", scan.NsOp)
+	}
+	if scan.BytesOp != 891670 || scan.AllocsOp != 11315 {
+		t.Errorf("B/op, allocs/op = %v, %v", scan.BytesOp, scan.AllocsOp)
+	}
+	if h := got["BenchmarkInterpHeat1D"]; h.NsOp != 247870 {
+		t.Errorf("Heat1D ns/op = %v", h.NsOp)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	petabricks/internal/pbc/interp	4.2s",
+		"goos: linux",
+		"--- BENCH: BenchmarkFoo",
+		"Benchmark without numbers",
+	} {
+		if name, _, ok := parseBenchLine(line); ok {
+			t.Errorf("parsed %q from noise line %q", name, line)
+		}
+	}
+	// A line without -N suffix (GOMAXPROCS=1 style) still parses.
+	name, m, ok := parseBenchLine("BenchmarkFoo \t 10 \t 123 ns/op")
+	if !ok || name != "BenchmarkFoo" || m.NsOp != 123 {
+		t.Errorf("bare name: ok=%v name=%q m=%v", ok, name, m)
+	}
+}
+
+func testBaseline() *baseline {
+	return &baseline{
+		Benchmarks: []entry{
+			{Name: "BenchmarkA", Before: &metrics{NsOp: 4000, AllocsOp: 100}, After: metrics{NsOp: 1000, AllocsOp: 10}},
+			{Name: "BenchmarkB", After: metrics{NsOp: 2000}},
+		},
+	}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	cases := []struct {
+		name       string
+		got        map[string]metrics
+		fails      int
+		warns      int
+		failSubstr string
+	}{
+		{
+			name:  "all within bounds",
+			got:   map[string]metrics{"BenchmarkA": {NsOp: 1050}, "BenchmarkB": {NsOp: 1900}},
+			fails: 0, warns: 0,
+		},
+		{
+			name:  "warn-level regression",
+			got:   map[string]metrics{"BenchmarkA": {NsOp: 1150}, "BenchmarkB": {NsOp: 2000}},
+			fails: 0, warns: 1,
+		},
+		{
+			name:  "hard regression fails",
+			got:   map[string]metrics{"BenchmarkA": {NsOp: 1300}, "BenchmarkB": {NsOp: 2000}},
+			fails: 1, warns: 0,
+			failSubstr: "BenchmarkA",
+		},
+		{
+			name:  "missing benchmark fails",
+			got:   map[string]metrics{"BenchmarkA": {NsOp: 1000}},
+			fails: 1, warns: 0,
+			failSubstr: "not measured",
+		},
+		{
+			name:  "extra benchmark warns",
+			got:   map[string]metrics{"BenchmarkA": {NsOp: 1000}, "BenchmarkB": {NsOp: 2000}, "BenchmarkC": {NsOp: 5}},
+			fails: 0, warns: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fails, warns := compare(testBaseline(), tc.got, 0.25, 0.10)
+			if len(fails) != tc.fails || len(warns) != tc.warns {
+				t.Fatalf("fails=%v warns=%v, want %d/%d", fails, warns, tc.fails, tc.warns)
+			}
+			if tc.failSubstr != "" && !strings.Contains(fails[0], tc.failSubstr) {
+				t.Errorf("fail message %q missing %q", fails[0], tc.failSubstr)
+			}
+		})
+	}
+}
+
+func TestRefresh(t *testing.T) {
+	base := testBaseline()
+	refresh(base, map[string]metrics{
+		"BenchmarkA": {NsOp: 800, AllocsOp: 8},
+		"BenchmarkC": {NsOp: 42},
+	})
+	a := base.Benchmarks[0]
+	if a.After.NsOp != 800 {
+		t.Errorf("after = %v, want refreshed 800", a.After.NsOp)
+	}
+	if a.Before == nil || a.Before.NsOp != 4000 {
+		t.Errorf("before must be preserved, got %+v", a.Before)
+	}
+	if a.Speedup != 5 {
+		t.Errorf("speedup = %v, want 4000/800 = 5", a.Speedup)
+	}
+	if a.AllocsRatio != 12.5 {
+		t.Errorf("allocs ratio = %v, want 12.5", a.AllocsRatio)
+	}
+	// BenchmarkB was not measured: untouched.
+	if base.Benchmarks[1].After.NsOp != 2000 {
+		t.Errorf("unmeasured benchmark modified: %+v", base.Benchmarks[1])
+	}
+	// BenchmarkC adopted without a before record.
+	if len(base.Benchmarks) != 3 || base.Benchmarks[2].Name != "BenchmarkC" || base.Benchmarks[2].Before != nil {
+		t.Errorf("extra benchmark not adopted cleanly: %+v", base.Benchmarks)
+	}
+}

@@ -3,26 +3,44 @@
 //
 // Usage:
 //
-//	pbbench -exp fig11|fig12|fig14|fig15|fig16|table1|table2|cutoff|all [-quick]
+//	pbbench -exp fig11|fig12|fig14|fig15|fig16|table1|table2|cutoff|all [-quick] [-metrics file]
 //
 // -quick shrinks every experiment to seconds-scale sizes; without it the
-// defaults approximate the paper's ranges at laptop scale.
+// defaults approximate the paper's ranges at laptop scale. -metrics
+// instruments the runtime pool, the interpreter, and the autotuner and
+// writes a JSON metrics snapshot after the experiments ("-" = stdout).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"petabricks/internal/autotuner"
 	"petabricks/internal/harness"
+	"petabricks/internal/obs"
+	"petabricks/internal/pbc/interp"
+	"petabricks/internal/runtime"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig11, fig12, fig14, fig15, fig16, table1, table2, cutoff, all)")
-		quick = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
+		exp     = flag.String("exp", "all", "experiment id (fig11, fig12, fig14, fig15, fig16, table1, table2, cutoff, all)")
+		quick   = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
+		metrics = flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run (\"-\" = stdout)")
 	)
 	flag.Parse()
+
+	var mreg *obs.Registry
+	if *metrics != "" {
+		// The harness builds and discards pools per experiment, so expose
+		// the process-wide scheduler totals rather than one pool's gauges.
+		mreg = obs.NewRegistry()
+		runtime.InstrumentTotals(mreg)
+		interp.Instrument(mreg)
+		autotuner.Instrument(mreg)
+	}
 	run := func(id string) {
 		switch id {
 		case "fig11":
@@ -91,9 +109,27 @@ func main() {
 			run(id)
 			fmt.Println()
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+	if mreg != nil {
+		if err := dumpMetrics(mreg, *metrics); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func dumpMetrics(reg *obs.Registry, path string) error {
+	raw, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
 }
 
 func emit(e harness.Experiment, err error) {

@@ -21,9 +21,11 @@
 //	-max-n n          largest accepted input size (default 2097152)
 //	-tune-max n       default largest training size (default 4096)
 //	-retune d         idle re-tune check interval; 0 disables (default 2m)
+//	-pprof            mount net/http/pprof under /debug/pprof/
 //
 // API: POST /v1/run, POST /v1/tune, GET /v1/configs, GET /v1/stats,
-// GET /v1/programs, GET /healthz. See README "Running as a service".
+// GET /v1/programs, GET /metrics (Prometheus text format), GET
+// /healthz. See README "Running as a service" and "Observability".
 package main
 
 import (
@@ -39,7 +41,10 @@ import (
 	"syscall"
 	"time"
 
+	"petabricks/internal/autotuner"
 	"petabricks/internal/configstore"
+	"petabricks/internal/obs"
+	"petabricks/internal/pbc/interp"
 	"petabricks/internal/runtime"
 	"petabricks/internal/server"
 )
@@ -57,6 +62,7 @@ func main() {
 		maxN      = flag.Int("max-n", 1<<21, "largest accepted input size")
 		tuneMax   = flag.Int64("tune-max", 4096, "default largest training size")
 		retune    = flag.Duration("retune", 2*time.Minute, "idle re-tune interval (0 disables)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -85,6 +91,12 @@ func main() {
 	}
 	pool := runtime.NewPool(*workers)
 
+	// A long-running daemon always collects metrics: the /metrics scrape
+	// is how operators see the pool, the interpreter, and the tuner work.
+	metrics := obs.NewRegistry()
+	interp.Instrument(metrics)
+	autotuner.Instrument(metrics)
+
 	srv, err := server.New(server.Options{
 		Pool:           pool,
 		Store:          store,
@@ -96,6 +108,8 @@ func main() {
 		TuneMax:        *tuneMax,
 		RetuneInterval: *retune,
 		Logf:           log.Printf,
+		Metrics:        metrics,
+		EnablePprof:    *pprofOn,
 	})
 	if err != nil {
 		fatal(err)

@@ -103,6 +103,9 @@ func Tune(space *choice.Space, eval Evaluator, opt Options) (*choice.Config, *Re
 	if err := space.Validate(); err != nil {
 		return nil, nil, err
 	}
+	if m := tm.Load(); m != nil {
+		m.runs.Inc()
+	}
 	pop := seedPopulation(space)
 	report := &Report{}
 	var sizes []int64
@@ -165,7 +168,8 @@ func seedPopulation(space *choice.Space) []candidate {
 	return pop
 }
 
-// step evaluates, mutates, and culls the population at one input size.
+// step evaluates, mutates, and culls the population at one input size
+// (one tuning generation).
 func step(space *choice.Space, eval Evaluator, opt Options, pop []candidate, size int64) []candidate {
 	// Measure the incoming population at the new size.
 	for i := range pop {
@@ -183,12 +187,14 @@ func step(space *choice.Space, eval Evaluator, opt Options, pop []candidate, siz
 			children = append(children, candidate{cfg: mut, cost: eval.Measure(mut, size)})
 		}
 	}
+	measured := len(pop) + len(children)
 	pop = append(pop, children...)
 	pop = dedupe(pop)
 	sortByCost(pop)
 	if len(pop) > opt.Population {
 		pop = pop[:opt.Population]
 	}
+	recordGeneration(measured, pop[0].cost)
 	return pop
 }
 

@@ -1,0 +1,48 @@
+package autotuner
+
+import (
+	"sync/atomic"
+
+	"petabricks/internal/obs"
+)
+
+// tunerMetrics tracks the tuner's search: how many generations ran, how
+// many candidates were evaluated, and the best-cost trajectory.
+type tunerMetrics struct {
+	runs        *obs.Counter   // Tune invocations
+	generations *obs.Counter   // size steps across all runs
+	candidates  *obs.Counter   // candidate configurations measured
+	bestCost    *obs.Gauge     // best cost of the most recent generation
+	genBest     *obs.Histogram // distribution of per-generation best costs
+}
+
+var tm atomic.Pointer[tunerMetrics]
+
+// Instrument installs tuner instrumentation on reg; Instrument(nil)
+// disables it. Affects every Tune call in the process.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		tm.Store(nil)
+		return
+	}
+	m := &tunerMetrics{}
+	m.runs = reg.Counter("pb_tuner_runs_total", "Autotuner Tune invocations.")
+	m.generations = reg.Counter("pb_tuner_generations_total", "Training-size generations evaluated.")
+	m.candidates = reg.Counter("pb_tuner_candidates_total", "Candidate configurations measured.")
+	m.bestCost = reg.Gauge("pb_tuner_best_cost", "Best cost (seconds or model units) of the latest generation.")
+	m.genBest = reg.Histogram("pb_tuner_generation_best_seconds", "Per-generation best cost.", obs.LatencyBuckets)
+	tm.Store(m)
+}
+
+// recordGeneration reports one completed size step: the population that
+// survived it and the best cost found.
+func recordGeneration(measured int, best float64) {
+	m := tm.Load()
+	if m == nil {
+		return
+	}
+	m.generations.Inc()
+	m.candidates.Add(int64(measured))
+	m.bestCost.Set(best)
+	m.genBest.Observe(best)
+}

@@ -1,0 +1,39 @@
+package autotuner
+
+import (
+	"testing"
+
+	"petabricks/internal/obs"
+)
+
+// TestInstrumentTuner checks that a tuning run reports its generations,
+// candidate counts, and best-cost trajectory.
+func TestInstrumentTuner(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+
+	_, rep, err := Tune(modelSpace(), EvaluatorFunc(modelCost), Options{MinSize: 8, MaxSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, s := range reg.Snapshot() {
+		vals[s.Name] = s.Value
+	}
+	if vals["pb_tuner_runs_total"] != 1 {
+		t.Errorf("runs = %v, want 1", vals["pb_tuner_runs_total"])
+	}
+	if int(vals["pb_tuner_generations_total"]) != len(rep.Steps) {
+		t.Errorf("generations = %v, want %d (one per report step)",
+			vals["pb_tuner_generations_total"], len(rep.Steps))
+	}
+	// Every generation measures at least its surviving population.
+	if vals["pb_tuner_candidates_total"] < vals["pb_tuner_generations_total"] {
+		t.Errorf("candidates = %v < generations = %v",
+			vals["pb_tuner_candidates_total"], vals["pb_tuner_generations_total"])
+	}
+	if best := vals["pb_tuner_best_cost"]; best != rep.Steps[len(rep.Steps)-1].BestCost {
+		t.Errorf("best cost gauge = %v, want %v", best, rep.Steps[len(rep.Steps)-1].BestCost)
+	}
+}

@@ -69,7 +69,7 @@ func lookupScore(k, want Key) int {
 // two non-matching worker counts), so the model reports the score, not
 // one winner.
 func (m *storeModel) bestScore(want Key) (int, bool) {
-	best, found := 1 << 60, false
+	best, found := 1<<60, false
 	for k := range m.entries {
 		if k.Program != want.Program {
 			continue

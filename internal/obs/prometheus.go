@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4), rendered by hand — no client library. Metrics
+// sharing a name form one family: its HELP/TYPE header is emitted once,
+// followed by one sample line per label set (histograms expand into
+// cumulative _bucket lines plus _sum and _count).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	ms := r.snapshotMetrics()
+	// Group into families by name, preserving first-registration order.
+	var names []string
+	families := map[string][]*metric{}
+	for _, m := range ms {
+		if _, ok := families[m.name]; !ok {
+			names = append(names, m.name)
+		}
+		families[m.name] = append(families[m.name], m)
+	}
+	for _, name := range names {
+		fam := families[name]
+		if fam[0].help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(fam[0].help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, fam[0].kind.promType()); err != nil {
+			return err
+		}
+		for _, m := range fam {
+			if err := writeMetric(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeMetric(w io.Writer, m *metric) error {
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.name, labelString(m.labels, nil), m.c.Value())
+		return err
+	case kindCounterFunc:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.name, labelString(m.labels, nil), m.cf.fn())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.name, labelString(m.labels, nil), formatFloat(m.g.Value()))
+		return err
+	case kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.name, labelString(m.labels, nil), formatFloat(m.gf.fn()))
+		return err
+	case kindHistogram:
+		h := m.h
+		cum := int64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatFloat(h.bounds[i])
+			}
+			extra := []Label{{Key: "le", Value: le}}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, labelString(m.labels, extra), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, labelString(m.labels, nil), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, labelString(m.labels, nil), cum)
+		return err
+	}
+	return nil
+}
+
+// labelString renders {k="v",...} with label values escaped, or "" when
+// there are no labels. Keys are sorted for deterministic output; extra
+// labels (the histogram's le) are appended last, as Prometheus does.
+func labelString(labels, extra []Label) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	ls = append(ls, extra...)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format — mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -6,6 +6,7 @@ import (
 
 	"petabricks/internal/choice"
 	"petabricks/internal/matrix"
+	"petabricks/internal/obs"
 	"petabricks/internal/pbc/parser"
 )
 
@@ -41,6 +42,27 @@ func benchVec(n int, seed int64) *matrix.Matrix {
 // BenchmarkInterpRollingSumScan is the Θ(n) scan rule: the body is two
 // cell reads and one cell write, so it measures pure per-cell overhead.
 func BenchmarkInterpRollingSumScan(b *testing.B) {
+	e := benchEngine(b, parser.RollingSumSrc)
+	cfg := choice.NewConfig()
+	cfg.SetSelector(SelectorName("RollingSum"), choice.NewSelector(1))
+	e.Cfg = cfg
+	in := benchVec(1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run1("RollingSum", in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpRollingSumScanInstrumented is the scan benchmark with
+// obs instrumentation enabled; comparing it against the plain variant
+// bounds the metrics overhead on the interpreter hot path (the per-cell
+// loop itself is untouched — instrumentation is per invocation).
+func BenchmarkInterpRollingSumScanInstrumented(b *testing.B) {
+	Instrument(obs.NewRegistry())
+	defer Instrument(nil)
 	e := benchEngine(b, parser.RollingSumSrc)
 	cfg := choice.NewConfig()
 	cfg.SetSelector(SelectorName("RollingSum"), choice.NewSelector(1))

@@ -55,8 +55,15 @@ func newProgramCache() *programCache {
 func (pc *programCache) lookup(key string, res *analysis.Result, sizes map[string]int64) *compiledTransform {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	m := im.Load()
 	if ct, ok := pc.entries[key]; ok {
+		if m != nil {
+			m.cacheHit.Inc()
+		}
 		return ct
+	}
+	if m != nil {
+		m.cacheMiss.Inc()
 	}
 	if len(pc.order) >= progCacheMax {
 		delete(pc.entries, pc.order[0])
@@ -130,6 +137,13 @@ func (ct *compiledTransform) rule(ri *analysis.RuleInfo) *compiledRule {
 	cr, err := compileRule(ct.res, ri, ct.sizes)
 	if err != nil {
 		cr = nil
+	}
+	if m := im.Load(); m != nil {
+		if cr != nil {
+			m.compiled.Inc()
+		} else {
+			m.fallback.Inc()
+		}
 	}
 	ct.rules[ri.Rule.Index] = cr
 	return cr

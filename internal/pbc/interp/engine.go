@@ -3,6 +3,7 @@ package interp
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"petabricks/internal/choice"
 	"petabricks/internal/matrix"
@@ -93,6 +94,12 @@ const DefaultParGrain = 256
 // Run executes the named transform on the inputs (keyed by declared
 // matrix name) and returns its outputs.
 func (e *Engine) Run(name string, inputs map[string]*matrix.Matrix) (map[string]*matrix.Matrix, error) {
+	if m := im.Load(); m != nil {
+		start := time.Now()
+		out, err := e.run(name, inputs, 0, nil)
+		m.runHist(name).ObserveSince(start)
+		return out, err
+	}
 	return e.run(name, inputs, 0, nil)
 }
 
@@ -330,8 +337,19 @@ func (ex *exec) runSchedule() error {
 			}
 		}
 	}
+	m := im.Load()
 	if ex.engine.Pool != nil && ex.sizesMeetAssumption() {
+		if m != nil {
+			m.schedParallel.Inc()
+		}
 		return ex.runScheduleParallel(done)
+	}
+	if m != nil {
+		if ex.engine.Pool != nil {
+			m.schedDegenerate.Inc()
+		} else {
+			m.schedSequential.Inc()
+		}
 	}
 	for _, step := range ex.res.Schedule {
 		if err := ex.runStep(step, done, ex.worker); err != nil {
@@ -461,11 +479,21 @@ func (ex *exec) problemSize(matName string) int64 {
 }
 
 func (ex *exec) runStep(step *analysis.Step, done map[string]bool, w *runtime.Worker) error {
+	m := im.Load()
 	if step.Lex != nil {
+		if m != nil {
+			m.stepsLex.Inc()
+		}
 		return ex.runLex(step, done, w)
 	}
 	if step.Cyclic {
+		if m != nil {
+			m.stepsCyclic.Inc()
+		}
 		return ex.runCyclic(step, done, w)
+	}
+	if m != nil {
+		m.stepsPlain.Inc()
 	}
 	for _, node := range step.Nodes {
 		if node.Input || done[node.Matrix] {

@@ -1,0 +1,68 @@
+package interp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"petabricks/internal/obs"
+)
+
+// interpMetrics is the engine's instrumentation: compile-cache traffic,
+// schedule-shape choices, and per-transform execution histograms. It is
+// installed package-wide (engines are created freely — per request, per
+// fuzz case — so per-engine wiring would mostly measure construction).
+type interpMetrics struct {
+	reg *obs.Registry
+
+	cacheHit  *obs.Counter // compiled-program cache hits
+	cacheMiss *obs.Counter // compiled-program cache misses (new holder)
+	compiled  *obs.Counter // rules successfully compiled to closures
+	fallback  *obs.Counter // rules that fell back to the AST interpreter
+
+	schedParallel   *obs.Counter // invocations on the parallel task schedule
+	schedSequential *obs.Counter // invocations run sequentially (no pool)
+	schedDegenerate *obs.Counter // pool available but sizes below MinInputSize
+
+	stepsPlain  *obs.Counter // independent-region schedule steps
+	stepsCyclic *obs.Counter // cyclic wavefront steps
+	stepsLex    *obs.Counter // lexicographic wavefront steps
+
+	runHists sync.Map // transform name -> *obs.Histogram
+}
+
+// im holds the installed metrics; a nil load is the disabled state and
+// costs the hot path one atomic pointer load per transform invocation.
+var im atomic.Pointer[interpMetrics]
+
+// Instrument installs engine instrumentation on reg; Instrument(nil)
+// disables it again. Affects every Engine in the process.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		im.Store(nil)
+		return
+	}
+	m := &interpMetrics{reg: reg}
+	m.cacheHit = reg.Counter("pb_interp_cache_hits_total", "Compiled-program cache hits.")
+	m.cacheMiss = reg.Counter("pb_interp_cache_misses_total", "Compiled-program cache misses.")
+	m.compiled = reg.Counter("pb_interp_rules_compiled_total", "Rules lowered to slot-indexed closures.")
+	m.fallback = reg.Counter("pb_interp_compile_fallbacks_total", "Rules outside the compilable fragment (AST interpreter).")
+	m.schedParallel = reg.Counter("pb_interp_schedules_total", "Transform invocations by schedule shape.", obs.L("shape", "parallel"))
+	m.schedSequential = reg.Counter("pb_interp_schedules_total", "Transform invocations by schedule shape.", obs.L("shape", "sequential"))
+	m.schedDegenerate = reg.Counter("pb_interp_schedules_total", "Transform invocations by schedule shape.", obs.L("shape", "degenerate_sequential"))
+	m.stepsPlain = reg.Counter("pb_interp_steps_total", "Schedule steps executed by kind.", obs.L("kind", "plain"))
+	m.stepsCyclic = reg.Counter("pb_interp_steps_total", "Schedule steps executed by kind.", obs.L("kind", "cyclic"))
+	m.stepsLex = reg.Counter("pb_interp_steps_total", "Schedule steps executed by kind.", obs.L("kind", "lex"))
+	im.Store(m)
+}
+
+// runHist returns the execution-latency histogram for one transform,
+// creating it on first use.
+func (m *interpMetrics) runHist(name string) *obs.Histogram {
+	if h, ok := m.runHists.Load(name); ok {
+		return h.(*obs.Histogram)
+	}
+	h := m.reg.Histogram("pb_interp_run_seconds", "Top-level transform execution latency.",
+		obs.LatencyBuckets, obs.L("transform", name))
+	m.runHists.Store(name, h)
+	return h
+}

@@ -1,0 +1,69 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"petabricks/internal/obs"
+	"petabricks/internal/pbc/parser"
+)
+
+// TestInstrumentEngine runs a transform twice under instrumentation and
+// checks that cache traffic, schedule shape, and per-transform latency
+// are all visible in a scrape, then that disabling stops collection.
+func TestInstrumentEngine(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+
+	e := engine(t, parser.RollingSumSrc)
+	in := vec(1, 2, 3, 4, 5)
+	for i := 0; i < 2; i++ {
+		if _, err := e.Run1("RollingSum", in); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := map[string]map[string]float64{}
+	hists := map[string]int64{}
+	for _, s := range reg.Snapshot() {
+		if s.Type == "histogram" {
+			hists[s.Name+"/"+s.Labels["transform"]] = s.Count
+			continue
+		}
+		if snap[s.Name] == nil {
+			snap[s.Name] = map[string]float64{}
+		}
+		lab := s.Labels["shape"] + s.Labels["kind"]
+		snap[s.Name][lab] += s.Value
+	}
+	if snap["pb_interp_cache_misses_total"][""] < 1 {
+		t.Error("expected at least one compile-cache miss")
+	}
+	if snap["pb_interp_cache_hits_total"][""] < 1 {
+		t.Error("expected a compile-cache hit on the second run")
+	}
+	if snap["pb_interp_schedules_total"]["sequential"] != 2 {
+		t.Errorf("sequential schedules = %v, want 2", snap["pb_interp_schedules_total"]["sequential"])
+	}
+	if hists["pb_interp_run_seconds/RollingSum"] != 2 {
+		t.Errorf("run histogram count = %d, want 2", hists["pb_interp_run_seconds/RollingSum"])
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `pb_interp_run_seconds_count{transform="RollingSum"} 2`) {
+		t.Errorf("scrape missing per-transform histogram:\n%s", b.String())
+	}
+
+	// Disabled again: no further counting.
+	Instrument(nil)
+	if _, err := e.Run1("RollingSum", in); err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(reg.Counter("pb_interp_cache_hits_total", "").Value()); got != snap["pb_interp_cache_hits_total"][""] {
+		// value unchanged after disabling
+		t.Errorf("cache hits advanced to %v after Instrument(nil)", got)
+	}
+}

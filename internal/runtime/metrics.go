@@ -1,0 +1,63 @@
+package runtime
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"petabricks/internal/obs"
+)
+
+// Process-wide scheduler totals, accumulated across every pool ever
+// created. They survive pool churn (the harness builds and drains a
+// pool per experiment), which is what a whole-run metrics dump wants.
+var (
+	totalSteals atomic.Int64
+	totalExecs  atomic.Int64
+	totalParks  atomic.Int64
+	totalWakes  atomic.Int64
+)
+
+// InstrumentTotals registers the process-wide scheduler counters on
+// reg. Safe with a nil registry (no-op). Use Pool.Instrument instead
+// when a single long-lived pool should report per-worker detail.
+func InstrumentTotals(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("pb_pool_steals_total", "Successful task steals across all pools.", totalSteals.Load)
+	reg.CounterFunc("pb_pool_tasks_total", "Tasks executed across all pools.", totalExecs.Load)
+	reg.CounterFunc("pb_pool_parks_total", "Worker park (sleep) events across all pools.", totalParks.Load)
+	reg.CounterFunc("pb_pool_wakes_total", "Worker wake events across all pools.", totalWakes.Load)
+}
+
+// Instrument registers this pool's scheduler metrics on reg: per-worker
+// steal/exec/park/wake counters and queue-depth gauges (labelled
+// worker="i"), the shared inject-queue depth, the worker count, and a
+// per-task execution latency histogram (enabling task timing, ~2
+// clock reads per task). Call once, on a long-lived pool (pbserve's);
+// a nil registry is a no-op.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, w := range p.workers {
+		w := w
+		l := obs.L("worker", strconv.Itoa(w.id))
+		reg.CounterFunc("pb_pool_worker_steals_total", "Successful steals by worker.", w.steals.Load, l)
+		reg.CounterFunc("pb_pool_worker_tasks_total", "Tasks executed by worker.", w.execs.Load, l)
+		reg.CounterFunc("pb_pool_worker_parks_total", "Park (sleep) events by worker.", w.parks.Load, l)
+		reg.CounterFunc("pb_pool_worker_wakes_total", "Wake events by worker.", w.wakes.Load, l)
+		reg.GaugeFunc("pb_pool_worker_queue_depth", "Tasks queued in the worker's deque.",
+			func() float64 { return float64(w.deque.size()) }, l)
+	}
+	reg.GaugeFunc("pb_pool_inject_queue_depth", "Tasks in the shared overflow queue.", func() float64 {
+		p.injectMu.Lock()
+		n := len(p.injected)
+		p.injectMu.Unlock()
+		return float64(n)
+	})
+	reg.GaugeFunc("pb_pool_workers", "Worker goroutines in the pool.", func() float64 {
+		return float64(len(p.workers))
+	})
+	p.taskLat.Store(reg.Histogram("pb_pool_task_seconds", "Task execution latency.", obs.LatencyBuckets))
+}

@@ -1,0 +1,84 @@
+package runtime
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"petabricks/internal/obs"
+)
+
+// TestPoolInstrument runs parallel work on an instrumented pool and
+// checks that the scrape shows live per-worker counters and a task
+// latency histogram.
+func TestPoolInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(4)
+	defer p.Shutdown()
+	p.Instrument(reg)
+
+	var sum atomic.Int64
+	p.ParallelFor(0, 1<<14, 8, func(w *Worker, lo, hi int) {
+		sum.Add(int64(hi - lo))
+	})
+	if sum.Load() != 1<<14 {
+		t.Fatalf("parallel for covered %d iterations, want %d", sum.Load(), 1<<14)
+	}
+
+	if p.Executed() == 0 {
+		t.Fatal("instrumented pool executed no tasks")
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`pb_pool_worker_tasks_total{worker="0"}`,
+		`pb_pool_worker_steals_total{worker="3"}`,
+		`pb_pool_worker_parks_total{worker="1"}`,
+		`pb_pool_worker_queue_depth{worker="2"}`,
+		"pb_pool_inject_queue_depth",
+		"pb_pool_workers 4",
+		"# TYPE pb_pool_task_seconds histogram",
+		"pb_pool_task_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// The per-worker counters must sum to the pool aggregates.
+	var execs float64
+	for _, s := range reg.Snapshot() {
+		if s.Name == "pb_pool_worker_tasks_total" {
+			execs += s.Value
+		}
+		if s.Name == "pb_pool_task_seconds" && s.Count == 0 {
+			t.Error("task latency histogram recorded nothing")
+		}
+	}
+	if int64(execs) != p.Executed() {
+		t.Errorf("per-worker exec sum %v != pool Executed %d", execs, p.Executed())
+	}
+}
+
+// TestTotalsMonotonic checks the process-wide counters advance when any
+// pool runs work.
+func TestTotalsMonotonic(t *testing.T) {
+	before := totalExecs.Load()
+	p := NewPool(2)
+	defer p.Shutdown()
+	p.Do(func(*Worker) {}, func(*Worker) {}, func(*Worker) {})
+	if totalExecs.Load() <= before {
+		t.Fatalf("totalExecs did not advance: %d -> %d", before, totalExecs.Load())
+	}
+	reg := obs.NewRegistry()
+	InstrumentTotals(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "pb_pool_tasks_total") {
+		t.Fatal("totals scrape missing pb_pool_tasks_total")
+	}
+}

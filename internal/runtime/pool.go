@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"petabricks/internal/obs"
 )
 
 // Mode selects the scheduling discipline; the work-stealing mode is the
@@ -37,8 +39,9 @@ type Pool struct {
 	closed   atomic.Bool
 	wg       sync.WaitGroup // worker goroutines still running
 
-	steals atomic.Int64 // statistics: successful steals
-	execs  atomic.Int64 // statistics: tasks executed
+	// taskLat, when set by Instrument, times every task execution. It is
+	// an atomic pointer so uninstrumented pools pay one nil-check load.
+	taskLat atomic.Pointer[obs.Histogram]
 }
 
 // NewPool starts a work-stealing pool with n workers. If n <= 0, it uses
@@ -76,10 +79,22 @@ func NewPoolMode(n int, mode Mode) *Pool {
 func (p *Pool) NumWorkers() int { return len(p.workers) }
 
 // Steals returns the number of successful steals so far (diagnostics).
-func (p *Pool) Steals() int64 { return p.steals.Load() }
+func (p *Pool) Steals() int64 {
+	var n int64
+	for _, w := range p.workers {
+		n += w.steals.Load()
+	}
+	return n
+}
 
 // Executed returns the number of tasks executed so far (diagnostics).
-func (p *Pool) Executed() int64 { return p.execs.Load() }
+func (p *Pool) Executed() int64 {
+	var n int64
+	for _, w := range p.workers {
+		n += w.execs.Load()
+	}
+	return n
+}
 
 // Close shuts the pool down after the currently queued work drains is NOT
 // guaranteed; callers must finish their Run/Wait calls first. Close is

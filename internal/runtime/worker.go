@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	goruntime "runtime"
 	"sync/atomic"
+	"time"
 )
 
 // Worker is one scheduler thread. Task functions receive the worker that
@@ -15,6 +16,14 @@ type Worker struct {
 	id    int
 	deque *deque
 	rng   *rand.Rand
+
+	// Per-worker scheduler statistics, always maintained (plain atomic
+	// adds on events that are rare relative to task bodies). Pool
+	// aggregates them; Pool.Instrument exposes them per worker.
+	steals atomic.Int64 // successful steals by this worker
+	execs  atomic.Int64 // tasks executed by this worker
+	parks  atomic.Int64 // times this worker went to sleep empty-handed
+	wakes  atomic.Int64 // times this worker was signalled awake
 }
 
 // ID returns the worker index in [0, NumWorkers).
@@ -53,7 +62,11 @@ func (w *Worker) sleep() {
 		return
 	}
 	p.sleeping++
+	w.parks.Add(1)
+	totalParks.Add(1)
 	p.sleepCv.Wait()
+	w.wakes.Add(1)
+	totalWakes.Add(1)
 	p.sleeping--
 	p.sleepMu.Unlock()
 }
@@ -76,7 +89,14 @@ func (w *Worker) anyWork() bool {
 }
 
 func (w *Worker) run(t *Task) {
-	w.pool.execs.Add(1)
+	w.execs.Add(1)
+	totalExecs.Add(1)
+	if h := w.pool.taskLat.Load(); h != nil {
+		start := time.Now()
+		t.execute(w)
+		h.ObserveSince(start)
+		return
+	}
 	t.execute(w)
 }
 
@@ -105,7 +125,8 @@ func (w *Worker) stealAny() *Task {
 			continue
 		}
 		if t := v.deque.steal(); t != nil {
-			p.steals.Add(1)
+			w.steals.Add(1)
+			totalSteals.Add(1)
 			return t
 		}
 	}

@@ -28,6 +28,7 @@ import (
 
 	"petabricks/internal/bench"
 	"petabricks/internal/configstore"
+	"petabricks/internal/obs"
 	"petabricks/internal/runtime"
 )
 
@@ -66,6 +67,12 @@ type Options struct {
 	// Logf, when set, receives operational log lines (tuning outcomes,
 	// save failures). Nil is silent.
 	Logf func(format string, args ...any)
+	// Metrics, when set, enables observability: GET /metrics serves the
+	// registry in Prometheus text format and the server, pool, and store
+	// register their metrics on it. Nil disables collection entirely.
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (opt-in).
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -121,6 +128,11 @@ type Server struct {
 	completed atomic.Int64 // /v1/run requests finished successfully
 	failures  atomic.Int64 // /v1/run executions that returned an error
 	shed      atomic.Int64 // requests rejected by the admission layer
+
+	// Request latency histograms; nil (a no-op to observe) unless
+	// Options.Metrics was set.
+	latRun  *obs.Histogram
+	latTune *obs.Histogram
 }
 
 // New builds a Server and starts its background tuner goroutine.
@@ -147,6 +159,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.instrument()
 	s.tuner.startLoop()
 	return s, nil
 }
@@ -278,11 +291,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	if err := s.acquire(r); err != nil {
 		s.shed.Add(1)
-		writeErr(w, http.StatusServiceUnavailable, "server at capacity; retry later")
+		s.writeBusy(w, "server at capacity; retry later")
 		return
 	}
 	s.requests.Add(1)
+	started := time.Now()
 	res, err := b.Run(s.pool, cfg, req.N, req.Seed, bench.RunOpts{AccIndex: acc})
+	s.latRun.ObserveSince(started)
 	s.release()
 	if err != nil {
 		s.failures.Add(1)
@@ -349,7 +364,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		job.reply = make(chan tuneOutcome, 1)
 	}
 	if !s.tuner.enqueue(job) {
-		writeErr(w, http.StatusServiceUnavailable, "tuning queue full; retry later")
+		s.writeBusy(w, "tuning queue full; retry later")
 		return
 	}
 	if !req.Wait {
@@ -361,8 +376,10 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	started := time.Now()
 	select {
 	case out := <-job.reply:
+		s.latTune.ObserveSince(started)
 		if out.Err != nil {
 			writeErr(w, http.StatusInternalServerError, out.Err.Error())
 			return

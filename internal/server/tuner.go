@@ -16,8 +16,8 @@ type tuneJob struct {
 	program string
 	size    int64
 	max     int64
-	idle    bool              // triggered by the idle re-tuner, not a client
-	reply   chan tuneOutcome  // non-nil: a client is waiting
+	idle    bool             // triggered by the idle re-tuner, not a client
+	reply   chan tuneOutcome // non-nil: a client is waiting
 }
 
 // tuneOutcome reports one finished tuning run.
