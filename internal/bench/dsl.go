@@ -19,9 +19,10 @@ import (
 // the caller-supplied configuration. Training inputs come from the
 // transform's generator when declared, otherwise uniform random data —
 // the same rule Engine.Tune uses — so the served path and the tuned
-// path see identical instances for a given (n, seed). DSL transforms
-// interpret sequentially per request; parallelism across requests comes
-// from the caller running many at once.
+// path see identical instances for a given (n, seed). When the caller
+// supplies a pool, requests run on the parallel scheduler; the engine is
+// shared across requests, so repeated (transform, sizes, config) traffic
+// replays memoized execution plans instead of re-deriving the task DAG.
 func LoadDSL(path string) ([]*Benchmark, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
@@ -47,8 +48,9 @@ func LoadDSL(path string) ([]*Benchmark, error) {
 		name := t.Name
 		out = append(out, &Benchmark{
 			Name: name,
-			Run: func(_ *runtime.Pool, cfg *choice.Config, n int, seed int64, _ RunOpts) (Result, error) {
+			Run: func(pool *runtime.Pool, cfg *choice.Config, n int, seed int64, _ RunOpts) (Result, error) {
 				e := eng.WithConfig(cfg)
+				e.Pool = pool
 				inputs, err := e.GenerateInputs(name, int64(n), seed)
 				if err != nil {
 					return Result{}, err

@@ -107,6 +107,11 @@ type Result struct {
 	Grids     map[string]*ChoiceGrid
 	Graph     *Graph
 	Schedule  []*Step
+	// StepEdges are cross-step dependencies as (producer, consumer)
+	// schedule indices, deduplicated — the step-granular view of
+	// Graph.Edges that the parallel scheduler and the plan builder wire
+	// without re-deriving node→step membership per run.
+	StepEdges [][2]int
 	// MinInputSize is the size-variable lower bound the analysis assumed
 	// to order the choice-grid boundaries (usually 1; stencils with
 	// constant-offset dependencies may need 2 or more). For inputs below

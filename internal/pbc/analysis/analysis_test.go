@@ -373,3 +373,58 @@ to B[w, h]
 		t.Fatal("no lex step found")
 	}
 }
+
+// TestStepEdges checks the step-granular condensation of the choice
+// dependency graph: RollingSum's B[0,1) step must precede the B[1,n)
+// wavefront step, with no duplicates and no self pairs.
+func TestStepEdges(t *testing.T) {
+	res := analyze(t, parser.RollingSumSrc, "RollingSum")
+	if len(res.Schedule) != 2 {
+		t.Fatalf("steps = %d", len(res.Schedule))
+	}
+	if len(res.StepEdges) != 1 || res.StepEdges[0] != [2]int{0, 1} {
+		t.Fatalf("StepEdges = %v, want [[0 1]]", res.StepEdges)
+	}
+	edges := res.CrossStepEdges(0, 1)
+	if len(edges) != 1 || edges[0].From.Label() != "B.region(0, 1)" {
+		t.Fatalf("CrossStepEdges(0,1) = %v", edges)
+	}
+	// MatrixMultiply has a single step, so no step edges at all.
+	mm := analyze(t, parser.MatrixMultiplySrc, "MatrixMultiply")
+	if len(mm.StepEdges) != 0 {
+		t.Fatalf("MatrixMultiply StepEdges = %v, want none", mm.StepEdges)
+	}
+}
+
+// TestAnnotConstOffsets checks offset folding on RollingSum's Figure-4
+// edges: the (r1,=,-1) self edge folds to [-1]; the (r0,<=) input edge
+// is directional and must not fold.
+func TestAnnotConstOffsets(t *testing.T) {
+	res := analyze(t, parser.RollingSumSrc, "RollingSum")
+	sizes := map[string]int64{"n": 1024}
+	var gotEq, gotLE bool
+	for _, e := range res.Graph.Edges {
+		for _, a := range e.Annots {
+			off, ok := a.ConstOffsets(1, sizes)
+			switch {
+			case a.Dir[0] == DirEq && e.From == e.To:
+				gotEq = true
+				if !ok || off[0] != -1 {
+					t.Fatalf("self edge offsets = %v ok=%v, want [-1] true", off, ok)
+				}
+			case a.Dir[0] == DirLE:
+				gotLE = true
+				if ok {
+					t.Fatalf("directional (<=) annot must not fold, got %v", off)
+				}
+			}
+			// Wrong arity never folds.
+			if _, ok := a.ConstOffsets(3, sizes); ok {
+				t.Fatal("ConstOffsets with wrong rank must fail")
+			}
+		}
+	}
+	if !gotEq || !gotLE {
+		t.Fatalf("edge coverage incomplete: eq=%v le=%v", gotEq, gotLE)
+	}
+}

@@ -288,7 +288,80 @@ func (res *Result) buildSchedule() error {
 		}
 		res.Schedule = append(res.Schedule, step)
 	}
+	res.buildStepEdges()
 	return nil
+}
+
+// buildStepEdges condenses Graph.Edges to schedule-step granularity:
+// one (producer, consumer) index pair per pair of distinct steps with a
+// data-flow edge between them. Input nodes belong to no step and
+// impose no ordering.
+func (res *Result) buildStepEdges() {
+	stepOf := map[*Node]int{}
+	for si, st := range res.Schedule {
+		for _, n := range st.Nodes {
+			stepOf[n] = si
+		}
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range res.Graph.Edges {
+		from, okF := stepOf[e.From]
+		to, okT := stepOf[e.To]
+		if !okF || !okT || from == to {
+			continue
+		}
+		p := [2]int{from, to}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		res.StepEdges = append(res.StepEdges, p)
+	}
+}
+
+// CrossStepEdges returns the graph edges from step `from` to step `to`
+// (both schedule indices), for callers that need the per-node
+// annotations behind a StepEdges entry.
+func (res *Result) CrossStepEdges(from, to int) []*Edge {
+	inFrom := map[*Node]bool{}
+	for _, n := range res.Schedule[from].Nodes {
+		inFrom[n] = true
+	}
+	inTo := map[*Node]bool{}
+	for _, n := range res.Schedule[to].Nodes {
+		inTo[n] = true
+	}
+	var out []*Edge
+	for _, e := range res.Graph.Edges {
+		if inFrom[e.From] && inTo[e.To] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ConstOffsets evaluates the annotation's per-dimension offsets under
+// the given size bindings. It succeeds only when the annotation has
+// exactly nd dimensions, every dimension is DirEq, and every offset
+// expression folds to an integer — the shape the plan tiler can map to
+// a fixed footprint. Inexact or directional dependencies return
+// ok=false and the caller must fall back to a coarser ordering.
+func (a Annot) ConstOffsets(nd int, sizes map[string]int64) ([]int64, bool) {
+	if len(a.Dir) != nd || len(a.Offset) != nd {
+		return nil, false
+	}
+	out := make([]int64, nd)
+	for d := 0; d < nd; d++ {
+		if a.Dir[d] != DirEq || a.Offset[d] == nil {
+			return nil, false
+		}
+		v, err := a.Offset[d].Eval(sizes)
+		if err != nil {
+			return nil, false
+		}
+		out[d] = v
+	}
+	return out, true
 }
 
 // cycleDirection finds an axis and direction along which every internal

@@ -108,6 +108,7 @@ func (h *Harness) Close() { h.pool.Shutdown() }
 type axis struct {
 	compiled bool
 	parallel bool
+	plan     bool // memoized execution plans (parallel axes only)
 }
 
 func (a axis) String() string {
@@ -115,15 +116,28 @@ func (a axis) String() string {
 	if a.compiled {
 		s = "compiled"
 	}
-	if a.parallel {
-		return s + "/par"
+	if !a.parallel {
+		return s + "/seq"
 	}
-	return s + "/seq"
+	if a.plan {
+		return s + "/par/plan"
+	}
+	return s + "/par/noplan"
 }
 
 // axes is the execution matrix; axes[0] (interpreter, sequential) is
-// the reference.
-var axes = [4]axis{{false, false}, {true, false}, {false, true}, {true, true}}
+// the reference. Parallel axes run twice: once on the memoized-plan
+// executor and once with plans disabled (the step-granular scheduler),
+// so the two parallel paths are differentially checked against each
+// other as well as against the sequential reference.
+var axes = [6]axis{
+	{false, false, false},
+	{true, false, false},
+	{false, true, true},
+	{false, true, false},
+	{true, true, true},
+	{true, true, false},
+}
 
 // subject is an executable program: engine plus entry point.
 type subject struct {
@@ -159,6 +173,9 @@ func (h *Harness) runOnce(s *subject, inputs map[string]*matrix.Matrix, cfg *cho
 		c.SetInt(interp.CompileKey, 1)
 	} else {
 		c.SetInt(interp.CompileKey, 0)
+	}
+	if ax.parallel && !ax.plan {
+		c.SetInt(interp.PlanKey, 0)
 	}
 	view := s.eng.WithConfig(c)
 	if ax.parallel {

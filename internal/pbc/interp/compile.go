@@ -2,9 +2,10 @@ package interp
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"petabricks/internal/choice"
@@ -79,40 +80,104 @@ func (pc *programCache) lookup(key string, res *analysis.Result, sizes map[strin
 	return ct
 }
 
-// configFingerprint hashes the configuration's canonical text form; it
-// keys the compiled-program cache so engine views running under
-// different configurations never share an entry.
-func configFingerprint(cfg *choice.Config) uint64 {
-	h := fnv.New64a()
-	if cfg != nil {
-		_ = cfg.Write(h)
+// fnvMix streams bytes through an inline FNV-1a state; hashing a config
+// this way (instead of serializing its text form into a hasher) keeps
+// the per-invocation cache-key cost allocation-free.
+type fnvMix uint64
+
+const fnvOffset64 fnvMix = 14695981039346656037
+
+func (h fnvMix) str(s string) fnvMix {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ fnvMix(s[i])) * 1099511628211
 	}
-	return h.Sum64()
+	return h
+}
+
+func (h fnvMix) num(v int64) fnvMix {
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ fnvMix(byte(v>>i))) * 1099511628211
+	}
+	return h
+}
+
+// configFingerprint hashes the configuration's contents (int tunables,
+// selectors, per-level parameters, in sorted key order); it keys the
+// compiled-program and execution-plan caches so engine views running
+// under different configurations never share an entry.
+func configFingerprint(cfg *choice.Config) uint64 {
+	h := fnvMix(fnvOffset64)
+	if cfg == nil {
+		return uint64(h)
+	}
+	h = h.num(int64(len(cfg.Ints)))
+	for _, k := range sortedKeys(cfg.Ints) {
+		h = h.str(k).num(cfg.Ints[k])
+	}
+	sels := make([]string, 0, len(cfg.Sels))
+	for k := range cfg.Sels {
+		sels = append(sels, k)
+	}
+	sort.Strings(sels)
+	for _, k := range sels {
+		h = h.str(k)
+		for _, l := range cfg.Sels[k].Levels {
+			h = h.num(l.Cutoff).num(int64(l.Choice)).num(int64(len(l.Params)))
+			for _, pk := range sortedKeys(l.Params) {
+				h = h.str(pk).num(l.Params[pk])
+			}
+		}
+	}
+	return uint64(h)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // compileKey builds the cache key: transform name, the bound size
 // vector (sorted for determinism), and the config fingerprint.
 func compileKey(res *analysis.Result, sizes map[string]int64, fp uint64) string {
-	keys := make([]string, 0, len(sizes))
-	for k := range sizes {
-		keys = append(keys, k)
+	var b strings.Builder
+	b.Grow(len(res.Transform.Name) + 16*len(sizes) + 24)
+	b.WriteString(res.Transform.Name)
+	for _, k := range sortedKeys(sizes) {
+		b.WriteByte('|')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatInt(sizes[k], 10))
 	}
-	sort.Strings(keys)
-	s := res.Transform.Name
-	for _, k := range keys {
-		s += fmt.Sprintf("|%s=%d", k, sizes[k])
+	b.WriteString("|cfg=")
+	b.WriteString(strconv.FormatUint(fp, 16))
+	return b.String()
+}
+
+// invocationKey returns the cache key of this invocation — transform,
+// size binding, config fingerprint — computed once and shared by the
+// compiled-program and execution-plan lookups.
+func (ex *exec) invocationKey() string {
+	if ex.key == "" {
+		ex.key = compileKey(ex.res, ex.sizes, configFingerprint(ex.engine.Cfg))
 	}
-	return fmt.Sprintf("%s|cfg=%x", s, fp)
+	return ex.key
 }
 
 // compiledFor returns the compiled-program holder for one invocation,
 // or nil when compilation is disabled by configuration.
-func (e *Engine) compiledFor(res *analysis.Result, sizes map[string]int64) *compiledTransform {
+func (ex *exec) compiledFor() *compiledTransform {
+	e := ex.engine
 	if e.Cfg.Int(CompileKey, 1) == 0 {
 		return nil
 	}
-	key := compileKey(res, sizes, configFingerprint(e.Cfg))
-	return e.progs.lookup(key, res, sizes)
+	return e.progs.lookup(ex.invocationKey(), ex.res, ex.sizes)
 }
 
 // compiledTransform holds the lazily compiled rules of one transform at
@@ -215,6 +280,12 @@ type compiledRule struct {
 	nSlots     int
 	scratch    []int // row-major index scratch lengths, one per index site
 	argSites   []int // argument buffer lengths, one per call site
+
+	// framePool recycles frames across invocations and tiles; a pooled
+	// frame is rebound to the acquiring invocation's matrices, so the
+	// steady-state per-chunk cost is a few pointer stores instead of the
+	// half-dozen slice allocations newFrame makes.
+	framePool sync.Pool
 }
 
 // frame is the per-worker execution state of one compiled rule: slots
@@ -289,6 +360,32 @@ func (cr *compiledRule) newFrame(ex *exec, w *runtime.Worker) *frame {
 	return f
 }
 
+// acquireFrame returns a frame for this invocation, reusing a pooled
+// one when available. Pair with releaseFrame after the chunk of cells
+// it serves completes (on success or error — frames hold no error
+// state).
+func (cr *compiledRule) acquireFrame(ex *exec, w *runtime.Worker) *frame {
+	v := cr.framePool.Get()
+	if v == nil {
+		return cr.newFrame(ex, w)
+	}
+	f := v.(*frame)
+	f.ex = ex
+	f.worker = w
+	for i := range cr.refs {
+		cref := &cr.refs[i]
+		rs := &f.refs[i]
+		rs.m = ex.mats[cref.ref.Matrix]
+		if cref.slot >= 0 && cref.cell {
+			f.slots[cref.slot].ref = rs.m
+		}
+	}
+	return f
+}
+
+// releaseFrame recycles a frame obtained from acquireFrame.
+func (cr *compiledRule) releaseFrame(f *frame) { cr.framePool.Put(f) }
+
 // runCell rebinds the rule at one center and executes the compiled
 // body. center is nil for macro rules.
 func (f *frame) runCell(center []int64) error {
@@ -296,7 +393,12 @@ func (f *frame) runCell(center []int64) error {
 	for d := 0; d < cr.nCenter; d++ {
 		f.center[d] = center[d]
 		if s := cr.centerSlot[d]; s >= 0 {
-			f.slots[s] = scalar(float64(center[d]))
+			// Store kind+f in place instead of assigning a fresh value
+			// struct: center slots are rebound every cell, and the full
+			// multi-word store shows up at wavefront cell rates.
+			sl := &f.slots[s]
+			sl.kind = valScalar
+			sl.f = float64(center[d])
 		}
 	}
 	if err := f.bindRefs(); err != nil {

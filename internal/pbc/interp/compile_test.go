@@ -38,7 +38,7 @@ func execFor(t *testing.T, e *Engine, name string, size int64) *exec {
 		}
 		ex.mats[d.Name] = m
 	}
-	ex.comp = e.compiledFor(res, ex.sizes)
+	ex.comp = ex.compiledFor()
 	return ex
 }
 

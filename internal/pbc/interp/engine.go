@@ -26,12 +26,15 @@ type Engine struct {
 	// vector, config fingerprint); shared by pointer across WithConfig
 	// views.
 	progs *programCache
+	// plans caches lowered execution plans under the same keys (see
+	// plan.go); also shared across WithConfig views.
+	plans *planCache
 }
 
 // New analyzes every transform in the program eagerly so compile errors
 // surface before execution.
 func New(prog *ast.Program) (*Engine, error) {
-	e := &Engine{Prog: prog, Cfg: choice.NewConfig(), analyses: map[string]*analysis.Result{}, progs: newProgramCache()}
+	e := &Engine{Prog: prog, Cfg: choice.NewConfig(), analyses: map[string]*analysis.Result{}, progs: newProgramCache(), plans: newPlanCache()}
 	for _, t := range prog.Transforms {
 		if len(t.Templates) > 0 {
 			// Template transforms are analyzed per instance, when
@@ -63,7 +66,7 @@ func (e *Engine) WithConfig(cfg *choice.Config) *Engine {
 	for k, v := range e.analyses {
 		an[k] = v
 	}
-	return &Engine{Prog: e.Prog, Cfg: cfg, Pool: e.Pool, analyses: an, progs: e.progs}
+	return &Engine{Prog: e.Prog, Cfg: cfg, Pool: e.Pool, analyses: an, progs: e.progs, plans: e.plans}
 }
 
 // Analysis returns the analysis result for a transform.
@@ -131,7 +134,7 @@ func (e *Engine) run(name string, inputs map[string]*matrix.Matrix, depth int, w
 		}
 		ex.mats[d.Name] = m
 	}
-	ex.comp = e.compiledFor(res, ex.sizes)
+	ex.comp = ex.compiledFor()
 	if err := ex.runSchedule(); err != nil {
 		return nil, err
 	}
@@ -173,6 +176,8 @@ type exec struct {
 	// comp holds the invocation's compiled-program cache entry (nil when
 	// compilation is disabled).
 	comp *compiledTransform
+	// key is the lazily built invocation cache key (see invocationKey).
+	key string
 }
 
 // dslDims returns the matrix's extents in DSL (x, y, …) order.
@@ -342,6 +347,9 @@ func (ex *exec) runSchedule() error {
 		if m != nil {
 			m.schedParallel.Inc()
 		}
+		if p := ex.planFor(done); p != nil {
+			return ex.runPlan(p, done)
+		}
 		return ex.runScheduleParallel(done)
 	}
 	if m != nil {
@@ -384,12 +392,6 @@ func (ex *exec) sizesMeetAssumption() bool {
 func (ex *exec) runScheduleParallel(done map[string]bool) error {
 	pool := ex.engine.Pool
 	steps := ex.res.Schedule
-	stepOf := map[*analysis.Node]int{}
-	for i, st := range steps {
-		for _, n := range st.Nodes {
-			stepOf[n] = i
-		}
-	}
 	errs := make([]error, len(steps))
 	tasks := make([]*runtime.Task, len(steps))
 	for i, st := range steps {
@@ -398,18 +400,24 @@ func (ex *exec) runScheduleParallel(done map[string]bool) error {
 			errs[i] = ex.runStep(st, done, tw)
 		})
 	}
-	for _, e := range ex.res.Graph.Edges {
-		from, okF := stepOf[e.From]
-		to, okT := stepOf[e.To]
-		if !okF || !okT || from == to {
-			continue // input producers and intra-step edges
+	// Step-granular dependencies come pre-condensed from the analysis
+	// (Result.StepEdges), so no per-run node→step map is needed.
+	for _, se := range ex.res.StepEdges {
+		tasks[se[1]].DependsOn(tasks[se[0]])
+	}
+	// The schedule is topologically ordered (producers first), so every
+	// dependency of a submitted task is in the submitted prefix — on a
+	// Submit error it is safe to wait for just that prefix.
+	submitted := 0
+	var submitErr error
+	for _, t := range tasks {
+		if err := pool.Submit(t); err != nil {
+			submitErr = err
+			break
 		}
-		tasks[to].DependsOn(tasks[from])
+		submitted++
 	}
-	for _, t := range tasks {
-		pool.Submit(t)
-	}
-	for _, t := range tasks {
+	for _, t := range tasks[:submitted] {
 		if ex.worker != nil {
 			// Already on a scheduler thread (nested transform call):
 			// help execute queued tasks instead of blocking the worker.
@@ -417,6 +425,9 @@ func (ex *exec) runScheduleParallel(done map[string]bool) error {
 		} else {
 			t.Wait()
 		}
+	}
+	if submitErr != nil {
+		return submitErr
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -636,7 +647,8 @@ func (ex *exec) applyCellRule(ri *analysis.RuleInfo, matName string, reg symboli
 	runRange := func(cw *runtime.Worker, lo, hi int) error {
 		center := make([]int64, len(b))
 		if cr != nil {
-			f := cr.newFrame(ex, cw)
+			f := cr.acquireFrame(ex, cw)
+			defer cr.releaseFrame(f)
 			for flat := lo; flat < hi; flat++ {
 				unflatten(int64(flat), b, center)
 				if err := f.runCell(center); err != nil {
@@ -722,7 +734,8 @@ func (ex *exec) runLex(step *analysis.Step, done map[string]bool, w *runtime.Wor
 		// One frame serves the whole wavefront when the rule compiles.
 		var fr *frame
 		if cr := ex.compiledRule(ri); cr != nil {
-			fr = cr.newFrame(ex, w)
+			fr = cr.acquireFrame(ex, w)
+			defer cr.releaseFrame(fr)
 		}
 		center := make([]int64, len(b))
 		var walk func(li int) error

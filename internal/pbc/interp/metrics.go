@@ -27,6 +27,11 @@ type interpMetrics struct {
 	stepsCyclic *obs.Counter // cyclic wavefront steps
 	stepsLex    *obs.Counter // lexicographic wavefront steps
 
+	planHit   *obs.Counter   // execution-plan cache hits
+	planMiss  *obs.Counter   // execution-plan cache misses (plan built)
+	planEvict *obs.Counter   // execution-plan cache evictions (FIFO bound)
+	planTiles *obs.Histogram // tasks per built plan (tiles + fences + steps)
+
 	runHists sync.Map // transform name -> *obs.Histogram
 }
 
@@ -52,6 +57,11 @@ func Instrument(reg *obs.Registry) {
 	m.stepsPlain = reg.Counter("pb_interp_steps_total", "Schedule steps executed by kind.", obs.L("kind", "plain"))
 	m.stepsCyclic = reg.Counter("pb_interp_steps_total", "Schedule steps executed by kind.", obs.L("kind", "cyclic"))
 	m.stepsLex = reg.Counter("pb_interp_steps_total", "Schedule steps executed by kind.", obs.L("kind", "lex"))
+	m.planHit = reg.Counter("pb_interp_plan_cache_hits_total", "Execution-plan cache hits.")
+	m.planMiss = reg.Counter("pb_interp_plan_cache_misses_total", "Execution-plan cache misses (plan built).")
+	m.planEvict = reg.Counter("pb_interp_plan_cache_evictions_total", "Execution-plan cache entries evicted by the FIFO bound.")
+	m.planTiles = reg.Histogram("pb_interp_plan_tasks", "Tasks per built execution plan (tiles, fences and step tasks).",
+		obs.ExpBuckets(1, 2, 12))
 	im.Store(m)
 }
 

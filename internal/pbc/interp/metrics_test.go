@@ -6,6 +6,7 @@ import (
 
 	"petabricks/internal/obs"
 	"petabricks/internal/pbc/parser"
+	"petabricks/internal/runtime"
 )
 
 // TestInstrumentEngine runs a transform twice under instrumentation and
@@ -57,12 +58,46 @@ func TestInstrumentEngine(t *testing.T) {
 		t.Errorf("scrape missing per-transform histogram:\n%s", b.String())
 	}
 
+	// Plan-cache traffic: two identical parallel runs are one miss (the
+	// build) plus one hit (the replay), and the tiles histogram saw the
+	// built plan.
+	pool := runtime.NewPool(2)
+	defer pool.Close()
+	e.Pool = pool
+	for i := 0; i < 2; i++ {
+		if _, err := e.Run1("RollingSum", vec(1, 2, 3, 4, 5, 6, 7, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Pool = nil
+	planSnap := map[string]float64{}
+	var planTiles int64
+	for _, s := range reg.Snapshot() {
+		if s.Type == "histogram" {
+			if s.Name == "pb_interp_plan_tasks" {
+				planTiles = s.Count
+			}
+			continue
+		}
+		planSnap[s.Name] += s.Value
+	}
+	if planSnap["pb_interp_plan_cache_misses_total"] != 1 {
+		t.Errorf("plan-cache misses = %v, want 1", planSnap["pb_interp_plan_cache_misses_total"])
+	}
+	if planSnap["pb_interp_plan_cache_hits_total"] != 1 {
+		t.Errorf("plan-cache hits = %v, want 1", planSnap["pb_interp_plan_cache_hits_total"])
+	}
+	if planTiles != 1 {
+		t.Errorf("plan tasks histogram count = %d, want 1", planTiles)
+	}
+
 	// Disabled again: no further counting.
 	Instrument(nil)
+	before := reg.Counter("pb_interp_cache_hits_total", "").Value()
 	if _, err := e.Run1("RollingSum", in); err != nil {
 		t.Fatal(err)
 	}
-	if got := float64(reg.Counter("pb_interp_cache_hits_total", "").Value()); got != snap["pb_interp_cache_hits_total"][""] {
+	if got := reg.Counter("pb_interp_cache_hits_total", "").Value(); got != before {
 		// value unchanged after disabling
 		t.Errorf("cache hits advanced to %v after Instrument(nil)", got)
 	}

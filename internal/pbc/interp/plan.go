@@ -1,0 +1,880 @@
+package interp
+
+import (
+	"sync"
+
+	"petabricks/internal/pbc/analysis"
+	"petabricks/internal/runtime"
+)
+
+// This file is the execution-plan layer. The parallel scheduler used to
+// re-derive the task DAG from Result.Schedule and the choice graph on
+// every invocation: a node→step map, fresh runtime.Tasks, per-run edge
+// wiring. For pbserve-shaped traffic — the same (transform, sizes,
+// config) executed over and over — all of that is invariant, so it is
+// lowered once into a plan: a flat runtime.TaskGraph whose tasks carry
+// pre-resolved rules and concrete bounds, re-armed in O(tasks) with no
+// allocation by the runtime's Run arena.
+//
+// On top of memoization, the plan tiles large schedule steps at build
+// time. A step whose iteration space exceeds the parallel grain becomes
+// a grid of region tiles with tile-to-tile dependency edges derived
+// from the rule's constant affine offsets, so wavefront steps (cyclic
+// stencil sweeps, lexicographic recurrences) expose parallelism that
+// the step-granular scheduler executes serially. Any shape the tiler
+// cannot prove safe falls back to a step-granular task with the old
+// semantics — the plan changes performance, never results.
+
+// PlanKey is the config key that disables the plan layer when set to 0,
+// forcing per-run task wiring (useful for differential testing and for
+// measuring the plan's effect).
+const PlanKey = "pbc.plan"
+
+const (
+	// planCacheMax bounds the plan cache per engine family (FIFO, like
+	// the compiled-program cache).
+	planCacheMax = 64
+	// planMaxTilesPerStep caps tiling fan-out: beyond it the tiler
+	// coarsens blocks, and if even single blocks per dimension exceed it
+	// the step stays step-granular.
+	planMaxTilesPerStep = 1024
+	// planMaxEdges bounds the whole plan's dependency-edge count; past
+	// it cross-step wiring degrades to fences.
+	planMaxEdges = 1 << 17
+	// planMaxEdgesPerPair bounds the footprint-mapped edges of one
+	// producer/consumer step pair before degrading to a fence.
+	planMaxEdgesPerPair = 1 << 14
+)
+
+// plan is one memoized lowering of a schedule: an immutable task graph
+// plus the per-task work descriptions. It is shared across concurrent
+// executions; all fields are read-only after build.
+type plan struct {
+	graph *runtime.TaskGraph
+	tasks []planTask
+}
+
+// planTask is one task of a plan, in one of three shapes:
+//   - step != nil: run the whole schedule step via runStep (fallback
+//     granularity, used when tiling is unsafe or unprofitable);
+//   - node != nil: run the pre-chosen rule over the concrete bounds
+//     (a tile); lex, when non-nil, orders the walk so intra-tile
+//     wavefront dependencies are respected;
+//   - neither: a fence — an empty barrier joining a tiled step to a
+//     consumer that needs all of it.
+type planTask struct {
+	step   *analysis.Step
+	node   *analysis.Node
+	ri     *analysis.RuleInfo
+	bounds [][2]int64
+	lex    []analysis.LexDim
+}
+
+// planCache is the bounded, concurrency-safe plan cache, shared by
+// pointer across Engine.WithConfig views (keys include the config
+// fingerprint, so views only share entries when configs match).
+type planCache struct {
+	mu      sync.Mutex
+	entries map[string]*planEntry
+	order   []string
+}
+
+// planEntry builds its plan once, outside the cache lock, so a slow
+// build never blocks unrelated lookups.
+type planEntry struct {
+	once sync.Once
+	p    *plan
+}
+
+func newPlanCache() *planCache { return &planCache{entries: map[string]*planEntry{}} }
+
+func (pc *planCache) lookup(key string) *planEntry {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	m := im.Load()
+	if e, ok := pc.entries[key]; ok {
+		if m != nil {
+			m.planHit.Inc()
+		}
+		return e
+	}
+	if m != nil {
+		m.planMiss.Inc()
+	}
+	if len(pc.order) >= planCacheMax {
+		delete(pc.entries, pc.order[0])
+		pc.order = pc.order[1:]
+		if m != nil {
+			m.planEvict.Inc()
+		}
+	}
+	e := &planEntry{}
+	pc.entries[key] = e
+	pc.order = append(pc.order, key)
+	return e
+}
+
+// planFor returns the memoized plan for this invocation, building it on
+// first use. A nil plan (disabled by config, or a shape the builder
+// declined) means the caller should use per-run task wiring.
+func (ex *exec) planFor(done map[string]bool) *plan {
+	e := ex.engine
+	if e.Cfg.Int(PlanKey, 1) == 0 {
+		return nil
+	}
+	pe := e.plans.lookup(ex.invocationKey())
+	pe.once.Do(func() { pe.p = ex.buildPlan(done) })
+	return pe.p
+}
+
+// runPlan executes a memoized plan on the pool via the Run arena.
+func (ex *exec) runPlan(p *plan, done map[string]bool) error {
+	var mu sync.Mutex
+	var firstErr error
+	r := ex.engine.Pool.NewRun(p.graph, func(w *runtime.Worker, i int) {
+		if err := ex.runPlanTask(&p.tasks[i], done, w); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	})
+	if err := r.SubmitAll(ex.worker); err != nil {
+		r.Release()
+		return err
+	}
+	if ex.worker != nil {
+		r.WaitWorker(ex.worker)
+	} else {
+		r.Wait()
+	}
+	r.Release()
+	return firstErr
+}
+
+func (ex *exec) runPlanTask(t *planTask, done map[string]bool, w *runtime.Worker) error {
+	switch {
+	case t.step != nil:
+		return ex.runStep(t.step, done, w)
+	case t.node != nil:
+		return ex.runCells(t.ri, t.bounds, t.lex, w)
+	default:
+		return nil // fence
+	}
+}
+
+// runCells executes one tile: the rule's cells over concrete bounds,
+// with a single (pooled) frame for the whole tile. A nil lex walks the
+// flat order (independent cells); otherwise dimensions are walked in
+// the given order and directions so intra-tile wavefront dependencies
+// read already-computed cells.
+func (ex *exec) runCells(ri *analysis.RuleInfo, b [][2]int64, lex []analysis.LexDim, w *runtime.Worker) error {
+	count := int64(1)
+	for _, iv := range b {
+		if iv[1] <= iv[0] {
+			return nil
+		}
+		count *= iv[1] - iv[0]
+	}
+	cr := ex.compiledRule(ri)
+	var f *frame
+	if cr != nil {
+		f = cr.acquireFrame(ex, w)
+		defer cr.releaseFrame(f)
+	}
+	center := make([]int64, len(b))
+	runOne := func() error {
+		if f != nil {
+			return f.runCell(center)
+		}
+		binding := map[string]int64{}
+		for d, v := range ri.CenterVars {
+			if v != "" {
+				binding[v] = center[d]
+			}
+		}
+		return ex.runRuleBody(ri, binding, w)
+	}
+	if lex == nil {
+		// Specialized rank-1/2 walks avoid the per-cell div/mod of
+		// unflatten on the hot tile shapes.
+		switch len(b) {
+		case 1:
+			for i := b[0][0]; i < b[0][1]; i++ {
+				center[0] = i
+				if err := runOne(); err != nil {
+					return err
+				}
+			}
+			return nil
+		case 2:
+			for j := b[1][0]; j < b[1][1]; j++ {
+				center[1] = j
+				for i := b[0][0]; i < b[0][1]; i++ {
+					center[0] = i
+					if err := runOne(); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		for flat := int64(0); flat < count; flat++ {
+			unflatten(flat, b, center)
+			if err := runOne(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if len(lex) == 2 {
+		// The 2-D wavefront (outer = lex[0], inner = lex[1]) iteratively,
+		// without the per-cell recursion of the generic walk.
+		o, in := lex[0], lex[1]
+		olo, ohi := b[o.Dim][0], b[o.Dim][1]
+		ilo, ihi := b[in.Dim][0], b[in.Dim][1]
+		ostart, istart := olo, ilo
+		if o.Dir < 0 {
+			ostart = ohi - 1
+		}
+		if in.Dir < 0 {
+			istart = ihi - 1
+		}
+		for oi := ostart; oi >= olo && oi < ohi; oi += int64(o.Dir) {
+			center[o.Dim] = oi
+			for ii := istart; ii >= ilo && ii < ihi; ii += int64(in.Dir) {
+				center[in.Dim] = ii
+				if err := runOne(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	var walk func(li int) error
+	walk = func(li int) error {
+		if li == len(lex) {
+			return runOne()
+		}
+		ld := lex[li]
+		lo, hi := b[ld.Dim][0], b[ld.Dim][1]
+		if ld.Dir >= 0 {
+			for i := lo; i < hi; i++ {
+				center[ld.Dim] = i
+				if err := walk(li + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := hi - 1; i >= lo; i-- {
+			center[ld.Dim] = i
+			if err := walk(li + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(0)
+}
+
+// --- Plan building --------------------------------------------------------
+
+// builtStep records how one schedule step was lowered, with the grid
+// geometry the cross-step wiring needs.
+type builtStep struct {
+	absent bool // nothing to run (macro-computed or empty regions)
+	task   int  // single task id; -1 when the step is a tile grid
+	isStep bool // task is step-granular (no bounds/rule information)
+
+	node   *analysis.Node
+	ri     *analysis.RuleInfo
+	bounds [][2]int64
+
+	// Grid tiling (task == -1): tiles occupy task ids
+	// [tileBase, tileBase+ntiles) in flat dim-0-fastest block order.
+	tileBase int
+	ntiles   int
+	blk      []int64
+	nblk     []int64
+
+	fence int // lazily created fence task (-1: none yet)
+}
+
+// planBuilder accumulates tasks and edges while lowering a schedule.
+type planBuilder struct {
+	ex    *exec
+	grain int64
+	tasks []planTask
+	edges [][2]int
+}
+
+// buildPlan lowers the schedule into a plan, or returns nil when the
+// invocation's shape defeats memoization (the caller then uses per-run
+// wiring; correctness never depends on a plan existing). The macro
+// `done` set, the chosen rules, and the concrete bounds baked in here
+// are all pure functions of (transform, sizes, config) — the cache key
+// — so replaying the plan on later invocations is sound.
+func (ex *exec) buildPlan(done map[string]bool) *plan {
+	grain := ex.engine.Cfg.Int(ParGrainKey, DefaultParGrain)
+	if grain < 1 {
+		grain = 1
+	}
+	pb := &planBuilder{ex: ex, grain: grain}
+	steps := make([]builtStep, len(ex.res.Schedule))
+	for si, st := range ex.res.Schedule {
+		bs, ok := pb.lowerStep(st, done)
+		if !ok {
+			return nil
+		}
+		steps[si] = bs
+	}
+	for _, se := range ex.res.StepEdges {
+		if !pb.wireCross(&steps[se[0]], &steps[se[1]]) {
+			return nil
+		}
+	}
+	gb := runtime.NewGraphBuilder(len(pb.tasks))
+	for _, e := range pb.edges {
+		gb.Edge(e[0], e[1])
+	}
+	g, err := gb.Build()
+	if err != nil {
+		// A cycle here would be a tiler bug; decline the plan rather
+		// than fail the run.
+		return nil
+	}
+	if m := im.Load(); m != nil {
+		m.planTiles.Observe(float64(len(pb.tasks)))
+	}
+	return &plan{graph: g, tasks: pb.tasks}
+}
+
+func (pb *planBuilder) addTask(t planTask) int {
+	pb.tasks = append(pb.tasks, t)
+	return len(pb.tasks) - 1
+}
+
+// stepFallback lowers a step as one step-granular task.
+func (pb *planBuilder) stepFallback(st *analysis.Step) builtStep {
+	return builtStep{task: pb.addTask(planTask{step: st}), isStep: true, fence: -1}
+}
+
+// lowerStep lowers one schedule step. ok=false declines the whole plan
+// (region evaluation failed; the legacy path will surface the error).
+func (pb *planBuilder) lowerStep(st *analysis.Step, done map[string]bool) (builtStep, bool) {
+	ex := pb.ex
+	var active []*analysis.Node
+	for _, n := range st.Nodes {
+		if n.Input || done[n.Matrix] {
+			continue
+		}
+		active = append(active, n)
+	}
+	if len(active) == 0 {
+		return builtStep{absent: true, task: -1, fence: -1}, true
+	}
+	if len(active) > 1 {
+		// Multi-node SCCs interleave nodes per wavefront slice; keep the
+		// step's own executor.
+		return pb.stepFallback(st), true
+	}
+	node := active[0]
+	gc := node.Cell
+	if gc == nil || len(gc.Rules) == 0 {
+		// Macro-only region: empty regions have nothing to do; non-empty
+		// ones must keep runNode's "requires a macro rule" error.
+		if gc != nil {
+			if empty, err := ex.regionEmpty(gc.Region); err == nil && empty {
+				return builtStep{absent: true, task: -1, fence: -1}, true
+			}
+		}
+		return pb.stepFallback(st), true
+	}
+	ri := ex.chooseCellRule(gc, node.Matrix)
+	b, err := ex.evalNodeRegion(node.Matrix, gc.Region)
+	if err != nil {
+		return builtStep{}, false
+	}
+	count := int64(1)
+	for _, iv := range b {
+		count *= iv[1] - iv[0]
+		if count <= 0 {
+			return builtStep{absent: true, task: -1, fence: -1}, true
+		}
+	}
+	bs := builtStep{node: node, ri: ri, bounds: b, task: -1, fence: -1}
+	single := func(lex []analysis.LexDim) builtStep {
+		bs.task = pb.addTask(planTask{node: node, ri: ri, bounds: b, lex: lex})
+		return bs
+	}
+	switch {
+	case st.Lex != nil:
+		if offs, ok := pb.selfOffsets(node, ri, len(b)); ok && lexBackward(offs, st.Lex) && count >= 2*pb.grain {
+			pb.tileLex(&bs, st.Lex)
+			return bs, true
+		}
+		// Serial lex walk with one frame — runLex semantics, memoized.
+		return single(st.Lex), true
+	case st.Cyclic:
+		axis := st.IterDim
+		if axis >= len(b) {
+			return pb.stepFallback(st), true
+		}
+		// serialLex walks the axis outermost (in the scheduled
+		// direction); remaining dims are independent within a slice, so
+		// any fixed order works.
+		serialLex := make([]analysis.LexDim, 0, len(b))
+		serialLex = append(serialLex, analysis.LexDim{Dim: axis, Dir: st.IterDir})
+		for d := range b {
+			if d != axis {
+				serialLex = append(serialLex, analysis.LexDim{Dim: d, Dir: 1})
+			}
+		}
+		offs, ok := pb.selfOffsets(node, ri, len(b))
+		if !ok || len(b) == 1 {
+			return single(serialLex), true
+		}
+		if !pb.tileCyclic(&bs, axis, st.IterDir, offs) {
+			return single(serialLex), true
+		}
+		return bs, true
+	default:
+		if count >= 2*pb.grain {
+			pb.tileGrid(&bs, nil, pb.grain, planMaxTilesPerStep)
+			return bs, true
+		}
+		return single(nil), true
+	}
+}
+
+// selfOffsets folds every self-edge annotation of the chosen rule into
+// constant offset vectors. ok=false means some internal dependency is
+// not an exact constant offset under these sizes, so tile-to-tile edges
+// cannot be derived.
+func (pb *planBuilder) selfOffsets(node *analysis.Node, ri *analysis.RuleInfo, nd int) ([][]int64, bool) {
+	var out [][]int64
+	for _, e := range pb.ex.res.Graph.Edges {
+		if e.From != node || e.To != node {
+			continue
+		}
+		for _, a := range e.Annots {
+			if a.Rule != ri {
+				continue
+			}
+			off, ok := a.ConstOffsets(nd, pb.ex.sizes)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, off)
+		}
+	}
+	return out, true
+}
+
+// lexBackward reports whether every offset vector is component-wise
+// backward under the lex order (off[d]*dir[d] <= 0 for every dim). Then
+// any dependency of a block lands in the cone of component-wise earlier
+// blocks, which adjacent-predecessor edges generate transitively — no
+// halo constraint on the block size is needed.
+func lexBackward(offs [][]int64, lex []analysis.LexDim) bool {
+	for _, off := range offs {
+		for _, ld := range lex {
+			if off[ld.Dim]*int64(ld.Dir) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tileLex splits a lexicographic-wavefront step into a block grid. Each
+// tile walks its cells in the step's lex order; tile(X) depends on the
+// adjacent earlier block along every dimension.
+func (pb *planBuilder) tileLex(bs *builtStep, lex []analysis.LexDim) {
+	pb.tileGrid(bs, nil, pb.grain, planMaxTilesPerStep)
+	for i := range pb.tasks[bs.tileBase : bs.tileBase+bs.ntiles] {
+		pb.tasks[bs.tileBase+i].lex = lex
+	}
+	idx := make([]int64, len(bs.nblk))
+	for flat := 0; flat < bs.ntiles; flat++ {
+		gridIndex(int64(flat), bs.nblk, idx)
+		for _, ld := range lex {
+			p := idx[ld.Dim] - int64(ld.Dir)
+			if p < 0 || p >= bs.nblk[ld.Dim] {
+				continue
+			}
+			idx[ld.Dim] = p
+			pb.edges = append(pb.edges, [2]int{bs.tileBase + int(gridFlat(idx, bs.nblk)), bs.tileBase + flat})
+			idx[ld.Dim] += int64(ld.Dir)
+		}
+	}
+}
+
+// tileCyclic splits a single-axis wavefront step into axis-extent-1
+// tiles × blocks over the remaining dimensions. Block sizes are clamped
+// to the maximum constant offset per dimension, so every dependency of
+// tile (a, X) lies in tiles (a-1, X+δ) with δ ∈ {-1,0,1} per dimension
+// (deeper axis offsets are covered transitively through the a-1 layer).
+// Returns false when the geometry degenerates (single block per slice —
+// a pure chain — or too many tiles).
+func (pb *planBuilder) tileCyclic(bs *builtStep, axis, dir int, offs [][]int64) bool {
+	nd := len(bs.bounds)
+	minBlk := make([]int64, nd)
+	for _, off := range offs {
+		for d := 0; d < nd; d++ {
+			v := off[d]
+			if v < 0 {
+				v = -v
+			}
+			if v > minBlk[d] {
+				minBlk[d] = v
+			}
+		}
+	}
+	axisLen := bs.bounds[axis][1] - bs.bounds[axis][0]
+	if axisLen > planMaxTilesPerStep {
+		return false
+	}
+	minBlk[axis] = 1 // frozen at extent 1 by tileGrid's frozen dim
+	pb.tileGrid(bs, &axis, pb.grain, planMaxTilesPerStep)
+	nonAxisBlocks := int64(1)
+	for d, n := range bs.nblk {
+		if d != axis {
+			nonAxisBlocks *= n
+		}
+	}
+	// Re-tile with offset clamps if the first pass chose smaller blocks.
+	for d := 0; d < nd; d++ {
+		if d != axis && bs.blk[d] < minBlk[d] {
+			pb.retileMinBlock(bs, &axis, minBlk)
+			nonAxisBlocks = 1
+			for dd, n := range bs.nblk {
+				if dd != axis {
+					nonAxisBlocks *= n
+				}
+			}
+			break
+		}
+	}
+	if nonAxisBlocks <= 1 {
+		// A chain of slices has no parallelism; undo the tiles.
+		pb.tasks = pb.tasks[:bs.tileBase]
+		bs.ntiles = 0
+		return false
+	}
+	idx := make([]int64, nd)
+	pidx := make([]int64, nd)
+	for flat := 0; flat < bs.ntiles; flat++ {
+		gridIndex(int64(flat), bs.nblk, idx)
+		pa := idx[axis] - int64(dir) // earlier slice in walk order
+		if pa < 0 || pa >= bs.nblk[axis] {
+			continue
+		}
+		copy(pidx, idx)
+		pidx[axis] = pa
+		pb.neighborEdges(bs, pidx, axis, 0, flat)
+	}
+	return true
+}
+
+// neighborEdges appends edges from every {-1,0,1} non-axis displacement
+// of pidx to consumer tile flat (recursing over dimensions from d).
+func (pb *planBuilder) neighborEdges(bs *builtStep, pidx []int64, axis, d, flat int) {
+	if d == len(pidx) {
+		pb.edges = append(pb.edges, [2]int{bs.tileBase + int(gridFlat(pidx, bs.nblk)), bs.tileBase + flat})
+		return
+	}
+	if d == axis {
+		pb.neighborEdges(bs, pidx, axis, d+1, flat)
+		return
+	}
+	orig := pidx[d]
+	for _, delta := range [3]int64{0, -1, 1} {
+		p := orig + delta
+		if p < 0 || p >= bs.nblk[d] {
+			continue
+		}
+		pidx[d] = p
+		pb.neighborEdges(bs, pidx, axis, d+1, flat)
+	}
+	pidx[d] = orig
+}
+
+// retileMinBlock rebuilds a grid with per-dimension minimum block sizes
+// (discarding the tiles of the previous attempt).
+func (pb *planBuilder) retileMinBlock(bs *builtStep, frozen *int, minBlk []int64) {
+	pb.tasks = pb.tasks[:bs.tileBase]
+	blk, nblk := gridBlocks(bs.bounds, minBlk, frozen, pb.grain, planMaxTilesPerStep)
+	pb.emitGrid(bs, blk, nblk)
+}
+
+// tileGrid splits the step's bounds into a block grid of independent
+// tiles (no intra-step edges; callers add them for wavefront shapes).
+func (pb *planBuilder) tileGrid(bs *builtStep, frozen *int, targetVol, maxTiles int64) {
+	blk, nblk := gridBlocks(bs.bounds, nil, frozen, targetVol, maxTiles)
+	pb.emitGrid(bs, blk, nblk)
+}
+
+func (pb *planBuilder) emitGrid(bs *builtStep, blk, nblk []int64) {
+	bs.blk, bs.nblk = blk, nblk
+	bs.task = -1
+	bs.tileBase = len(pb.tasks)
+	n := int64(1)
+	for _, v := range nblk {
+		n *= v
+	}
+	bs.ntiles = int(n)
+	idx := make([]int64, len(nblk))
+	for flat := int64(0); flat < n; flat++ {
+		gridIndex(flat, nblk, idx)
+		tb := make([][2]int64, len(blk))
+		for d := range blk {
+			lo := bs.bounds[d][0] + idx[d]*blk[d]
+			hi := lo + blk[d]
+			if hi > bs.bounds[d][1] {
+				hi = bs.bounds[d][1]
+			}
+			tb[d] = [2]int64{lo, hi}
+		}
+		pb.addTask(planTask{node: bs.node, ri: bs.ri, bounds: tb})
+	}
+}
+
+// gridBlocks picks per-dimension block sizes: at least minBlk, grown
+// (largest-block-count dimension first) until a full tile holds
+// targetVol cells and the grid fits in maxTiles. A frozen dimension
+// stays at block size 1 (the wavefront axis).
+func gridBlocks(b [][2]int64, minBlk []int64, frozen *int, targetVol, maxTiles int64) (blk, nblk []int64) {
+	nd := len(b)
+	blk = make([]int64, nd)
+	nblk = make([]int64, nd)
+	ext := make([]int64, nd)
+	for d := 0; d < nd; d++ {
+		ext[d] = b[d][1] - b[d][0]
+		blk[d] = 1
+		if minBlk != nil && minBlk[d] > 1 {
+			blk[d] = minBlk[d]
+		}
+		if frozen != nil && d == *frozen {
+			blk[d] = 1
+		}
+		if blk[d] > ext[d] {
+			blk[d] = ext[d]
+		}
+	}
+	recount := func() (vol, tiles int64) {
+		vol, tiles = 1, 1
+		for d := 0; d < nd; d++ {
+			nblk[d] = (ext[d] + blk[d] - 1) / blk[d]
+			vol *= blk[d]
+			tiles *= nblk[d]
+		}
+		return
+	}
+	vol, tiles := recount()
+	for vol < targetVol || tiles > maxTiles {
+		grow := -1
+		for d := 0; d < nd; d++ {
+			if frozen != nil && d == *frozen {
+				continue
+			}
+			if blk[d] >= ext[d] {
+				continue
+			}
+			if grow < 0 || nblk[d] > nblk[grow] {
+				grow = d
+			}
+		}
+		if grow < 0 {
+			break
+		}
+		blk[grow] *= 2
+		if blk[grow] > ext[grow] {
+			blk[grow] = ext[grow]
+		}
+		vol, tiles = recount()
+	}
+	return blk, nblk
+}
+
+// gridIndex converts a flat tile index to per-dimension block indices
+// (dimension 0 fastest, matching unflatten).
+func gridIndex(flat int64, nblk, out []int64) {
+	for d := 0; d < len(nblk); d++ {
+		out[d] = flat % nblk[d]
+		flat /= nblk[d]
+	}
+}
+
+// gridFlat is the inverse of gridIndex.
+func gridFlat(idx, nblk []int64) int64 {
+	flat, stride := int64(0), int64(1)
+	for d := 0; d < len(nblk); d++ {
+		flat += idx[d] * stride
+		stride *= nblk[d]
+	}
+	return flat
+}
+
+// --- Cross-step wiring ----------------------------------------------------
+
+// wireCross adds dependency edges for one StepEdges pair. Preference
+// order: exact footprint mapping (consumer tiles depend only on the
+// producer tiles their reads touch, letting wavefronts overlap across
+// steps), then a fence barrier, then direct task-to-task edges for
+// untiled steps. Returns false only on internal inconsistency.
+func (pb *planBuilder) wireCross(ps, cs *builtStep) bool {
+	if ps.absent || cs.absent {
+		return true
+	}
+	// Untiled producer: one edge per consumer task.
+	if ps.task >= 0 {
+		for _, ct := range pb.stepTaskIDs(cs) {
+			pb.edges = append(pb.edges, [2]int{ps.task, ct})
+		}
+		return true
+	}
+	// Tiled producer. Consumers with known bounds and exact constant
+	// read offsets get footprint-mapped edges.
+	if cs.node != nil {
+		if lohi, ok := pb.crossOffsets(ps, cs); ok {
+			if pb.footprintEdges(ps, cs, lohi) {
+				return true
+			}
+		}
+	}
+	// Fence: all producer tiles → fence → every consumer task.
+	if ps.fence < 0 {
+		ps.fence = pb.addTask(planTask{})
+		for i := 0; i < ps.ntiles; i++ {
+			pb.edges = append(pb.edges, [2]int{ps.tileBase + i, ps.fence})
+		}
+	}
+	for _, ct := range pb.stepTaskIDs(cs) {
+		pb.edges = append(pb.edges, [2]int{ps.fence, ct})
+	}
+	return true
+}
+
+// stepTaskIDs lists every runnable task id of a step.
+func (pb *planBuilder) stepTaskIDs(bs *builtStep) []int {
+	if bs.task >= 0 {
+		return []int{bs.task}
+	}
+	out := make([]int, bs.ntiles)
+	for i := range out {
+		out[i] = bs.tileBase + i
+	}
+	return out
+}
+
+// crossOffsets folds the consumer rule's reads of the producer node
+// into per-dimension [min,max] offset ranges. ok=false means some read
+// is not an exact constant offset (or ranks differ), so the footprint
+// cannot be mapped.
+func (pb *planBuilder) crossOffsets(ps, cs *builtStep) ([][2]int64, bool) {
+	nd := len(cs.bounds)
+	if len(ps.bounds) != nd {
+		return nil, false
+	}
+	var lohi [][2]int64
+	for _, e := range pb.ex.res.Graph.Edges {
+		if e.From != ps.node || e.To != cs.node {
+			continue
+		}
+		for _, a := range e.Annots {
+			if a.Rule != cs.ri {
+				continue
+			}
+			off, ok := a.ConstOffsets(nd, pb.ex.sizes)
+			if !ok {
+				return nil, false
+			}
+			if lohi == nil {
+				lohi = make([][2]int64, nd)
+				for d := 0; d < nd; d++ {
+					lohi[d] = [2]int64{off[d], off[d]}
+				}
+				continue
+			}
+			for d := 0; d < nd; d++ {
+				if off[d] < lohi[d][0] {
+					lohi[d][0] = off[d]
+				}
+				if off[d] > lohi[d][1] {
+					lohi[d][1] = off[d]
+				}
+			}
+		}
+	}
+	// lohi == nil: the chosen rule never reads this producer — no edges
+	// needed at all, which footprintEdges handles as an empty mapping.
+	return lohi, true
+}
+
+// footprintEdges wires each consumer task to exactly the producer tiles
+// its reads touch. Returns false when the edge budget is exceeded (the
+// caller falls back to a fence).
+func (pb *planBuilder) footprintEdges(ps, cs *builtStep, lohi [][2]int64) bool {
+	if lohi == nil {
+		return true // consumer provably reads nothing of this producer
+	}
+	nd := len(cs.bounds)
+	start := len(pb.edges)
+	var consumers []int
+	if cs.task >= 0 {
+		consumers = []int{cs.task}
+	} else {
+		consumers = pb.stepTaskIDs(cs)
+	}
+	bl := make([]int64, nd)
+	bh := make([]int64, nd)
+	idx := make([]int64, nd)
+	for _, ct := range consumers {
+		cb := pb.tasks[ct].bounds
+		empty := false
+		for d := 0; d < nd; d++ {
+			lo := cb[d][0] + lohi[d][0]
+			hi := cb[d][1] - 1 + lohi[d][1]
+			if lo < ps.bounds[d][0] {
+				lo = ps.bounds[d][0]
+			}
+			if hi > ps.bounds[d][1]-1 {
+				hi = ps.bounds[d][1] - 1
+			}
+			if hi < lo {
+				empty = true
+				break
+			}
+			bl[d] = (lo - ps.bounds[d][0]) / ps.blk[d]
+			bh[d] = (hi - ps.bounds[d][0]) / ps.blk[d]
+		}
+		if empty {
+			continue
+		}
+		// Enumerate the producer block box.
+		copy(idx, bl)
+		for {
+			pb.edges = append(pb.edges, [2]int{ps.tileBase + int(gridFlat(idx, ps.nblk)), ct})
+			if len(pb.edges)-start > planMaxEdgesPerPair || len(pb.edges) > planMaxEdges {
+				pb.edges = pb.edges[:start]
+				return false
+			}
+			d := 0
+			for d < nd {
+				idx[d]++
+				if idx[d] <= bh[d] {
+					break
+				}
+				idx[d] = bl[d]
+				d++
+			}
+			if d == nd {
+				break
+			}
+		}
+	}
+	return true
+}

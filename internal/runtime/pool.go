@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -9,6 +10,12 @@ import (
 
 	"petabricks/internal/obs"
 )
+
+// ErrPoolClosed is returned by Submit and Run.SubmitAll after Close or
+// Shutdown: the workers are (or will be) gone, so newly submitted work
+// could never execute. It is deterministic — a closed pool never
+// silently drops or hangs a submission.
+var ErrPoolClosed = errors.New("runtime: pool is closed")
 
 // Mode selects the scheduling discipline; the work-stealing mode is the
 // paper's design, the central-queue mode exists as an ablation baseline.
@@ -38,6 +45,10 @@ type Pool struct {
 	sleeping int
 	closed   atomic.Bool
 	wg       sync.WaitGroup // worker goroutines still running
+
+	// Recycled Run arenas (see run.go).
+	runMu   sync.Mutex
+	runFree []*Run
 
 	// taskLat, when set by Instrument, times every task execution. It is
 	// an atomic pointer so uninstrumented pools pay one nil-check load.
@@ -96,9 +107,12 @@ func (p *Pool) Executed() int64 {
 	return n
 }
 
-// Close shuts the pool down after the currently queued work drains is NOT
-// guaranteed; callers must finish their Run/Wait calls first. Close is
-// idempotent.
+// Close releases the pool's workers. Each worker keeps executing until
+// it finds no queued work, then exits; draining is therefore only
+// guaranteed for work submitted before Close, so callers must finish
+// their Run/Wait calls first. After Close, Submit and Run.SubmitAll
+// return ErrPoolClosed and Run panics — submissions racing Close are
+// the caller's bug and may be lost. Close is idempotent.
 func (p *Pool) Close() {
 	if p.closed.Swap(true) {
 		return
@@ -113,10 +127,9 @@ func (p *Pool) Closed() bool { return p.closed.Load() }
 
 // Shutdown closes the pool and blocks until every worker goroutine has
 // drained its remaining queued work and exited, so a daemon can stop on
-// SIGTERM without leaking workers. Callers must not Submit or Run new
-// work concurrently with or after Shutdown; in-flight Run calls should
-// be allowed to finish first (workers keep executing already-queued
-// tasks until none remain).
+// SIGTERM without leaking workers. In-flight Run calls should be
+// allowed to finish first (workers keep executing already-queued tasks
+// until none remain); Submit after Shutdown returns ErrPoolClosed.
 func (p *Pool) Shutdown() {
 	p.Close()
 	p.wg.Wait()
@@ -130,25 +143,36 @@ func (p *Pool) NewTask(name string, fn func(*Worker)) *Task {
 	return t
 }
 
-// Submit marks the task ready to run as soon as its dependencies finish.
-func (p *Pool) Submit(t *Task) {
+// Submit marks the task ready to run as soon as its dependencies
+// finish. On a closed pool it returns ErrPoolClosed without scheduling
+// anything (the task is consumed either way: re-submitting it panics).
+func (p *Pool) Submit(t *Task) error {
 	if t.pool != p {
 		panic("runtime: Submit of task from another pool")
+	}
+	if t.runRef != nil {
+		panic("runtime: Submit of an arena task; use Run.SubmitAll")
 	}
 	if t.submitted.Swap(true) {
 		panic(fmt.Sprintf("runtime: task %q submitted twice", t.name))
 	}
+	if p.closed.Load() {
+		return ErrPoolClosed
+	}
 	if t.pending.Add(-1) == 0 {
 		t.enqueue(nil)
 	}
+	return nil
 }
 
 // Run executes fn on a pool worker and blocks until it (including all its
 // nested Do/For joins) returns. It is the entry point for external
-// goroutines.
+// goroutines. Run on a closed pool panics with ErrPoolClosed.
 func (p *Pool) Run(fn func(*Worker)) {
 	t := p.NewTask("run", fn)
-	p.Submit(t)
+	if err := p.Submit(t); err != nil {
+		panic(err)
+	}
 	t.Wait()
 	t.rethrow()
 }
@@ -180,4 +204,34 @@ func (p *Pool) signal() {
 		p.sleepCv.Signal()
 	}
 	p.sleepMu.Unlock()
+}
+
+// signalN wakes up to n sleeping workers with one lock acquisition.
+func (p *Pool) signalN(n int) {
+	if n <= 0 {
+		return
+	}
+	p.sleepMu.Lock()
+	if p.sleeping > 0 {
+		if n >= p.sleeping {
+			p.sleepCv.Broadcast()
+		} else {
+			for i := 0; i < n; i++ {
+				p.sleepCv.Signal()
+			}
+		}
+	}
+	p.sleepMu.Unlock()
+}
+
+// injectBatch adds many tasks to the shared overflow queue under one
+// lock acquisition and wakes enough workers to start on them.
+func (p *Pool) injectBatch(ts []*Task) {
+	if len(ts) == 0 {
+		return
+	}
+	p.injectMu.Lock()
+	p.injected = append(p.injected, ts...)
+	p.injectMu.Unlock()
+	p.signalN(len(ts))
 }

@@ -1,0 +1,286 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the pool's reusable task-DAG executor. A TaskGraph is an
+// immutable dependency structure (int-indexed CSR successor lists plus
+// initial dependency counts) built once — e.g. per cached execution
+// plan — and a Run is the per-execution state that arms it: preallocated
+// tasks, per-task pending counters reset from the graph in O(tasks), and
+// a completion latch. Runs are recycled through a per-pool free list, so
+// executing a cached graph repeatedly allocates nothing on the steady
+// state beyond the caller's body closure.
+
+// TaskGraph is an immutable task DAG shared across any number of Runs
+// (and pools). Build one with GraphBuilder; the zero value is an empty
+// graph. Fields are exported for inspection but must not be mutated
+// while any Run uses the graph.
+type TaskGraph struct {
+	SuccOff  []int32 // CSR offsets into Succs, len Len()+1
+	Succs    []int32 // successor task indices
+	InitDeps []int32 // initial dependency count per task
+}
+
+// Len returns the number of tasks in the graph.
+func (g *TaskGraph) Len() int { return len(g.InitDeps) }
+
+// GraphBuilder accumulates dependency edges for a TaskGraph.
+type GraphBuilder struct {
+	n    int
+	from []int32
+	to   []int32
+}
+
+// NewGraphBuilder starts a builder for a graph of n tasks.
+func NewGraphBuilder(n int) *GraphBuilder { return &GraphBuilder{n: n} }
+
+// Edge records that task `to` must not start until task `from` has
+// completed. Duplicate edges are deduplicated by Build.
+func (b *GraphBuilder) Edge(from, to int) {
+	if from < 0 || from >= b.n || to < 0 || to >= b.n {
+		panic(fmt.Sprintf("runtime: graph edge (%d,%d) out of range [0,%d)", from, to, b.n))
+	}
+	if from == to {
+		panic(fmt.Sprintf("runtime: self edge on task %d", from))
+	}
+	b.from = append(b.from, int32(from))
+	b.to = append(b.to, int32(to))
+}
+
+// Build finalizes the graph: edges are sorted and deduplicated into CSR
+// form and the result is checked to be acyclic (a cycle would deadlock
+// every Run armed from it).
+func (b *GraphBuilder) Build() (*TaskGraph, error) {
+	m := len(b.from)
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, c := idx[i], idx[j]
+		if b.from[a] != b.from[c] {
+			return b.from[a] < b.from[c]
+		}
+		return b.to[a] < b.to[c]
+	})
+	g := &TaskGraph{
+		SuccOff:  make([]int32, b.n+1),
+		Succs:    make([]int32, 0, m),
+		InitDeps: make([]int32, b.n),
+	}
+	prev := [2]int32{-1, -1}
+	for _, i := range idx {
+		e := [2]int32{b.from[i], b.to[i]}
+		if e == prev {
+			continue
+		}
+		prev = e
+		g.Succs = append(g.Succs, e[1])
+		g.SuccOff[e[0]+1]++
+		g.InitDeps[e[1]]++
+	}
+	for i := 0; i < b.n; i++ {
+		g.SuccOff[i+1] += g.SuccOff[i]
+	}
+	// Kahn check: every task must be reachable from the roots.
+	pending := make([]int32, b.n)
+	copy(pending, g.InitDeps)
+	queue := make([]int32, 0, b.n)
+	for i := int32(0); i < int32(b.n); i++ {
+		if pending[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, s := range g.Succs[g.SuccOff[t]:g.SuccOff[t+1]] {
+			pending[s]--
+			if pending[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if seen != b.n {
+		return nil, fmt.Errorf("runtime: task graph has a dependency cycle (%d of %d tasks reachable)", seen, b.n)
+	}
+	return g, nil
+}
+
+// Run is one armed execution of a TaskGraph on a pool. Obtain with
+// Pool.NewRun, start with SubmitAll, join with Wait (external callers)
+// or WaitWorker (on a scheduler thread), then recycle with Release.
+// A Run is single-use per arming; NewRun re-arms a recycled one.
+type Run struct {
+	pool *Pool
+	g    *TaskGraph
+	body func(*Worker, int)
+
+	tasks     []Task
+	pending   []atomic.Int32
+	roots     []*Task
+	live      atomic.Int64
+	panicVal  atomic.Pointer[taskPanic]
+	submitted bool
+
+	mu sync.Mutex
+	cv *sync.Cond
+}
+
+// NewRun arms a (possibly recycled) Run for one execution of g: body is
+// invoked as body(worker, taskIndex) for every task, in dependency
+// order, with independent tasks running concurrently. Re-arming reuses
+// the Run's task and counter storage, so repeat executions of cached
+// graphs allocate nothing here.
+func (p *Pool) NewRun(g *TaskGraph, body func(*Worker, int)) *Run {
+	r := p.getRun()
+	n := g.Len()
+	r.g, r.body = g, body
+	if cap(r.tasks) < n {
+		r.tasks = make([]Task, n)
+		r.pending = make([]atomic.Int32, n)
+	}
+	r.tasks = r.tasks[:n]
+	r.pending = r.pending[:n]
+	for i := 0; i < n; i++ {
+		t := &r.tasks[i]
+		t.pool = p
+		t.runRef = r
+		t.runIdx = int32(i)
+		r.pending[i].Store(g.InitDeps[i])
+	}
+	r.live.Store(int64(n))
+	r.panicVal.Store(nil)
+	r.submitted = false
+	return r
+}
+
+// SubmitAll makes every dependency-free task of the run schedulable in
+// one batch (one queue-lock acquisition, one wake broadcast). When w is
+// a worker of the same pool — a nested invocation already on a
+// scheduler thread — roots go to its local deque instead, preserving
+// depth-first order. Submitting on a closed pool returns ErrPoolClosed
+// and schedules nothing.
+func (r *Run) SubmitAll(w *Worker) error {
+	if r.submitted {
+		panic("runtime: Run submitted twice")
+	}
+	r.submitted = true
+	if r.pool.closed.Load() {
+		// Nothing was queued: account the whole run as finished so Wait
+		// and Release stay usable on the error path.
+		r.live.Store(0)
+		return ErrPoolClosed
+	}
+	r.roots = r.roots[:0]
+	for i := range r.tasks {
+		if r.g.InitDeps[i] == 0 {
+			r.roots = append(r.roots, &r.tasks[i])
+		}
+	}
+	if w != nil && w.pool == r.pool {
+		for _, t := range r.roots {
+			w.deque.push(t)
+		}
+		r.pool.signalN(len(r.roots))
+		return nil
+	}
+	r.pool.injectBatch(r.roots)
+	return nil
+}
+
+// Done reports whether every task of the run has finished.
+func (r *Run) Done() bool { return r.live.Load() == 0 }
+
+// Wait blocks until the run completes. Call from outside the pool's
+// workers; a captured task panic is re-thrown here.
+func (r *Run) Wait() {
+	r.mu.Lock()
+	for r.live.Load() != 0 {
+		r.cv.Wait()
+	}
+	r.mu.Unlock()
+	r.rethrow()
+}
+
+// WaitWorker joins the run from a scheduler thread, helping execute
+// queued tasks instead of blocking the worker.
+func (r *Run) WaitWorker(w *Worker) {
+	w.helpUntil(r.Done)
+	r.rethrow()
+}
+
+func (r *Run) rethrow() {
+	if p := r.panicVal.Load(); p != nil {
+		panic(fmt.Sprintf("runtime: task graph run panicked: %v", p.val))
+	}
+}
+
+// Release recycles a completed run into the pool's free list.
+func (r *Run) Release() {
+	if r.live.Load() != 0 {
+		panic("runtime: Release of an unfinished Run")
+	}
+	r.g, r.body = nil, nil
+	r.pool.putRun(r)
+}
+
+// execTask runs one arena task's body and completes it.
+func (r *Run) execTask(t *Task, w *Worker) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.panicVal.CompareAndSwap(nil, &taskPanic{val: rec})
+		}
+		r.finishTask(t, w)
+	}()
+	r.body(w, int(t.runIdx))
+}
+
+// finishTask releases the task's successors and drops the live count,
+// waking Wait on the last one.
+func (r *Run) finishTask(t *Task, w *Worker) {
+	g := r.g
+	i := t.runIdx
+	for _, s := range g.Succs[g.SuccOff[i]:g.SuccOff[i+1]] {
+		if r.pending[s].Add(-1) == 0 {
+			r.tasks[s].enqueue(w)
+		}
+	}
+	if r.live.Add(-1) == 0 {
+		r.mu.Lock()
+		r.cv.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+func (p *Pool) getRun() *Run {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	if n := len(p.runFree); n > 0 {
+		r := p.runFree[n-1]
+		p.runFree = p.runFree[:n-1]
+		return r
+	}
+	r := &Run{pool: p}
+	r.cv = sync.NewCond(&r.mu)
+	return r
+}
+
+func (p *Pool) putRun(r *Run) {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	if len(p.runFree) < maxFreeRuns {
+		p.runFree = append(p.runFree, r)
+	}
+}
+
+// maxFreeRuns bounds the recycled-Run free list; beyond it runs are
+// dropped to the GC (each retains its task storage).
+const maxFreeRuns = 16

@@ -1,0 +1,211 @@
+package runtime
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// buildDiamond returns the 4-task diamond 0 → {1,2} → 3.
+func buildDiamond(t *testing.T) *TaskGraph {
+	t.Helper()
+	b := NewGraphBuilder(4)
+	b.Edge(0, 1)
+	b.Edge(0, 2)
+	b.Edge(1, 3)
+	b.Edge(2, 3)
+	// Duplicate edge: must be deduplicated, not double-counted.
+	b.Edge(0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunDiamondOrdering(t *testing.T) {
+	p := NewPool(4)
+	defer p.Shutdown()
+	g := buildDiamond(t)
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", g.Len())
+	}
+
+	for iter := 0; iter < 50; iter++ {
+		var seq atomic.Int64
+		order := make([]int64, 4)
+		r := p.NewRun(g, func(_ *Worker, i int) {
+			order[i] = seq.Add(1)
+		})
+		if err := r.SubmitAll(nil); err != nil {
+			t.Fatal(err)
+		}
+		r.Wait()
+		r.Release()
+		if order[0] >= order[1] || order[0] >= order[2] {
+			t.Fatalf("iter %d: task 0 did not run first: %v", iter, order)
+		}
+		if order[3] <= order[1] || order[3] <= order[2] {
+			t.Fatalf("iter %d: task 3 did not run last: %v", iter, order)
+		}
+	}
+}
+
+// TestRunRearmNoAlloc locks in the arena's contract: re-arming and
+// executing a cached graph allocates nothing (the Run, its task slots,
+// and its pending counters are all recycled).
+func TestRunRearmNoAlloc(t *testing.T) {
+	p := NewPool(1)
+	defer p.Shutdown()
+	g := buildDiamond(t)
+	var hits atomic.Int64
+	body := func(_ *Worker, i int) { hits.Add(1) }
+	// Warm the free list and the roots slice capacity.
+	for i := 0; i < 3; i++ {
+		r := p.NewRun(g, body)
+		if err := r.SubmitAll(nil); err != nil {
+			t.Fatal(err)
+		}
+		r.Wait()
+		r.Release()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r := p.NewRun(g, body)
+		if err := r.SubmitAll(nil); err != nil {
+			t.Fatal(err)
+		}
+		r.Wait()
+		r.Release()
+	})
+	if allocs > 0 {
+		t.Fatalf("re-armed run allocated %.1f objects per execution, want 0", allocs)
+	}
+	if hits.Load() == 0 {
+		t.Fatal("body never ran")
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	p := NewPool(2)
+	defer p.Shutdown()
+	g := buildDiamond(t)
+	r := p.NewRun(g, func(_ *Worker, i int) {
+		if i == 1 {
+			panic("boom in tile 1")
+		}
+	})
+	if err := r.SubmitAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("Wait did not rethrow the task panic")
+		}
+		if s, ok := rec.(string); !ok || !strings.Contains(s, "boom in tile 1") {
+			t.Fatalf("unexpected panic payload: %v", rec)
+		}
+	}()
+	r.Wait()
+}
+
+func TestRunSubmitAllClosedPool(t *testing.T) {
+	p := NewPool(1)
+	g := buildDiamond(t)
+	r := p.NewRun(g, func(*Worker, int) {})
+	p.Shutdown()
+	err := r.SubmitAll(nil)
+	if !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("SubmitAll on closed pool: err = %v, want ErrPoolClosed", err)
+	}
+	if !r.Done() {
+		t.Fatal("failed SubmitAll must leave the run Done so Release works")
+	}
+	r.Release()
+}
+
+func TestSubmitClosedPool(t *testing.T) {
+	p := NewPool(1)
+	tk := p.NewTask("late", func(*Worker) {})
+	p.Shutdown()
+	if err := p.Submit(tk); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit on closed pool: err = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestGraphBuilderCycle(t *testing.T) {
+	b := NewGraphBuilder(3)
+	b.Edge(0, 1)
+	b.Edge(1, 2)
+	b.Edge(2, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted a cyclic graph")
+	}
+}
+
+func TestGraphBuilderBadEdge(t *testing.T) {
+	b := NewGraphBuilder(2)
+	for _, e := range [][2]int{{-1, 0}, {0, 2}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Edge(%d,%d) did not panic", e[0], e[1])
+				}
+			}()
+			b.Edge(e[0], e[1])
+		}()
+	}
+}
+
+// TestRunWaitWorker joins a run from inside a pool worker, exercising
+// the helping path (a nested plan execution on a scheduler thread).
+func TestRunWaitWorker(t *testing.T) {
+	p := NewPool(2)
+	defer p.Shutdown()
+	g := buildDiamond(t)
+	var hits atomic.Int64
+	p.Run(func(w *Worker) {
+		r := p.NewRun(g, func(_ *Worker, _ int) { hits.Add(1) })
+		if err := r.SubmitAll(w); err != nil {
+			t.Error(err)
+			return
+		}
+		r.WaitWorker(w)
+		r.Release()
+	})
+	if hits.Load() != 4 {
+		t.Fatalf("hits = %d, want 4", hits.Load())
+	}
+}
+
+// TestRunConcurrent hammers independent runs of the same graph from
+// many goroutines; meaningful mainly under -race.
+func TestRunConcurrent(t *testing.T) {
+	p := NewPool(4)
+	defer p.Shutdown()
+	g := buildDiamond(t)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 50; j++ {
+				var n atomic.Int64
+				r := p.NewRun(g, func(_ *Worker, _ int) { n.Add(1) })
+				if err := r.SubmitAll(nil); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Wait()
+				r.Release()
+				if n.Load() != 4 {
+					t.Errorf("run executed %d tasks, want 4", n.Load())
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

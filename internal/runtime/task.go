@@ -23,6 +23,11 @@ type Task struct {
 	submitted atomic.Bool
 	doneCh    chan struct{}
 	panicVal  atomic.Pointer[taskPanic]
+
+	// Arena tasks (see run.go) carry their Run and slot index instead of
+	// fn/succs/doneCh; execute dispatches to the Run's body.
+	runRef *Run
+	runIdx int32
 }
 
 // taskPanic carries a recovered panic from a task to its waiter.
@@ -104,6 +109,13 @@ func (t *Task) enqueue(w *Worker) {
 }
 
 func (t *Task) execute(w *Worker) {
+	if r := t.runRef; r != nil {
+		// Arena task: the Run tracks dependencies in flat counters and
+		// captures panics itself; the per-task finish machinery (succs,
+		// doneCh) is never armed for these.
+		r.execTask(t, w)
+		return
+	}
 	defer func() {
 		// A panicking task must still complete, or every join waiting on
 		// it deadlocks; the panic is captured and re-thrown at the join.
