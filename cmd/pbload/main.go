@@ -1,0 +1,171 @@
+// Command pbload drives load against one or more pbserve nodes and
+// reports throughput, shed rate, and latency percentiles. It is the
+// measurement tool behind BENCH_serve.json: the same run against a
+// single node and a cluster shows what sharding and coalescing buy.
+//
+// Two modes:
+//
+//   - closed (default): -concurrency workers each keep exactly one
+//     request in flight. Measures saturated throughput.
+//   - open: requests start at a fixed -rate regardless of completions,
+//     the way real traffic arrives. Measures behavior under a target
+//     offered load, including shedding when the service can't keep up.
+//
+// Usage:
+//
+//	pbload -targets http://127.0.0.1:8600[,more...] [flags]
+//
+//	-targets list    comma-separated pbserve base URLs (round-robined)
+//	-program name    program to run (default sort)
+//	-n size          input size (default 4096)
+//	-seeds k         rotate request seeds over k values (default 16; 1 = identical requests)
+//	-mode m          closed | open (default closed)
+//	-concurrency c   closed-loop: in-flight requests (default 8)
+//	-rate r          open-loop: offered requests/second (default 50)
+//	-duration d      how long to drive load (default 10s)
+//	-timeout d       per-request timeout (default 30s)
+//	-json            emit the summary as JSON on stdout
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type runReq struct {
+	Program string `json:"program"`
+	N       int    `json:"n"`
+	Seed    int64  `json:"seed"`
+}
+
+type runResp struct {
+	ServedBy  string `json:"served_by"`
+	Coalesced bool   `json:"coalesced"`
+}
+
+func main() {
+	var (
+		targetsFlag = flag.String("targets", "http://127.0.0.1:8600", "comma-separated pbserve base URLs")
+		program     = flag.String("program", "sort", "program to run")
+		n           = flag.Int("n", 4096, "input size")
+		seeds       = flag.Int64("seeds", 16, "rotate seeds over this many values")
+		mode        = flag.String("mode", "closed", "closed | open")
+		concurrency = flag.Int("concurrency", 8, "closed-loop in-flight requests")
+		rate        = flag.Float64("rate", 50, "open-loop offered requests/second")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		asJSON      = flag.Bool("json", false, "emit the summary as JSON")
+	)
+	flag.Parse()
+
+	var targets []string
+	for _, t := range strings.Split(*targetsFlag, ",") {
+		if t = strings.TrimSpace(strings.TrimRight(t, "/")); t != "" {
+			targets = append(targets, t)
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "pbload: no targets")
+		os.Exit(1)
+	}
+	if *seeds < 1 {
+		*seeds = 1
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		seq     atomic.Int64
+	)
+	shoot := func() {
+		i := seq.Add(1)
+		target := targets[int(i)%len(targets)]
+		body, _ := json.Marshal(runReq{Program: *program, N: *n, Seed: i % *seeds})
+		start := time.Now()
+		var sm sample
+		resp, err := client.Post(target+"/v1/run", "application/json", bytes.NewReader(body))
+		sm.latency = time.Since(start)
+		if err == nil {
+			sm.status = resp.StatusCode
+			if resp.StatusCode == http.StatusOK {
+				var rr runResp
+				if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rr) == nil {
+					sm.forwarded = rr.ServedBy != "" && !strings.HasSuffix(rr.ServedBy, hostOf(target))
+					sm.coalesced = rr.Coalesced
+				}
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		mu.Lock()
+		samples = append(samples, sm)
+		mu.Unlock()
+	}
+
+	startAll := time.Now()
+	deadline := startAll.Add(*duration)
+	var wg sync.WaitGroup
+	switch *mode {
+	case "closed":
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					shoot()
+				}
+			}()
+		}
+	case "open":
+		interval := time.Duration(float64(time.Second) / *rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for time.Now().Before(deadline) {
+			<-tick.C
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				shoot()
+			}()
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "pbload: unknown -mode %q\n", *mode)
+		os.Exit(1)
+	}
+	wg.Wait()
+	elapsed := time.Since(startAll)
+
+	s := summarize(*mode, len(targets), *program, *n, elapsed, samples)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(s)
+	} else {
+		fmt.Print(s.text())
+	}
+	if s.OK == 0 {
+		os.Exit(1) // nothing succeeded; make scripts notice
+	}
+}
+
+// hostOf strips the scheme so served_by (a normalized cluster address)
+// can be compared against a target URL.
+func hostOf(target string) string {
+	if i := strings.Index(target, "://"); i >= 0 {
+		return target[i+3:]
+	}
+	return target
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// summary is the aggregate result of a load run, printable as text or
+// JSON (pbbench-style, so runs diff cleanly in version control).
+type summary struct {
+	Mode        string  `json:"mode"`
+	Targets     int     `json:"targets"`
+	Program     string  `json:"program"`
+	N           int     `json:"n"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Shed        int     `json:"shed"`
+	Errors      int     `json:"errors"`
+	Forwarded   int     `json:"forwarded"`
+	Coalesced   int     `json:"coalesced"`
+	Throughput  float64 `json:"throughput_rps"`
+	ShedRate    float64 `json:"shed_rate"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// sample is one request's outcome.
+type sample struct {
+	latency   time.Duration
+	status    int // HTTP status; 0 on transport error
+	forwarded bool
+	coalesced bool
+}
+
+// percentile returns the p-th percentile (0 <= p <= 100) of sorted
+// latencies using nearest-rank; zero on an empty slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// summarize folds samples into a summary. Latency percentiles cover
+// successful requests only — a shed response returns in microseconds
+// and would drag percentiles into meaninglessness.
+func summarize(mode string, targets int, program string, n int, elapsed time.Duration, samples []sample) summary {
+	s := summary{
+		Mode: mode, Targets: targets, Program: program, N: n,
+		DurationSec: elapsed.Seconds(), Requests: len(samples),
+	}
+	var okLat []time.Duration
+	for _, sm := range samples {
+		switch {
+		case sm.status == 200:
+			s.OK++
+			okLat = append(okLat, sm.latency)
+			if sm.forwarded {
+				s.Forwarded++
+			}
+			if sm.coalesced {
+				s.Coalesced++
+			}
+		case sm.status == 503:
+			s.Shed++
+		default:
+			s.Errors++
+		}
+	}
+	if elapsed > 0 {
+		s.Throughput = float64(s.OK) / elapsed.Seconds()
+	}
+	if s.Requests > 0 {
+		s.ShedRate = float64(s.Shed) / float64(s.Requests)
+	}
+	sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	s.P50Ms = ms(percentile(okLat, 50))
+	s.P95Ms = ms(percentile(okLat, 95))
+	s.P99Ms = ms(percentile(okLat, 99))
+	if len(okLat) > 0 {
+		s.MaxMs = ms(okLat[len(okLat)-1])
+	}
+	return s
+}
+
+func (s summary) text() string {
+	return fmt.Sprintf(
+		"pbload %s: %d reqs in %.1fs against %d node(s)\n"+
+			"  ok %d  shed %d (%.1f%%)  errors %d  forwarded %d  coalesced %d\n"+
+			"  throughput %.1f req/s\n"+
+			"  latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		s.Mode, s.Requests, s.DurationSec, s.Targets,
+		s.OK, s.Shed, 100*s.ShedRate, s.Errors, s.Forwarded, s.Coalesced,
+		s.Throughput, s.P50Ms, s.P95Ms, s.P99Ms, s.MaxMs)
+}

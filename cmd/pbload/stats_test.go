@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	if percentile(nil, 50) != 0 {
+		t.Fatal("empty slice percentile must be 0")
+	}
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond // 1..100ms, sorted
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(lat, c.p); got != c.want {
+			t.Errorf("p%g = %v, want %v", c.p, got, c.want)
+		}
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := percentile(one, p); got != 7*time.Millisecond {
+			t.Errorf("single-sample p%g = %v", p, got)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	samples := []sample{
+		{latency: 10 * time.Millisecond, status: 200},
+		{latency: 20 * time.Millisecond, status: 200, forwarded: true},
+		{latency: 30 * time.Millisecond, status: 200, coalesced: true},
+		{latency: 100 * time.Microsecond, status: 503}, // shed: excluded from percentiles
+		{latency: 5 * time.Second, status: 0},          // transport error
+	}
+	s := summarize("closed", 3, "sort", 4096, 2*time.Second, samples)
+	if s.Requests != 5 || s.OK != 3 || s.Shed != 1 || s.Errors != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.Forwarded != 1 || s.Coalesced != 1 {
+		t.Fatalf("forwarded/coalesced: %+v", s)
+	}
+	if s.Throughput != 1.5 {
+		t.Fatalf("throughput = %g, want 1.5", s.Throughput)
+	}
+	if s.ShedRate != 0.2 {
+		t.Fatalf("shed rate = %g, want 0.2", s.ShedRate)
+	}
+	// Percentiles cover only successful requests.
+	if s.P50Ms != 20 || s.MaxMs != 30 {
+		t.Fatalf("latency: p50=%g max=%g, want 20/30", s.P50Ms, s.MaxMs)
+	}
+	if s.text() == "" {
+		t.Fatal("empty text rendering")
+	}
+}

@@ -6,6 +6,11 @@
 // idle and promotes configurations only when measurably faster, so the
 // service speeds up the longer it runs.
 //
+// With -peers, pbserve joins a static cluster: (program, size-bucket)
+// shards are owned by exactly one node via consistent hashing, requests
+// are forwarded to their owner, and tuned configurations replicate
+// between peers so every node benefits from any node's tuning.
+//
 // Usage:
 //
 //	pbserve [-addr :8600] [-store pbserve.store.json] [flags]
@@ -23,13 +28,24 @@
 //	-retune d         idle re-tune check interval; 0 disables (default 2m)
 //	-pprof            mount net/http/pprof under /debug/pprof/
 //
-// API: POST /v1/run, POST /v1/tune, GET /v1/configs, GET /v1/stats,
-// GET /v1/programs, GET /metrics (Prometheus text format), GET
-// /healthz. See README "Running as a service" and "Observability".
+// Cluster flags:
+//
+//	-self addr        this node's address as peers reach it (e.g. http://10.0.0.1:8600)
+//	-peers list       comma-separated peer addresses, including self
+//	-peers-file file  JSON file holding the peer list (["addr", ...]); alternative to -peers
+//	-replicate d      config replication pull interval; <0 disables (default 5s)
+//	-coalesce d       micro-batch window for identical concurrent runs (default 0)
+//	-max-jobs n       bound on the async job store (default 256)
+//
+// API: POST /v1/run, POST /v1/tune, POST /v1/jobs, GET /v1/jobs/{id},
+// GET /v1/configs, GET /v1/stats, GET /v1/programs, GET /metrics
+// (Prometheus text format), GET /healthz. See README "Running as a
+// service", "Cluster mode", and "Observability".
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,10 +54,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"petabricks/internal/autotuner"
+	"petabricks/internal/cluster"
 	"petabricks/internal/configstore"
 	"petabricks/internal/obs"
 	"petabricks/internal/pbc/interp"
@@ -63,6 +81,13 @@ func main() {
 		tuneMax   = flag.Int64("tune-max", 4096, "default largest training size")
 		retune    = flag.Duration("retune", 2*time.Minute, "idle re-tune interval (0 disables)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		selfAddr  = flag.String("self", "", "this node's address as peers reach it")
+		peersFlag = flag.String("peers", "", "comma-separated peer addresses, including self")
+		peersFile = flag.String("peers-file", "", "JSON file with the peer list ([\"addr\", ...])")
+		replicate = flag.Duration("replicate", 5*time.Second, "config replication pull interval (<0 disables)")
+		coalesce  = flag.Duration("coalesce", 0, "micro-batch window for identical concurrent runs")
+		maxJobs   = flag.Int("max-jobs", cluster.DefaultMaxJobs, "bound on the async job store")
 	)
 	flag.Parse()
 
@@ -97,19 +122,37 @@ func main() {
 	interp.Instrument(metrics)
 	autotuner.Instrument(metrics)
 
+	peers, err := peerList(*peersFlag, *peersFile)
+	if err != nil {
+		fatal(err)
+	}
+	cl, err := cluster.New(cluster.Options{
+		Self:    *selfAddr,
+		Peers:   peers,
+		Logf:    log.Printf,
+		Metrics: metrics,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
 	srv, err := server.New(server.Options{
-		Pool:           pool,
-		Store:          store,
-		Registry:       reg,
-		MaxInflight:    *inflight,
-		MaxQueue:       *maxQueue,
-		QueueTimeout:   *queueTO,
-		MaxN:           *maxN,
-		TuneMax:        *tuneMax,
-		RetuneInterval: *retune,
-		Logf:           log.Printf,
-		Metrics:        metrics,
-		EnablePprof:    *pprofOn,
+		Pool:              pool,
+		Store:             store,
+		Registry:          reg,
+		MaxInflight:       *inflight,
+		MaxQueue:          *maxQueue,
+		QueueTimeout:      *queueTO,
+		MaxN:              *maxN,
+		TuneMax:           *tuneMax,
+		RetuneInterval:    *retune,
+		Logf:              log.Printf,
+		Metrics:           metrics,
+		EnablePprof:       *pprofOn,
+		Cluster:           cl,
+		ReplicateInterval: *replicate,
+		CoalesceWindow:    *coalesce,
+		MaxJobs:           *maxJobs,
 	})
 	if err != nil {
 		fatal(err)
@@ -118,6 +161,9 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
+	if cl.Enabled() {
+		log.Printf("pbserve: cluster mode, self=%s peers=%v", cl.Self(), peers)
+	}
 	log.Printf("pbserve: listening on %s (%d workers, %d programs, store %s, %d tuned configs)",
 		*addr, pool.NumWorkers(), len(reg.Names()), *storePath, store.Len())
 
@@ -134,8 +180,9 @@ func main() {
 	}
 
 	// Orderly shutdown: stop accepting connections and drain in-flight
-	// requests, stop the tuner and persist the store, then drain the
-	// worker pool so no goroutine leaks past exit.
+	// requests, stop the tuner and replicator, wait for async jobs,
+	// persist the store, then drain the worker pool so no goroutine
+	// leaks past exit.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
@@ -144,6 +191,35 @@ func main() {
 	srv.Close()
 	pool.Shutdown()
 	log.Printf("pbserve: stopped cleanly")
+}
+
+// peerList resolves cluster membership from -peers (comma-separated)
+// or -peers-file (a JSON array of addresses). At most one may be set.
+func peerList(flagVal, fileVal string) ([]string, error) {
+	if flagVal != "" && fileVal != "" {
+		return nil, errors.New("-peers and -peers-file are mutually exclusive")
+	}
+	if fileVal != "" {
+		raw, err := os.ReadFile(fileVal)
+		if err != nil {
+			return nil, fmt.Errorf("-peers-file: %w", err)
+		}
+		var peers []string
+		if err := json.Unmarshal(raw, &peers); err != nil {
+			return nil, fmt.Errorf("-peers-file %s: %w", fileVal, err)
+		}
+		return peers, nil
+	}
+	if flagVal == "" {
+		return nil, nil
+	}
+	var peers []string
+	for _, p := range strings.Split(flagVal, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"petabricks/internal/choice"
+	"petabricks/internal/configstore"
+)
+
+func TestClusterDisabled(t *testing.T) {
+	var nilC *Cluster
+	if nilC.Enabled() {
+		t.Fatal("nil cluster enabled")
+	}
+	if addr, local := nilC.Owner("k"); addr != "" || !local {
+		t.Fatalf("nil cluster owner = %q local=%v", addr, local)
+	}
+
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Enabled() {
+		t.Fatal("empty-peer cluster enabled")
+	}
+	if _, local := c.Owner("anything"); !local {
+		t.Fatal("disabled cluster must own every key locally")
+	}
+
+	// A single-member list naming only self is still single-node.
+	c1, err := New(Options{Self: "127.0.0.1:1", Peers: []string{"127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Enabled() {
+		t.Fatal("single-member cluster enabled")
+	}
+}
+
+func TestClusterSelfValidation(t *testing.T) {
+	if _, err := New(Options{Self: "", Peers: []string{"127.0.0.1:1"}}); err == nil {
+		t.Fatal("peers without self must fail")
+	}
+	if _, err := New(Options{Self: "127.0.0.1:9", Peers: []string{"127.0.0.1:1"}}); err == nil {
+		t.Fatal("self outside the peer list must fail")
+	}
+	// Address normalization applies before the membership check.
+	if _, err := New(Options{Self: "http://127.0.0.1:1/", Peers: []string{"127.0.0.1:1", "127.0.0.1:2"}}); err != nil {
+		t.Fatalf("normalized self should match: %v", err)
+	}
+}
+
+// TestForwardGuardHeader: a forwarded request carries the single-hop
+// guard and the peer's response comes back verbatim, status included.
+func TestForwardGuardHeader(t *testing.T) {
+	var sawHeader atomic.Value
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawHeader.Store(r.Header.Get(ForwardHeader))
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer peer.Close()
+
+	self := "http://127.0.0.1:1"
+	c, err := New(Options{Self: self, Peers: []string{self, peer.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body, err := c.Forward(context.Background(), NormalizeAddr(peer.URL), http.MethodPost, "/v1/run", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusTeapot || string(body) != `{"ok":true}` {
+		t.Fatalf("status %d body %q", status, body)
+	}
+	if got := sawHeader.Load(); got != self {
+		t.Fatalf("guard header = %v, want %s", got, self)
+	}
+}
+
+// TestForwardSuspect: two consecutive failures mark a peer suspect;
+// while suspect, forwards fail fast with ErrPeerUnavailable; after the
+// suspect window the peer is retried.
+func TestForwardSuspect(t *testing.T) {
+	dead := "http://127.0.0.1:1" // nothing listens there
+	self := "http://127.0.0.1:2"
+	c, err := New(Options{
+		Self:           self,
+		Peers:          []string{self, dead},
+		ForwardTimeout: 200 * time.Millisecond,
+		SuspectFor:     100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One Forward = two attempts (retry-once) = two failures = suspect.
+	if _, _, err := c.Forward(context.Background(), dead, http.MethodPost, "/x", nil); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("want ErrPeerUnavailable, got %v", err)
+	}
+	if !c.Suspect(dead) {
+		t.Fatal("peer should be suspect after two failures")
+	}
+	start := time.Now()
+	if _, _, err := c.Forward(context.Background(), dead, http.MethodPost, "/x", nil); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("want fast ErrPeerUnavailable, got %v", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("suspect peer did not fail fast")
+	}
+	time.Sleep(120 * time.Millisecond)
+	if c.Suspect(dead) {
+		t.Fatal("suspect state should expire")
+	}
+}
+
+// TestReplicatorPull: a node merges a peer's cheaper config, skips
+// refetching on an unchanged digest, and ignores junk entries.
+func TestReplicatorPull(t *testing.T) {
+	// Local store with an expensive incumbent for one key.
+	store, err := configstore.Open("", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := configstore.Key{Program: "sort", Bucket: 8, Workers: 4}
+	slow := choice.NewConfig()
+	slow.SetInt("sort.seqcutoff", 64)
+	store.Put(k, slow, 2.0, time.Now())
+
+	// Fake peer with a faster config for the same key and a new key.
+	fast := choice.NewConfig()
+	fast.SetInt("sort.seqcutoff", 512)
+	peerEntries := []ConfigWire{
+		{Key: "sort/b8/w4", Program: "sort", Bucket: 8, Workers: 4, Cost: 1.0,
+			TunedAt: time.Now(), Config: RenderConfigLines(fast)},
+		{Key: "matmul/b6/w4", Program: "matmul", Bucket: 6, Workers: 4, Cost: 0.5,
+			TunedAt: time.Now(), Config: RenderConfigLines(fast)},
+		{Key: "junk", Program: "junk", Bucket: 1, Workers: 1, Cost: 0.1,
+			TunedAt: time.Now(), Config: []string{"§ not a config"}},
+	}
+	var digestCalls, fullCalls atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp := ConfigsResponse{Digest: "abc123"}
+		if r.URL.Query().Get("digest") != "" {
+			digestCalls.Add(1)
+		} else {
+			fullCalls.Add(1)
+			resp.Entries = peerEntries
+		}
+		json.NewEncoder(w).Encode(resp)
+	}))
+	defer peer.Close()
+
+	self := "http://127.0.0.1:1"
+	c, err := New(Options{Self: self, Peers: []string{self, peer.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplicator(c, store, time.Hour, 0.02, t.Logf)
+
+	merged := r.PullOnce(context.Background())
+	if merged != 2 {
+		t.Fatalf("merged %d entries, want 2 (faster sort + new matmul)", merged)
+	}
+	if _, cost, ok := store.Get(k); !ok || cost != 1.0 {
+		t.Fatalf("sort entry not replaced: cost=%v ok=%v", cost, ok)
+	}
+	if _, _, ok := store.Get(configstore.Key{Program: "matmul", Bucket: 6, Workers: 4}); !ok {
+		t.Fatal("new matmul entry not merged")
+	}
+	if _, _, ok := store.Get(configstore.Key{Program: "junk", Bucket: 1, Workers: 1}); ok {
+		t.Fatal("unparseable entry must not be merged")
+	}
+
+	// Second round: digest unchanged, no full fetch, nothing merged.
+	if merged := r.PullOnce(context.Background()); merged != 0 {
+		t.Fatalf("second round merged %d", merged)
+	}
+	if fullCalls.Load() != 1 {
+		t.Fatalf("full snapshot fetched %d times, want 1 (digest should short-circuit)", fullCalls.Load())
+	}
+	if digestCalls.Load() != 2 {
+		t.Fatalf("digest fetched %d times, want 2", digestCalls.Load())
+	}
+	if r.Merged() != 2 {
+		t.Fatalf("Merged() = %d", r.Merged())
+	}
+}
+
+// TestReplicatorNoPingPong: two stores replicating from each other
+// converge — once equal, further rounds merge nothing (the merge rule
+// requires a strict cost improvement).
+func TestReplicatorNoPingPong(t *testing.T) {
+	storeA, _ := configstore.Open("", 16)
+	storeB, _ := configstore.Open("", 16)
+	cfg := choice.NewConfig()
+	cfg.SetInt("sort.seqcutoff", 128)
+	k := configstore.Key{Program: "sort", Bucket: 8, Workers: 4}
+	tunedAt := time.Now()
+	storeA.Put(k, cfg, 1.0, tunedAt)
+
+	serve := func(st *configstore.Store) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			resp := ConfigsResponse{Digest: DigestString(st.Digest())}
+			if r.URL.Query().Get("digest") == "" {
+				resp.Entries = EncodeConfigs(st.Snapshot())
+			}
+			json.NewEncoder(w).Encode(resp)
+		}))
+	}
+	srvA, srvB := serve(storeA), serve(storeB)
+	defer srvA.Close()
+	defer srvB.Close()
+
+	cA, err := New(Options{Self: srvA.URL, Peers: []string{srvA.URL, srvB.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cB, err := New(Options{Self: srvB.URL, Peers: []string{srvA.URL, srvB.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA := NewReplicator(cA, storeA, time.Hour, 0.02, t.Logf)
+	repB := NewReplicator(cB, storeB, time.Hour, 0.02, t.Logf)
+
+	if n := repB.PullOnce(context.Background()); n != 1 {
+		t.Fatalf("B's first pull merged %d, want 1", n)
+	}
+	if storeA.Digest() != storeB.Digest() {
+		t.Fatalf("digests differ after replication: %x vs %x", storeA.Digest(), storeB.Digest())
+	}
+	for round := 0; round < 3; round++ {
+		if n := repA.PullOnce(context.Background()); n != 0 {
+			t.Fatalf("round %d: A merged %d after convergence", round, n)
+		}
+		if n := repB.PullOnce(context.Background()); n != 0 {
+			t.Fatalf("round %d: B merged %d after convergence", round, n)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"petabricks/internal/obs"
+)
+
+// JobState is one async job's lifecycle state. Transitions are
+// strictly pending → running → (done | failed); anything else is a
+// programming error and is rejected.
+type JobState string
+
+const (
+	JobPending JobState = "pending"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s == JobDone || s == JobFailed }
+
+// Job is one async execution tracked by the store. Fields are
+// snapshots — the store hands out copies, never shared pointers.
+type Job struct {
+	ID       string    `json:"id"`
+	State    JobState  `json:"state"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+	// Request echoes the submitted payload for debuggability.
+	Request any `json:"request,omitempty"`
+	// Result holds the run response once State == done.
+	Result any `json:"result,omitempty"`
+	// Error holds the failure message once State == failed.
+	Error string `json:"error,omitempty"`
+}
+
+// ErrJobStoreFull is returned by Create when the store holds max
+// non-terminal jobs: finished jobs can be evicted to make room, live
+// ones cannot, so the caller must shed.
+var ErrJobStoreFull = errors.New("cluster: job store full")
+
+// DefaultMaxJobs bounds the job store when Options pass <= 0.
+const DefaultMaxJobs = 256
+
+// JobStore is a bounded, concurrency-safe store of async jobs. When
+// full it evicts the oldest terminal job; if every slot holds a live
+// job, Create sheds with ErrJobStoreFull — the store can never grow
+// without bound nor forget a job a client might still be driving.
+type JobStore struct {
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // creation order, for eviction
+	max   int
+	seq   uint64
+
+	created atomic64
+	evicted atomic64
+	done    atomic64
+	failed  atomic64
+}
+
+// atomic64 is a tiny counter guarded by the store's mutex; both add
+// and load run under s.mu.
+type atomic64 struct{ v int64 }
+
+func (a *atomic64) add(n int64) { a.v += n }
+func (a *atomic64) load() int64 { return a.v }
+
+// NewJobStore builds a store bounded to max jobs (<= 0: DefaultMaxJobs).
+func NewJobStore(max int) *JobStore {
+	if max <= 0 {
+		max = DefaultMaxJobs
+	}
+	return &JobStore{jobs: map[string]*Job{}, max: max}
+}
+
+// Create registers a new pending job for request and returns its
+// snapshot.
+func (s *JobStore) Create(request any, now time.Time) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.jobs) >= s.max && !s.evictOldestTerminal() {
+		return Job{}, ErrJobStoreFull
+	}
+	s.seq++
+	id := fmt.Sprintf("job-%d-%08x", s.seq, hash64(fmt.Sprintf("%d/%d", s.seq, now.UnixNano()))&0xffffffff)
+	j := &Job{ID: id, State: JobPending, Created: now, Request: request}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.created.add(1)
+	return *j, nil
+}
+
+// evictOldestTerminal removes the oldest finished job; caller holds
+// s.mu. Reports whether a slot was freed.
+func (s *JobStore) evictOldestTerminal() bool {
+	for i, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if j.State.Terminal() {
+			delete(s.jobs, id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			s.evicted.add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns a snapshot of the job, if present.
+func (s *JobStore) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Start moves id from pending to running.
+func (s *JobStore) Start(id string, now time.Time) error {
+	return s.transition(id, JobPending, JobRunning, now, nil, "")
+}
+
+// Finish moves id from running to done with its result.
+func (s *JobStore) Finish(id string, result any, now time.Time) error {
+	return s.transition(id, JobRunning, JobDone, now, result, "")
+}
+
+// Fail moves id from pending or running to failed. (A job can fail
+// before it starts — e.g. admission shed during drain.)
+func (s *JobStore) Fail(id string, msg string, now time.Time) error {
+	if err := s.transition(id, JobRunning, JobFailed, now, nil, msg); err == nil {
+		return nil
+	}
+	return s.transition(id, JobPending, JobFailed, now, nil, msg)
+}
+
+func (s *JobStore) transition(id string, from, to JobState, now time.Time, result any, errMsg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("cluster: job %s not found", id)
+	}
+	if j.State != from {
+		return fmt.Errorf("cluster: job %s is %s, not %s", id, j.State, from)
+	}
+	j.State = to
+	switch to {
+	case JobRunning:
+		j.Started = now
+	case JobDone:
+		j.Finished = now
+		j.Result = result
+		s.done.add(1)
+	case JobFailed:
+		j.Finished = now
+		j.Error = errMsg
+		s.failed.add(1)
+	}
+	return nil
+}
+
+// Len returns the number of tracked jobs.
+func (s *JobStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// Live returns how many jobs are pending or running.
+func (s *JobStore) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if !j.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats summarizes the store for /v1/stats.
+func (s *JobStore) Stats() map[string]any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byState := map[JobState]int{}
+	for _, j := range s.jobs {
+		byState[j.State]++
+	}
+	return map[string]any{
+		"tracked": len(s.jobs),
+		"pending": byState[JobPending],
+		"running": byState[JobRunning],
+		"done":    byState[JobDone],
+		"failed":  byState[JobFailed],
+		"created": s.created.load(),
+		"evicted": s.evicted.load(),
+	}
+}
+
+// Instrument registers job counters and gauges.
+func (s *JobStore) Instrument(reg *obs.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	counter := func(a *atomic64) func() int64 {
+		return func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return a.load()
+		}
+	}
+	reg.CounterFunc("pb_jobs_total", "Async jobs by outcome.", counter(&s.created), obs.L("event", "created"))
+	reg.CounterFunc("pb_jobs_total", "Async jobs by outcome.", counter(&s.done), obs.L("event", "done"))
+	reg.CounterFunc("pb_jobs_total", "Async jobs by outcome.", counter(&s.failed), obs.L("event", "failed"))
+	reg.CounterFunc("pb_jobs_total", "Async jobs by outcome.", counter(&s.evicted), obs.L("event", "evicted"))
+	reg.GaugeFunc("pb_jobs_live", "Jobs pending or running.", func() float64 { return float64(s.Live()) })
+}

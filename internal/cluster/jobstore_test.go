@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJobStateMachine(t *testing.T) {
+	s := NewJobStore(8)
+	now := time.Now()
+	j, err := s.Create(map[string]any{"program": "sort"}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != JobPending {
+		t.Fatalf("new job state %s", j.State)
+	}
+
+	// done before running is illegal.
+	if err := s.Finish(j.ID, nil, now); err == nil {
+		t.Fatal("Finish on a pending job must fail")
+	}
+	if err := s.Start(j.ID, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(j.ID, now); err == nil {
+		t.Fatal("double Start must fail")
+	}
+	if err := s.Finish(j.ID, "res", now); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(j.ID)
+	if !ok || got.State != JobDone || got.Result != "res" {
+		t.Fatalf("job after finish: %+v ok=%v", got, ok)
+	}
+	// Terminal states are final.
+	if err := s.Fail(j.ID, "late", now); err == nil {
+		t.Fatal("Fail on a done job must fail")
+	}
+
+	// Failing straight from pending is legal (shed before start).
+	j2, _ := s.Create(nil, now)
+	if err := s.Fail(j2.ID, "shed", now); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := s.Get(j2.ID)
+	if got2.State != JobFailed || got2.Error != "shed" {
+		t.Fatalf("job2: %+v", got2)
+	}
+}
+
+func TestJobStoreBound(t *testing.T) {
+	s := NewJobStore(3)
+	now := time.Now()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, err := s.Create(i, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	// Full of live jobs: creation sheds.
+	if _, err := s.Create("overflow", now); !errors.Is(err, ErrJobStoreFull) {
+		t.Fatalf("want ErrJobStoreFull, got %v", err)
+	}
+	// Finish the oldest; the next create evicts it.
+	if err := s.Start(ids[0], now); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finish(ids[0], nil, now); err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create("fits-now", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(ids[0]); ok {
+		t.Fatal("oldest terminal job should have been evicted")
+	}
+	if _, ok := s.Get(j.ID); !ok {
+		t.Fatal("new job missing")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len %d, want 3", s.Len())
+	}
+}
+
+// TestJobStoreConcurrent drives many jobs through the full state
+// machine from concurrent goroutines; run under -race this is the
+// store's thread-safety check.
+func TestJobStoreConcurrent(t *testing.T) {
+	s := NewJobStore(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				now := time.Now()
+				j, err := s.Create(fmt.Sprintf("g%d-i%d", g, i), now)
+				if err != nil {
+					continue // store momentarily full of live jobs
+				}
+				if err := s.Start(j.ID, now); err != nil {
+					t.Errorf("start: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					s.Fail(j.ID, "x", now)
+				} else {
+					s.Finish(j.ID, i, now)
+				}
+				s.Get(j.ID)
+				s.Live()
+				s.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st["running"].(int) != 0 || st["pending"].(int) != 0 {
+		t.Fatalf("jobs left live after drain: %v", st)
+	}
+}
+
+func TestJobIDsUnique(t *testing.T) {
+	s := NewJobStore(0)
+	now := time.Now()
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		j, err := s.Create(nil, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[j.ID] {
+			t.Fatalf("duplicate job id %s", j.ID)
+		}
+		seen[j.ID] = true
+		s.Start(j.ID, now)
+		s.Finish(j.ID, nil, now)
+	}
+}

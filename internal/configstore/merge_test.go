@@ -1,0 +1,157 @@
+package configstore
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLookupEdgeCases(t *testing.T) {
+	s, _ := Open("", 10)
+	// Empty store: miss, no panic.
+	if _, _, ok := s.Lookup("sort", 100, 8); ok {
+		t.Fatal("empty store lookup must miss")
+	}
+	// Size below the smallest stored bucket still matches it.
+	s.Put(Key{"sort", 9, 8}, cfgWith(9), 1, time.Unix(1, 0))
+	_, k, ok := s.Lookup("sort", 1, 8) // bucket 0
+	if !ok || k.Bucket != 9 {
+		t.Fatalf("below-smallest lookup: %v ok=%v, want bucket 9", k, ok)
+	}
+	// Size far above the largest stored bucket matches it too.
+	_, k, ok = s.Lookup("sort", 1<<30, 8)
+	if !ok || k.Bucket != 9 {
+		t.Fatalf("above-largest lookup: %v ok=%v, want bucket 9", k, ok)
+	}
+}
+
+// TestLookupDeterministicTieBreak: with candidates equidistant in both
+// bucket and workers, the result is a fixed total order (larger bucket,
+// then closest workers, then wider pool) — never map-iteration luck.
+func TestLookupDeterministicTieBreak(t *testing.T) {
+	mk := func() *Store {
+		s, _ := Open("", 10)
+		s.Put(Key{"sort", 10, 2}, cfgWith(10), 1, time.Unix(1, 0))
+		s.Put(Key{"sort", 14, 6}, cfgWith(14), 1, time.Unix(1, 0))
+		return s
+	}
+	// Want bucket 12, workers 4: both entries are 2 buckets away and 2
+	// workers away. The larger bucket must win, every time.
+	for i := 0; i < 50; i++ {
+		_, k, ok := mk().Lookup("sort", 1<<12, 4)
+		if !ok || k.Bucket != 14 {
+			t.Fatalf("iteration %d: got %v, want bucket 14 (deterministic tie-break)", i, k)
+		}
+	}
+	// Same bucket, both off-width: the closest worker count wins.
+	s, _ := Open("", 10)
+	s.Put(Key{"sort", 10, 3}, cfgWith(10), 1, time.Unix(1, 0))
+	s.Put(Key{"sort", 10, 16}, cfgWith(10), 1, time.Unix(1, 0))
+	_, k, _ := s.Lookup("sort", 1<<10, 4)
+	if k.Workers != 3 {
+		t.Fatalf("got workers %d, want 3 (closer to requested 4)", k.Workers)
+	}
+	// Same bucket, equal worker distance: the wider pool wins.
+	s.Put(Key{"sort", 10, 5}, cfgWith(10), 1, time.Unix(1, 0))
+	_, k, _ = s.Lookup("sort", 1<<10, 4)
+	if k.Workers != 5 {
+		t.Fatalf("got workers %d, want 5 (wider pool on exact tie)", k.Workers)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	s, _ := Open("", 10)
+	k := Key{"sort", 10, 8}
+	peerTime := time.Unix(100, 0)
+
+	entryFor := func(k Key) (Entry, bool) {
+		for _, e := range s.Snapshot() {
+			if e.Key == k {
+				return e, true
+			}
+		}
+		return Entry{}, false
+	}
+
+	// Merge into an empty slot always accepts.
+	if !s.Merge(k, cfgWith(1), 1.0, peerTime, 0.02) {
+		t.Fatal("merge into empty slot must accept")
+	}
+	got, ok := entryFor(k)
+	if !ok || !got.TunedAt.Equal(peerTime) {
+		t.Fatalf("merge must preserve the peer's TunedAt: %+v", got)
+	}
+
+	// Within the margin: reject (avoids replication ping-pong on noise).
+	if s.Merge(k, cfgWith(2), 0.99, peerTime, 0.02) {
+		t.Fatal("1% improvement within 2% margin must be rejected")
+	}
+	// Slower: reject.
+	if s.Merge(k, cfgWith(3), 1.5, peerTime, 0.02) {
+		t.Fatal("slower config must be rejected")
+	}
+	// Clearly faster: accept, and hit count carries over.
+	s.Lookup("sort", 1<<10, 8)
+	s.Lookup("sort", 1<<10, 8)
+	if !s.Merge(k, cfgWith(4), 0.5, time.Unix(200, 0), 0.02) {
+		t.Fatal("2x faster merge must accept")
+	}
+	got, _ = entryFor(k)
+	if got.Cost != 0.5 || got.Hits != 2 {
+		t.Fatalf("after merge: cost=%g hits=%d, want 0.5 and 2", got.Cost, got.Hits)
+	}
+	if s.Stats().Merges != 2 {
+		t.Fatalf("merge stat = %d, want 2", s.Stats().Merges)
+	}
+
+	// The merged config is cloned: mutating the caller's copy afterwards
+	// must not leak into the store.
+	mine := cfgWith(5)
+	s.Merge(Key{"sort", 11, 8}, mine, 1.0, peerTime, 0.02)
+	mine.SetInt("sort.seqcutoff", 777)
+	stored, _, _ := s.Get(Key{"sort", 11, 8})
+	if stored.Int("sort.seqcutoff", 0) != 5 {
+		t.Fatal("merge aliased the caller's config")
+	}
+}
+
+func TestMergeRespectsCapacity(t *testing.T) {
+	s, _ := Open("", 2)
+	now := time.Unix(1, 0)
+	s.Put(Key{"a", 1, 1}, cfgWith(1), 1, now)
+	s.Put(Key{"b", 1, 1}, cfgWith(1), 1, now)
+	s.Merge(Key{"c", 1, 1}, cfgWith(1), 1, now, 0.02)
+	if s.Len() != 2 {
+		t.Fatalf("merge overflowed capacity: len=%d", s.Len())
+	}
+}
+
+func TestDigest(t *testing.T) {
+	s, _ := Open("", 10)
+	empty := s.Digest()
+
+	now := time.Unix(50, 0)
+	s.Put(Key{"sort", 10, 8}, cfgWith(1), 1.0, now)
+	one := s.Digest()
+	if one == empty {
+		t.Fatal("digest must change when an entry is added")
+	}
+	// Same content in another store -> same digest (order-independent).
+	s2, _ := Open("", 10)
+	s2.Put(Key{"matmul", 5, 4}, cfgWith(2), 2.0, now)
+	s2.Put(Key{"sort", 10, 8}, cfgWith(1), 1.0, now)
+	s.Put(Key{"matmul", 5, 4}, cfgWith(2), 2.0, now)
+	if s.Digest() != s2.Digest() {
+		t.Fatal("digest must be independent of insertion order")
+	}
+	// Cost change -> digest change.
+	s.Put(Key{"sort", 10, 8}, cfgWith(1), 0.5, now)
+	if s.Digest() == s2.Digest() {
+		t.Fatal("digest must change when a cost changes")
+	}
+	// Hits do not affect the digest (they are node-local state).
+	before := s2.Digest()
+	s2.Lookup("sort", 1<<10, 8)
+	if s2.Digest() != before {
+		t.Fatal("digest must ignore hit counts")
+	}
+}

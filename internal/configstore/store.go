@@ -13,6 +13,8 @@ package configstore
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -79,6 +81,8 @@ type Stats struct {
 	Rejections int64 `json:"rejections"`
 	Evictions  int64 `json:"evictions"`
 	Saves      int64 `json:"saves"`
+	// Merges counts entries accepted from peers via Merge (replication).
+	Merges int64 `json:"merges"`
 }
 
 // Store is the concurrency-safe config store. The zero value is not
@@ -133,37 +137,26 @@ func (s *Store) Get(k Key) (*choice.Config, float64, bool) {
 // Lookup finds the best stored configuration for (program, size,
 // workers): the exact bucket when present, otherwise the nearest bucket
 // for the same program — preferring entries tuned for the same worker
-// count, then minimal bucket distance, larger buckets winning ties
-// (a configuration tuned at a larger size degrades more gracefully
-// than one tuned smaller). Returns a clone of the config and the key of
-// the entry that served it.
+// count, then minimal bucket distance, larger buckets winning distance
+// ties (a configuration tuned at a larger size degrades more gracefully
+// than one tuned smaller). Every remaining tie breaks deterministically
+// (closest worker count, then wider pools, then key order), so two
+// lookups of the same store always serve the same entry — an empty
+// store, a size below the smallest tuned bucket, and equidistant
+// buckets are all well-defined, not map-iteration roulette. Returns a
+// clone of the config and the key of the entry that served it; callers
+// can compare key.Bucket against Bucket(size) to see how far the match
+// stretched.
 func (s *Store) Lookup(program string, size int64, workers int) (*choice.Config, Key, bool) {
 	want := KeyFor(program, size, workers)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var best *Entry
-	bestScore := 1 << 60
-	for k, e := range s.entries {
-		if k.Program != program {
+	for _, e := range s.entries {
+		if e.Key.Program != program {
 			continue
 		}
-		d := k.Bucket - want.Bucket
-		if d < 0 {
-			d = -d
-		}
-		// Same-workers entries always beat different-workers ones; among
-		// equals, smaller bucket distance wins; among those, the larger
-		// bucket (encoded by subtracting a half point for k.Bucket >=
-		// want.Bucket via the *2 scale).
-		score := d * 4
-		if k.Bucket < want.Bucket {
-			score++ // prefer the larger-size neighbour on distance ties
-		}
-		if k.Workers != workers {
-			score += 1 << 20
-		}
-		if score < bestScore {
-			bestScore = score
+		if best == nil || lookupBetter(e.Key, best.Key, want) {
 			best = e
 		}
 	}
@@ -176,6 +169,38 @@ func (s *Store) Lookup(program string, size int64, workers int) (*choice.Config,
 	best.Hits++
 	s.stats.Hits++
 	return best.Cfg.Clone(), best.Key, true
+}
+
+// lookupBetter reports whether candidate a serves want better than the
+// incumbent b. The ordering is total, so the winner never depends on
+// map iteration order.
+func lookupBetter(a, b, want Key) bool {
+	// 1. Entries tuned for the requested pool width beat all others.
+	if am, bm := a.Workers == want.Workers, b.Workers == want.Workers; am != bm {
+		return am
+	}
+	// 2. Smaller size-bucket distance wins.
+	if ad, bd := absInt(a.Bucket-want.Bucket), absInt(b.Bucket-want.Bucket); ad != bd {
+		return ad < bd
+	}
+	// 3. Equidistant buckets: the larger one wins (tuned-at-larger-size
+	// configurations degrade more gracefully when shrunk).
+	if a.Bucket != b.Bucket {
+		return a.Bucket > b.Bucket
+	}
+	// 4. Same bucket, both off-width: the closest worker count wins,
+	// wider pools breaking exact ties.
+	if ad, bd := absInt(a.Workers-want.Workers), absInt(b.Workers-want.Workers); ad != bd {
+		return ad < bd
+	}
+	return a.Workers > b.Workers
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // Put installs cfg for k unconditionally (cloned on the way in),
@@ -214,6 +239,12 @@ func (s *Store) put(k Key, cfg *choice.Config, cost float64, now time.Time) {
 		e.Hits = prev.Hits
 	}
 	s.entries[k] = e
+	s.evictOverflow()
+}
+
+// evictOverflow drops least-recently-used entries until the bound
+// holds; caller holds s.mu.
+func (s *Store) evictOverflow() {
 	for len(s.entries) > s.max {
 		var victim *Entry
 		for _, cand := range s.entries {
@@ -224,6 +255,52 @@ func (s *Store) put(k Key, cfg *choice.Config, cost float64, now time.Time) {
 		delete(s.entries, victim.Key)
 		s.stats.Evictions++
 	}
+}
+
+// Merge installs a configuration learned elsewhere (a replication
+// peer) under the promote-if-faster rule: accept when no local entry
+// exists for k, or when cost undercuts the local entry's recorded cost
+// by at least margin. Unlike Promote, no re-measurement happens —
+// replication trusts the peer's recorded cost, which holds on the
+// homogeneous clusters this targets — and tunedAt is preserved from
+// the peer so provenance survives the hop. Reports whether the entry
+// was accepted.
+func (s *Store) Merge(k Key, cfg *choice.Config, cost float64, tunedAt time.Time, margin float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if local, ok := s.entries[k]; ok {
+		if cost >= local.Cost*(1-margin) {
+			return false
+		}
+	}
+	s.clock++
+	prev := s.entries[k]
+	e := &Entry{Key: k, Cfg: cfg.Clone(), Cost: cost, TunedAt: tunedAt, seq: s.clock}
+	if prev != nil {
+		e.Hits = prev.Hits
+	}
+	s.entries[k] = e
+	s.evictOverflow()
+	s.stats.Merges++
+	return true
+}
+
+// Digest returns a hash of the store's logical content (keys, costs,
+// tuned-at stamps). Two stores with the same tuned state have the same
+// digest, so replication peers can skip fetching full snapshots when
+// nothing changed. The hash is order-independent (entries XOR in), so
+// it is stable across save/load cycles and map iteration order.
+func (s *Store) Digest() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var d uint64
+	for k, e := range s.entries {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s/b%d/w%d|%x|%d", k.Program, k.Bucket, k.Workers,
+			math.Float64bits(e.Cost), e.TunedAt.UnixNano())
+		d ^= h.Sum64()
+	}
+	return d
 }
 
 // Snapshot returns the entries sorted by key for reporting.
@@ -365,15 +442,6 @@ func (s *Store) load() error {
 		s.entries[k] = &Entry{Key: k, Cfg: cfg, Cost: fe.Cost, TunedAt: fe.TunedAt, seq: s.clock}
 	}
 	// Respect the bound even if the file holds more than max entries.
-	for len(s.entries) > s.max {
-		var victim *Entry
-		for _, cand := range s.entries {
-			if victim == nil || cand.seq < victim.seq {
-				victim = cand
-			}
-		}
-		delete(s.entries, victim.Key)
-		s.stats.Evictions++
-	}
+	s.evictOverflow()
 	return nil
 }

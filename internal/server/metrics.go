@@ -59,6 +59,13 @@ func (s *Server) instrument() {
 	reg.CounterFunc("pb_server_tune_jobs_total", "Background tune jobs by outcome.", t.rejected.Load, obs.L("outcome", "rejected"))
 	reg.CounterFunc("pb_server_tune_jobs_total", "Background tune jobs by outcome.", t.failed.Load, obs.L("outcome", "failed"))
 	reg.CounterFunc("pb_server_tune_idle_runs_total", "Idle re-tune jobs started.", t.idleRuns.Load)
+
+	// Cluster-layer metrics: coalescing, async jobs, replication. The
+	// cluster's own forward/suspect counters register in cluster.New,
+	// which shares this registry in cmd/pbserve.
+	s.coalescer.Instrument(reg)
+	s.jobs.Instrument(reg)
+	s.replic.Instrument(reg)
 }
 
 // retryAfterSeconds is the hint sent with load-shedding responses: the

@@ -7,26 +7,39 @@
 // bucket) keys in the background so the service gets faster the longer
 // it runs.
 //
+// In cluster mode (Options.Cluster) the server additionally routes
+// each request to the consistent-hash owner of its (program,
+// size-bucket) key, coalesces concurrent identical small runs into one
+// execution, serves an async job API for large inputs, and pulls
+// peers' tuned configurations into the local store. See README
+// "Cluster mode".
+//
 // API:
 //
-//	POST /v1/run     {"program","n","seed","acc"}        execute once
-//	POST /v1/tune    {"program","n","max","wait"}        (re)tune
-//	GET  /v1/configs                                     stored configs
+//	POST /v1/run       {"program","n","seed","acc"}      execute once
+//	POST /v1/tune      {"program","n","max","wait"}      (re)tune
+//	POST /v1/jobs      {"program","n","seed","acc"}      submit async job
+//	GET  /v1/jobs/{id}                                   poll job state
+//	GET  /v1/configs   [?digest=1 | ?program=&n=]        stored configs
 //	GET  /v1/stats                                       counters
 //	GET  /v1/programs                                    registered programs
 //	GET  /healthz                                        liveness
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"petabricks/internal/bench"
+	"petabricks/internal/choice"
+	"petabricks/internal/cluster"
 	"petabricks/internal/configstore"
 	"petabricks/internal/obs"
 	"petabricks/internal/runtime"
@@ -73,6 +86,29 @@ type Options struct {
 	Metrics *obs.Registry
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (opt-in).
 	EnablePprof bool
+
+	// Cluster enables multi-node mode: requests whose (program,
+	// size-bucket) shard key is owned by a peer are forwarded there, and
+	// the replicator pulls peers' tuned configs into the local store.
+	// Nil (or a single-member cluster) preserves single-node behavior.
+	Cluster *cluster.Cluster
+	// ReplicateInterval is how often tuned configurations are pulled
+	// from peers. Default 5s; negative disables replication. Ignored
+	// without a Cluster.
+	ReplicateInterval time.Duration
+	// CoalesceWindow is the micro-batch window a coalescing leader
+	// lingers so identical requests arriving just behind it pile onto
+	// one execution. A positive window enables coalescing anywhere; 0
+	// (default) collapses concurrent duplicates with no added latency
+	// but only in cluster mode — single-node behavior stays untouched
+	// unless explicitly opted in. Negative disables coalescing.
+	CoalesceWindow time.Duration
+	// CoalesceMaxN caps the input size eligible for coalescing — large
+	// runs are long enough that collapsing them saves little and the
+	// async job API is the better tool. Default 65536.
+	CoalesceMaxN int
+	// MaxJobs bounds the async job store. Default 256.
+	MaxJobs int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -106,6 +142,15 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
+	if o.ReplicateInterval == 0 {
+		o.ReplicateInterval = 5 * time.Second
+	}
+	if o.CoalesceMaxN <= 0 {
+		o.CoalesceMaxN = 1 << 16
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = cluster.DefaultMaxJobs
+	}
 	return o, nil
 }
 
@@ -118,6 +163,14 @@ type Server struct {
 	reg   *Registry
 	tuner *tuner
 	mux   *http.ServeMux
+
+	// Cluster-mode components. cluster may be nil (single node); the
+	// others always exist and degrade to local behavior on their own.
+	cluster   *cluster.Cluster
+	replic    *cluster.Replicator
+	jobs      *cluster.JobStore
+	coalescer *cluster.Coalescer // nil: coalescing disabled
+	jobWG     sync.WaitGroup     // running async job goroutines
 
 	sem     chan struct{} // admission slots
 	waiting atomic.Int64  // requests queued for a slot
@@ -142,17 +195,30 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		opts:  opts,
-		pool:  opts.Pool,
-		store: opts.Store,
-		reg:   opts.Registry,
-		sem:   make(chan struct{}, opts.MaxInflight),
-		start: time.Now(),
+		opts:    opts,
+		pool:    opts.Pool,
+		store:   opts.Store,
+		reg:     opts.Registry,
+		cluster: opts.Cluster,
+		jobs:    cluster.NewJobStore(opts.MaxJobs),
+		sem:     make(chan struct{}, opts.MaxInflight),
+		start:   time.Now(),
 	}
+	// Coalescing is on by default only in cluster mode: collapsing
+	// identical concurrent requests changes observable single-node
+	// semantics (a queued duplicate becomes a follower of the in-flight
+	// execution), so single-node servers must opt in with a positive
+	// window.
+	if opts.CoalesceWindow > 0 || (opts.CoalesceWindow == 0 && opts.Cluster.Enabled()) {
+		s.coalescer = cluster.NewCoalescer(opts.CoalesceWindow)
+	}
+	s.replic = cluster.NewReplicator(s.cluster, s.store, opts.ReplicateInterval, opts.PromoteMargin, opts.Logf)
 	s.tuner = newTuner(s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/run", s.handleRun)
 	s.mux.HandleFunc("/v1/tune", s.handleTune)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJobs)
 	s.mux.HandleFunc("/v1/configs", s.handleConfigs)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/programs", s.handlePrograms)
@@ -161,20 +227,26 @@ func New(opts Options) (*Server, error) {
 	})
 	s.instrument()
 	s.tuner.startLoop()
+	s.replic.Start()
 	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops accepting work, shuts the background tuner down, and
-// saves the config store. It does not close the pool — the owner does
-// that after the HTTP listener has drained.
+// Close stops accepting work and drains: the background tuner shuts
+// down (queued tune jobs are failed so waiting clients unblock rather
+// than hang the HTTP drain), the replicator stops, running async jobs
+// finish (their admission waits are bounded by QueueTimeout), and the
+// config store is flushed once. It does not close the pool — the owner
+// does that after the HTTP listener has drained.
 func (s *Server) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
 	s.tuner.stop()
+	s.replic.Stop()
+	s.jobWG.Wait()
 	if err := s.store.Save(); err != nil {
 		s.opts.Logf("pbserve: final store save failed: %v", err)
 	}
@@ -182,13 +254,23 @@ func (s *Server) Close() {
 
 // --- admission ----------------------------------------------------------
 
-var errBusy = errors.New("server at capacity")
+var (
+	errBusy     = errors.New("server at capacity")
+	errShutdown = errors.New("server shutting down")
+)
+
+// isBusy classifies an execution error as admission shedding (503
+// territory) rather than an execution failure.
+func isBusy(err error) bool {
+	return errors.Is(err, errBusy) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
 
 // acquire claims an execution slot, queuing up to MaxQueue waiters for
 // at most QueueTimeout. This is the admission layer: every benchmark
 // execution shares one pool, so total concurrency is bounded no matter
 // how many HTTP connections arrive.
-func (s *Server) acquire(r *http.Request) error {
+func (s *Server) acquire(ctx context.Context) error {
 	select {
 	case s.sem <- struct{}{}:
 		return nil
@@ -206,8 +288,8 @@ func (s *Server) acquire(r *http.Request) error {
 		return nil
 	case <-t.C:
 		return errBusy
-	case <-r.Context().Done():
-		return r.Context().Err()
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -238,6 +320,80 @@ type runResponse struct {
 	Detail       string  `json:"detail,omitempty"`
 	Config       string  `json:"config"`
 	ConfigSource string  `json:"config_source"` // "store" or "baseline"
+	// Bucket is the size bucket of the stored entry that served the
+	// config (-1 when running on the untrained baseline); comparing it
+	// with the request's own bucket shows how far the nearest-bucket
+	// lookup stretched.
+	Bucket int `json:"bucket"`
+	// ServedBy names the node that executed the run (cluster mode).
+	ServedBy string `json:"served_by,omitempty"`
+	// Coalesced marks a response that shared another request's
+	// execution rather than running itself.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// validateRun applies the shared request checks for /v1/run and
+// /v1/jobs, normalizing defaults in place. It returns the benchmark
+// and the accuracy index, or an HTTP error to send.
+func (s *Server) validateRun(req *runRequest) (b *bench.Benchmark, acc int, code int, errMsg string) {
+	b, ok := s.reg.Get(req.Program)
+	if !ok {
+		return nil, 0, http.StatusNotFound, fmt.Sprintf("unknown program %q", req.Program)
+	}
+	if req.N <= 0 {
+		return nil, 0, http.StatusBadRequest, "n must be positive"
+	}
+	if req.N > s.opts.MaxN {
+		return nil, 0, http.StatusBadRequest, fmt.Sprintf("n exceeds the server limit %d", s.opts.MaxN)
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	acc = -1
+	if req.Acc != nil {
+		acc = *req.Acc
+	}
+	return b, acc, 0, ""
+}
+
+// resolveConfig finds the best known configuration for the request:
+// tuned entry from the store (nearest size bucket), falling back to
+// the benchmark's untrained baseline. bucket is the matched entry's
+// size bucket, -1 on baseline.
+func (s *Server) resolveConfig(b *bench.Benchmark, req runRequest) (cfg *choice.Config, keyStr, source string, bucket int, errMsg string) {
+	cfg, key, tuned := s.store.Lookup(req.Program, int64(req.N), s.pool.NumWorkers())
+	if tuned {
+		return cfg, key.String(), "store", key.Bucket, ""
+	}
+	if b.Baseline == nil {
+		return nil, "", "", -1,
+			fmt.Sprintf("program %q has no tuned configuration and no baseline; tune it first", req.Program)
+	}
+	return b.Baseline(), "baseline", "baseline", -1, ""
+}
+
+// execute runs one benchmark request under the admission layer and
+// maintains the request counters. Every execution path — synchronous
+// /v1/run, a coalescing leader, an async job — funnels through here.
+func (s *Server) execute(ctx context.Context, b *bench.Benchmark, cfg *choice.Config, req runRequest, acc int) (bench.Result, error) {
+	if s.closed.Load() {
+		return bench.Result{}, errShutdown
+	}
+	if err := s.acquire(ctx); err != nil {
+		return bench.Result{}, err
+	}
+	s.requests.Add(1)
+	started := time.Now()
+	res, err := b.Run(s.pool, cfg, req.N, req.Seed, bench.RunOpts{AccIndex: acc})
+	s.latRun.ObserveSince(started)
+	s.release()
+	if err != nil {
+		s.failures.Add(1)
+		return res, err
+	}
+	s.completed.Add(1)
+	s.tuner.recordHit(req.Program, int64(req.N))
+	return res, nil
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -254,68 +410,90 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	b, ok := s.reg.Get(req.Program)
-	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown program %q", req.Program))
+	b, acc, code, msg := s.validateRun(&req)
+	if code != 0 {
+		writeErr(w, code, msg)
 		return
-	}
-	if req.N <= 0 {
-		writeErr(w, http.StatusBadRequest, "n must be positive")
-		return
-	}
-	if req.N > s.opts.MaxN {
-		writeErr(w, http.StatusBadRequest, fmt.Sprintf("n exceeds the server limit %d", s.opts.MaxN))
-		return
-	}
-	if req.Seed == 0 {
-		req.Seed = 1
-	}
-	acc := -1
-	if req.Acc != nil {
-		acc = *req.Acc
 	}
 
-	// Best known configuration: tuned entry from the store (nearest size
-	// bucket), falling back to the benchmark's untrained baseline.
-	cfg, key, tuned := s.store.Lookup(req.Program, int64(req.N), s.pool.NumWorkers())
-	source, keyStr := "store", key.String()
-	if !tuned {
-		if b.Baseline == nil {
-			writeErr(w, http.StatusConflict,
-				fmt.Sprintf("program %q has no tuned configuration and no baseline; tune it first", req.Program))
+	// Cluster routing hook: if a peer owns this (program, size-bucket)
+	// key and this request has not already hopped, relay it there. A
+	// failed forward falls back to local execution — the cluster layer
+	// is an optimization, never a point of failure.
+	if s.cluster.Enabled() && r.Header.Get(cluster.ForwardHeader) == "" {
+		shard := cluster.ShardKey(req.Program, configstore.Bucket(int64(req.N)))
+		if owner, local := s.cluster.Owner(shard); !local {
+			if s.forwardRun(w, r, owner, req) {
+				return
+			}
+		}
+	}
+
+	cfg, keyStr, source, bucket, errMsg := s.resolveConfig(b, req)
+	if errMsg != "" {
+		writeErr(w, http.StatusConflict, errMsg)
+		return
+	}
+
+	makeResponse := func(res bench.Result) runResponse {
+		return runResponse{
+			Program:      req.Program,
+			N:            req.N,
+			Workers:      s.pool.NumWorkers(),
+			Seconds:      res.Seconds,
+			Checksum:     res.Checksum,
+			Detail:       res.Detail,
+			Config:       keyStr,
+			ConfigSource: source,
+			Bucket:       bucket,
+			ServedBy:     s.cluster.Self(),
+		}
+	}
+
+	// Small deterministic runs coalesce: concurrent identical requests
+	// collapse into one execution whose result everyone shares. The key
+	// includes the resolved config so a promotion mid-flight starts a
+	// fresh execution instead of mixing configurations. Coalesced
+	// executions detach from the leader's request context (their result
+	// serves other clients too); the admission QueueTimeout still
+	// bounds the wait.
+	if s.coalescer != nil && req.N <= s.opts.CoalesceMaxN {
+		ckey := fmt.Sprintf("%s/%d/%d/%d/%s", req.Program, req.N, req.Seed, acc, keyStr)
+		v, err, follower := s.coalescer.Do(ckey, func() (any, error) {
+			res, err := s.execute(context.Background(), b, cfg, req, acc)
+			if err != nil {
+				return runResponse{}, err
+			}
+			return makeResponse(res), nil
+		})
+		s.writeRunOutcome(w, v, err, follower)
+		return
+	}
+
+	res, err := s.execute(r.Context(), b, cfg, req, acc)
+	s.writeRunOutcome(w, makeResponse(res), err, false)
+}
+
+// writeRunOutcome renders one /v1/run outcome, mapping admission
+// shedding and shutdown to 503 and execution failures to 500.
+func (s *Server) writeRunOutcome(w http.ResponseWriter, v any, err error, follower bool) {
+	switch {
+	case err == nil:
+		resp, ok := v.(runResponse)
+		if !ok {
+			writeErr(w, http.StatusInternalServerError, "internal: bad coalesced value")
 			return
 		}
-		cfg = b.Baseline()
-		source, keyStr = "baseline", "baseline"
-	}
-
-	if err := s.acquire(r); err != nil {
+		resp.Coalesced = follower
+		writeJSON(w, http.StatusOK, resp)
+	case isBusy(err):
 		s.shed.Add(1)
 		s.writeBusy(w, "server at capacity; retry later")
-		return
-	}
-	s.requests.Add(1)
-	started := time.Now()
-	res, err := b.Run(s.pool, cfg, req.N, req.Seed, bench.RunOpts{AccIndex: acc})
-	s.latRun.ObserveSince(started)
-	s.release()
-	if err != nil {
-		s.failures.Add(1)
+	case errors.Is(err, errShutdown):
+		writeErr(w, http.StatusServiceUnavailable, errShutdown.Error())
+	default:
 		writeErr(w, http.StatusInternalServerError, err.Error())
-		return
 	}
-	s.completed.Add(1)
-	s.tuner.recordHit(req.Program, int64(req.N))
-	writeJSON(w, http.StatusOK, runResponse{
-		Program:      req.Program,
-		N:            req.N,
-		Workers:      s.pool.NumWorkers(),
-		Seconds:      res.Seconds,
-		Checksum:     res.Checksum,
-		Detail:       res.Detail,
-		Config:       keyStr,
-		ConfigSource: source,
-	})
 }
 
 type tuneRequest struct {
@@ -396,38 +574,55 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-type configEntry struct {
-	Key     string    `json:"key"`
-	Program string    `json:"program"`
-	Bucket  int       `json:"bucket"`
-	Workers int       `json:"workers"`
-	Cost    float64   `json:"cost"`
-	TunedAt time.Time `json:"tuned_at"`
-	Hits    int64     `json:"hits"`
-	Config  []string  `json:"config"` // rendered "name = value" lines
-}
-
+// handleConfigs serves the stored configurations. Three forms:
+//
+//	GET /v1/configs                    digest + full entry list
+//	GET /v1/configs?digest=1           digest only (replication probe)
+//	GET /v1/configs?program=X&n=N      + which entry a run would get
+//
+// The digest lets replication peers skip unchanged snapshots; the
+// lookup form answers "which bucket would actually serve this size"
+// without executing anything.
 func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	snap := s.store.Snapshot()
-	out := make([]configEntry, 0, len(snap))
-	for _, e := range snap {
-		lines := renderConfigLines(e)
-		out = append(out, configEntry{
-			Key:     e.Key.String(),
-			Program: e.Key.Program,
-			Bucket:  e.Key.Bucket,
-			Workers: e.Key.Workers,
-			Cost:    e.Cost,
-			TunedAt: e.TunedAt,
-			Hits:    e.Hits,
-			Config:  lines,
-		})
+	q := r.URL.Query()
+	resp := cluster.ConfigsResponse{Digest: cluster.DigestString(s.store.Digest())}
+	if q.Get("digest") != "" {
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"entries": out})
+	resp.Entries = cluster.EncodeConfigs(s.store.Snapshot())
+	if prog := q.Get("program"); prog != "" {
+		n, err := strconv.ParseInt(q.Get("n"), 10, 64)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "lookup needs a positive integer n")
+			return
+		}
+		workers := s.pool.NumWorkers()
+		if wq := q.Get("workers"); wq != "" {
+			if workers, err = strconv.Atoi(wq); err != nil || workers <= 0 {
+				writeErr(w, http.StatusBadRequest, "workers must be a positive integer")
+				return
+			}
+		}
+		lw := &cluster.LookupWire{
+			Program:    prog,
+			N:          n,
+			Workers:    workers,
+			WantBucket: configstore.Bucket(n),
+		}
+		if _, key, ok := s.store.Lookup(prog, n, workers); ok {
+			lw.Found = true
+			lw.MatchedKey = key.String()
+			lw.MatchedBucket = key.Bucket
+			lw.Exact = key.Bucket == lw.WantBucket && key.Workers == workers
+		}
+		resp.Lookup = lw
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -450,8 +645,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"steals":   s.pool.Steals(),
 			"executed": s.pool.Executed(),
 		},
-		"store": s.store.Stats(),
-		"tuner": s.tuner.statsSnapshot(),
+		"store":       s.store.Stats(),
+		"tuner":       s.tuner.statsSnapshot(),
+		"cluster":     s.cluster.Stats(),
+		"replication": s.replic.Stats(),
+		"jobs":        s.jobs.Stats(),
+		"coalesce": map[string]any{
+			"leaders":   s.coalescer.Leaders(),
+			"followers": s.coalescer.Followers(),
+		},
 	})
 }
 
@@ -492,28 +694,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
-}
-
-// renderConfigLines flattens an entry's configuration into sorted
-// "name = value" / "selector name = levels" lines (the pbtune file
-// format, line by line).
-func renderConfigLines(e configstore.Entry) []string {
-	var lines []string
-	ints := make([]string, 0, len(e.Cfg.Ints))
-	for k := range e.Cfg.Ints {
-		ints = append(ints, k)
-	}
-	sort.Strings(ints)
-	for _, k := range ints {
-		lines = append(lines, fmt.Sprintf("%s = %d", k, e.Cfg.Ints[k]))
-	}
-	sels := make([]string, 0, len(e.Cfg.Sels))
-	for k := range e.Cfg.Sels {
-		sels = append(sels, k)
-	}
-	sort.Strings(sels)
-	for _, k := range sels {
-		lines = append(lines, fmt.Sprintf("selector %s = %s", k, e.Cfg.Sels[k].String()))
-	}
-	return lines
 }

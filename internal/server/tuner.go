@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,9 @@ type tuner struct {
 	quit chan struct{}
 	done chan struct{}
 
+	stopMu   sync.RWMutex
+	stopping bool
+
 	mu       sync.Mutex
 	heat     map[configstore.Key]int64     // run hits since last tune
 	lastTune map[configstore.Key]time.Time // completion time of last tune
@@ -68,14 +72,37 @@ func newTuner(s *Server) *tuner {
 
 func (t *tuner) startLoop() { go t.loop() }
 
+// stop shuts the tuning loop down and drains the queue: jobs still
+// waiting are failed with a shutdown error so clients blocked on
+// /v1/tune?wait unblock immediately instead of hanging the HTTP drain
+// until its timeout. The stopping flag (checked under stopMu by
+// enqueue) guarantees no job can slip into the queue after the drain.
 func (t *tuner) stop() {
+	t.stopMu.Lock()
+	t.stopping = true
+	t.stopMu.Unlock()
 	close(t.quit)
 	<-t.done
+	for {
+		select {
+		case j := <-t.jobs:
+			if j.reply != nil {
+				j.reply <- tuneOutcome{Err: errors.New("server shutting down before tuning started")}
+			}
+		default:
+			return
+		}
+	}
 }
 
 // enqueue hands a job to the tuning goroutine; false when the queue is
-// full (the caller sheds).
+// full or the server is shutting down (the caller sheds).
 func (t *tuner) enqueue(j tuneJob) bool {
+	t.stopMu.RLock()
+	defer t.stopMu.RUnlock()
+	if t.stopping {
+		return false
+	}
 	select {
 	case t.jobs <- j:
 		return true
