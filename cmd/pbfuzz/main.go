@@ -1,7 +1,8 @@
 // Command pbfuzz is the generative differential fuzzer for the whole
 // compile/execute pipeline: it generates random well-formed PetaBricks
 // programs (internal/pbc/gen) and runs each one through the oracle
-// matrix (internal/pbc/difftest) — interpreter vs compiled closures,
+// matrix (internal/pbc/difftest) — all three execution tiers (AST
+// interpreter, compiled closures, flat-bytecode jit),
 // sequential vs work-stealing pool, several configurations including
 // extreme cutoffs, repeated runs — demanding bit-identical outputs.
 // Divergences are minimized and written as replayable JSON reproducers

@@ -277,6 +277,12 @@ func (m *Matrix) Data() []float64 {
 	return m.data[m.offset : m.offset+m.Count()]
 }
 
+// Backing returns the full underlying storage slice, regardless of
+// contiguity; callers address it with Offset and the per-dimension
+// Stride values. This is the raw surface compiled kernels index into;
+// Data remains the safe contiguous-run accessor.
+func (m *Matrix) Backing() []float64 { return m.data }
+
 // Fill sets every element to v.
 func (m *Matrix) Fill(v float64) {
 	m.Each(func(idx []int, _ float64) float64 { return v })

@@ -44,7 +44,7 @@ func (g *gen) stmt(s ast.Stmt, binds map[string]*bindingInfo, ri *analysis.RuleI
 	case *ast.IncDec:
 		bi, ok := binds[st.Name]
 		if !ok || bi == nil || bi.kind != "scalar" {
-			return "", fmt.Errorf("codegen: %s on non-scalar %q", st.Op, st.Name)
+			return "", Unsup(ri.Rule.Name(), "incdec-target", "%s on non-scalar %q", st.Op, st.Name)
 		}
 		return fmt.Sprintf("%s%s%s\n", indent, bi.float, st.Op), nil
 	case *ast.If:
@@ -99,9 +99,9 @@ func (g *gen) stmt(s ast.Stmt, binds map[string]*bindingInfo, ri *analysis.RuleI
 		}
 		return fmt.Sprintf("%s_ = %s\n", indent, e), nil
 	case *ast.Return:
-		return "", fmt.Errorf("codegen: return not allowed in rule bodies")
+		return "", Unsup(ri.Rule.Name(), "return-statement", "")
 	}
-	return "", fmt.Errorf("codegen: unknown statement %T", s)
+	return "", Unsup(ri.Rule.Name(), "unknown-statement", "%T", s)
 }
 
 func (g *gen) assign(st *ast.Assign, binds map[string]*bindingInfo, ri *analysis.RuleInfo, indent string) (string, error) {
@@ -115,7 +115,7 @@ func (g *gen) assign(st *ast.Assign, binds map[string]*bindingInfo, ri *analysis
 				return "", err
 			}
 			if st.Op != "=" {
-				return "", fmt.Errorf("codegen: %q on undefined %q", st.Op, lhs.Name)
+				return "", Unsup(ri.Rule.Name(), "assign-op", "%q on undefined %q", st.Op, lhs.Name)
 			}
 			binds[lhs.Name] = &bindingInfo{kind: "scalar", float: "lv_" + lhs.Name}
 			return fmt.Sprintf("%slv_%s := %s\n%s_ = lv_%s\n", indent, lhs.Name, rhs, indent, lhs.Name), nil
@@ -141,10 +141,10 @@ func (g *gen) assign(st *ast.Assign, binds map[string]*bindingInfo, ri *analysis
 			case "-=":
 				return fmt.Sprintf("%s%s.Set(%s-(%s), %s)\n", indent, bi.mat, cur, rhs, strings.Join(bi.idx, ", ")), nil
 			}
-			return "", fmt.Errorf("codegen: bad cell assignment op %q", st.Op)
+			return "", Unsup(ri.Rule.Name(), "assign-op", "%q on a cell", st.Op)
 		case "view":
 			if st.Op != "=" {
-				return "", fmt.Errorf("codegen: %q on region binding %q", st.Op, lhs.Name)
+				return "", Unsup(ri.Rule.Name(), "assign-op", "%q on region binding %q", st.Op, lhs.Name)
 			}
 			rhs, err := g.mexpr(st.RHS, binds, ri)
 			if err != nil {
@@ -152,11 +152,11 @@ func (g *gen) assign(st *ast.Assign, binds map[string]*bindingInfo, ri *analysis
 			}
 			return fmt.Sprintf("%s%s.CopyFrom(%s)\n", indent, bi.view, rhs), nil
 		}
-		return "", fmt.Errorf("codegen: cannot assign to %q", lhs.Name)
+		return "", Unsup(ri.Rule.Name(), "assign-target", "%q", lhs.Name)
 	case *ast.Index:
 		bi, ok := binds[lhs.Base]
 		if !ok || bi == nil || bi.kind != "view" {
-			return "", fmt.Errorf("codegen: indexed assignment needs a region binding, got %q", lhs.Base)
+			return "", Unsup(ri.Rule.Name(), "indexed-assignment", "%q is not a region binding", lhs.Base)
 		}
 		idx := make([]string, len(lhs.Args))
 		for i, a := range lhs.Args {
@@ -180,7 +180,7 @@ func (g *gen) assign(st *ast.Assign, binds map[string]*bindingInfo, ri *analysis
 			return fmt.Sprintf("%s%s.Set(%s-(%s), %s)\n", indent, bi.view, cur, rhs, strings.Join(idx, ", ")), nil
 		}
 	}
-	return "", fmt.Errorf("codegen: bad assignment target")
+	return "", Unsup(ri.Rule.Name(), "assign-target", "%T", st.LHS)
 }
 
 // fexpr renders a body expression as a float64 Go expression.
@@ -199,7 +199,7 @@ func (g *gen) fexpr(e ast.Expr, binds map[string]*bindingInfo, ri *analysis.Rule
 			case "cell":
 				return fmt.Sprintf("%s.Get(%s)", bi.mat, strings.Join(bi.idx, ", ")), nil
 			case "view":
-				return "", fmt.Errorf("codegen: region %q used as a scalar", x.Name)
+				return "", Unsup(ri.Rule.Name(), "region-as-scalar", "%q", x.Name)
 			}
 		}
 		// Size or center variable (an int in generated code).
@@ -239,7 +239,7 @@ func (g *gen) fexpr(e ast.Expr, binds map[string]*bindingInfo, ri *analysis.Rule
 		case "||":
 			return "b2f((" + l + ") != 0 || (" + r + ") != 0)", nil
 		}
-		return "", fmt.Errorf("codegen: operator %q", x.Op)
+		return "", Unsup(ri.Rule.Name(), "operator", "%q", x.Op)
 	case *ast.Cond:
 		c, err := g.fexpr(x.C, binds, ri)
 		if err != nil {
@@ -257,7 +257,7 @@ func (g *gen) fexpr(e ast.Expr, binds map[string]*bindingInfo, ri *analysis.Rule
 	case *ast.Index:
 		bi, ok := binds[x.Base]
 		if !ok || bi == nil || bi.kind != "view" {
-			return "", fmt.Errorf("codegen: %q is not an indexable region", x.Base)
+			return "", Unsup(ri.Rule.Name(), "indexed-read", "%q is not an indexable region", x.Base)
 		}
 		idx := make([]string, len(x.Args))
 		for i, a := range x.Args {
@@ -271,7 +271,7 @@ func (g *gen) fexpr(e ast.Expr, binds map[string]*bindingInfo, ri *analysis.Rule
 	case *ast.Call:
 		return g.call(x, binds, ri)
 	}
-	return "", fmt.Errorf("codegen: unknown expression %T", e)
+	return "", Unsup(ri.Rule.Name(), "unknown-expression", "%T", e)
 }
 
 // iexpr renders an index expression as an int Go expression.
@@ -353,7 +353,7 @@ func (g *gen) call(x *ast.Call, binds map[string]*bindingInfo, ri *analysis.Rule
 	// Transform call: returns the (single) output matrix.
 	if sub, ok := g.byName[x.Fn]; ok {
 		if len(sub.Transform.To) != 1 {
-			return "", fmt.Errorf("codegen: transform %s has %d outputs", x.Fn, len(sub.Transform.To))
+			return "", Unsup(ri.Rule.Name(), "transform-call", "%s has %d outputs", x.Fn, len(sub.Transform.To))
 		}
 		args := make([]string, len(x.Args))
 		for i, a := range x.Args {
@@ -365,7 +365,7 @@ func (g *gen) call(x *ast.Call, binds map[string]*bindingInfo, ri *analysis.Rule
 		}
 		return "PB_" + x.Fn + "(" + strings.Join(args, ", ") + ")", nil
 	}
-	return "", fmt.Errorf("codegen: unknown function %q", x.Fn)
+	return "", Unsup(ri.Rule.Name(), "unknown-function", "%q", x.Fn)
 }
 
 // mexpr renders an expression whose value is a matrix.
@@ -375,9 +375,9 @@ func (g *gen) mexpr(e ast.Expr, binds map[string]*bindingInfo, ri *analysis.Rule
 		if bi, ok := binds[x.Name]; ok && bi != nil && bi.kind == "view" {
 			return bi.view, nil
 		}
-		return "", fmt.Errorf("codegen: %q is not a region binding", x.Name)
+		return "", Unsup(ri.Rule.Name(), "region-binding", "%q is not a region binding", x.Name)
 	case *ast.Call:
 		return g.call(x, binds, ri)
 	}
-	return "", fmt.Errorf("codegen: expression %s is not a matrix", ast.ExprString(e))
+	return "", Unsup(ri.Rule.Name(), "matrix-expression", "%s is not a matrix", ast.ExprString(e))
 }

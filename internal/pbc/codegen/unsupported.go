@@ -1,0 +1,35 @@
+package codegen
+
+import "fmt"
+
+// Unsupported is the typed, per-rule reason a lowering backend rejected a
+// rule body. Every backend that compiles rule bodies from the analyzed IR
+// (the Go source emitter here, the bytecode lowering in pbc/jit) returns
+// it instead of a blanket error so callers can fall back per rule and
+// surface *why* a rule stayed on a slower tier — the reasons end up in
+// /v1/stats and the engine metrics.
+//
+// Construct is a stable, machine-readable token naming the rejected
+// language construct (e.g. "raw-body", "view-binding", "transform-call");
+// Detail is free-form human context.
+type Unsupported struct {
+	Rule      string
+	Construct string
+	Detail    string
+}
+
+func (e *Unsupported) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("codegen: %s: unsupported %s", e.Rule, e.Construct)
+	}
+	return fmt.Sprintf("codegen: %s: unsupported %s: %s", e.Rule, e.Construct, e.Detail)
+}
+
+// Unsup builds an Unsupported error; detail is optional printf-style.
+func Unsup(rule, construct string, detailFmt string, args ...any) *Unsupported {
+	d := detailFmt
+	if len(args) > 0 {
+		d = fmt.Sprintf(detailFmt, args...)
+	}
+	return &Unsupported{Rule: rule, Construct: construct, Detail: d}
+}

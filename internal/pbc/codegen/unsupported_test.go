@@ -1,0 +1,51 @@
+package codegen
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestGenerateUnsupportedIsTyped(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		construct string
+	}{
+		{"return-statement", `
+transform R
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) { return a; }
+}
+`, "return-statement"},
+		{"unknown-function", `
+transform F
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) { b = nosuchfn(a, a); }
+}
+`, "unknown-function"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			results := analyzeAll(t, tc.src)
+			_, err := Generate(results, Options{Package: "main"})
+			var uns *Unsupported
+			if !errors.As(err, &uns) {
+				t.Fatalf("err = %v, want *Unsupported", err)
+			}
+			if uns.Construct != tc.construct {
+				t.Fatalf("construct = %q, want %q", uns.Construct, tc.construct)
+			}
+			if uns.Rule == "" {
+				t.Fatal("Unsupported must carry the rule name")
+			}
+			if !strings.Contains(uns.Error(), tc.construct) {
+				t.Fatalf("error text %q missing construct", uns.Error())
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 // Package difftest is the differential oracle for generated PetaBricks
-// programs: it executes each program many ways — AST interpreter vs
-// compiled closures, sequential vs work-stealing pool, several
+// programs: it executes each program many ways — all three execution
+// tiers (AST interpreter, compiled closures, flat-bytecode jit),
+// sequential vs work-stealing pool, several
 // configurations including extreme cutoffs, repeated runs — and demands
 // bit-identical outputs everywhere. The generator (internal/pbc/gen)
 // guarantees that every choice computes the same exact-integer result,
@@ -106,15 +107,18 @@ func (h *Harness) Close() { h.pool.Shutdown() }
 
 // axis is one way of executing a program.
 type axis struct {
-	compiled bool
+	engine   int // interp.EngineInterp / EngineClosure / EngineJIT
 	parallel bool
 	plan     bool // memoized execution plans (parallel axes only)
 }
 
 func (a axis) String() string {
 	s := "interp"
-	if a.compiled {
-		s = "compiled"
+	switch a.engine {
+	case interp.EngineClosure:
+		s = "closure"
+	case interp.EngineJIT:
+		s = "jit"
 	}
 	if !a.parallel {
 		return s + "/seq"
@@ -125,18 +129,23 @@ func (a axis) String() string {
 	return s + "/par/noplan"
 }
 
-// axes is the execution matrix; axes[0] (interpreter, sequential) is
-// the reference. Parallel axes run twice: once on the memoized-plan
+// axes is the execution matrix — all three execution tiers (AST
+// interpreter, slot-indexed closures, flat bytecode) crossed with the
+// scheduling shapes; axes[0] (interpreter, sequential) is the
+// reference. Parallel axes run twice: once on the memoized-plan
 // executor and once with plans disabled (the step-granular scheduler),
 // so the two parallel paths are differentially checked against each
 // other as well as against the sequential reference.
-var axes = [6]axis{
-	{false, false, false},
-	{true, false, false},
-	{false, true, true},
-	{false, true, false},
-	{true, true, true},
-	{true, true, false},
+var axes = [9]axis{
+	{interp.EngineInterp, false, false},
+	{interp.EngineClosure, false, false},
+	{interp.EngineJIT, false, false},
+	{interp.EngineInterp, true, true},
+	{interp.EngineInterp, true, false},
+	{interp.EngineClosure, true, true},
+	{interp.EngineClosure, true, false},
+	{interp.EngineJIT, true, true},
+	{interp.EngineJIT, true, false},
 }
 
 // subject is an executable program: engine plus entry point.
@@ -169,10 +178,11 @@ func (h *Harness) newSubject(src, main string, targs []int64) (*subject, error) 
 // runOnce executes the subject once under a config and axis.
 func (h *Harness) runOnce(s *subject, inputs map[string]*matrix.Matrix, cfg *choice.Config, ax axis) (map[string]*matrix.Matrix, error) {
 	c := cfg.Clone()
-	if ax.compiled {
-		c.SetInt(interp.CompileKey, 1)
-	} else {
+	if ax.engine == interp.EngineInterp {
 		c.SetInt(interp.CompileKey, 0)
+	} else {
+		c.SetInt(interp.CompileKey, 1)
+		c.SetInt(interp.EngineKey, int64(ax.engine))
 	}
 	if ax.parallel && !ax.plan {
 		c.SetInt(interp.PlanKey, 0)
@@ -190,7 +200,7 @@ func (h *Harness) runOnce(s *subject, inputs map[string]*matrix.Matrix, cfg *cho
 	} else {
 		outs, err = view.Run(s.main, inputs)
 	}
-	if err == nil && h.opts.Fault == FaultInterp && !ax.compiled {
+	if err == nil && h.opts.Fault == FaultInterp && ax.engine == interp.EngineInterp {
 		perturb(outs)
 	}
 	return outs, err

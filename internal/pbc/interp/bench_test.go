@@ -11,10 +11,14 @@ import (
 	"petabricks/internal/runtime"
 )
 
-// The BenchmarkInterp* family tracks the interpreter's per-cell cost on
-// the paper corpus. Run with
+// Two per-cell benchmark families track the execution tiers on the
+// paper corpus: BenchmarkInterp* pins the closure tier (the numbers the
+// committed baseline recorded before the bytecode tier became the
+// default), BenchmarkJIT* runs the identical workloads on the
+// flat-bytecode vm. Run with
 //
-//	go test ./internal/pbc/interp -run='^$' -bench=Interp -benchmem
+//	go test ./internal/pbc/interp -run='^$' -bench='Interp.*[^l]$' -benchmem
+//	go test ./internal/pbc/interp -run='^$' -bench='^BenchmarkJIT' -benchmem
 //
 // and record trajectory points in BENCH_interp.json at the repo root.
 
@@ -40,12 +44,31 @@ func benchVec(n int, seed int64) *matrix.Matrix {
 	return matrix.FromSlice(data)
 }
 
-// BenchmarkInterpRollingSumScan is the Θ(n) scan rule: the body is two
-// cell reads and one cell write, so it measures pure per-cell overhead.
-func BenchmarkInterpRollingSumScan(b *testing.B) {
+// benchPointwiseSrc is a pointwise family member with a body meaty
+// enough (decl, branch, arithmetic, mod) that per-node dispatch cost
+// dominates the cell loop.
+const benchPointwiseSrc = `
+transform Pointwise
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) {
+    double t = 2 * a + 1;
+    if (t > 500) { t = t - 500; } else { t = -t; }
+    b = t * t + 0.5 * a - 3;
+  }
+}
+`
+
+// --- tier-parameterized workloads ---------------------------------------
+
+// benchRollingSumScan is the Θ(n) scan rule: two cell reads and one
+// cell write per cell, so it measures pure per-cell overhead.
+func benchRollingSumScan(b *testing.B, tier int64) {
 	e := benchEngine(b, parser.RollingSumSrc)
 	cfg := choice.NewConfig()
 	cfg.SetSelector(SelectorName("RollingSum"), choice.NewSelector(1))
+	cfg.SetInt(EngineKey, tier)
 	e.Cfg = cfg
 	in := benchVec(1024, 1)
 	b.ReportAllocs()
@@ -56,6 +79,65 @@ func BenchmarkInterpRollingSumScan(b *testing.B) {
 		}
 	}
 }
+
+// benchHeat1D is the version-dimension stencil wavefront (three
+// constant-offset cell reads per cell).
+func benchHeat1D(b *testing.B, tier int64) {
+	e := benchEngine(b, parser.Heat1DSrc)
+	cfg := choice.NewConfig()
+	cfg.SetInt(EngineKey, tier)
+	e.Cfg = cfg
+	in := benchVec(512, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run1("Heat1D", in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSummedArea is the lexicographic-wavefront path (constant-offset
+// cell refs per cell, four rules splitting the domain).
+func benchSummedArea(b *testing.B, tier int64) {
+	e := benchEngine(b, parser.SummedAreaSrc)
+	cfg := choice.NewConfig()
+	cfg.SetInt(EngineKey, tier)
+	e.Cfg = cfg
+	rng := rand.New(rand.NewSource(4))
+	const w, h = 64, 64
+	a := matrix.New(h, w)
+	a.Each(func([]int, float64) float64 { return float64(rng.Intn(9)) })
+	in := map[string]*matrix.Matrix{"A": a}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run("SummedArea", in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPointwise is the pointwise family: branchy scalar arithmetic,
+// one read and one write per cell.
+func benchPointwise(b *testing.B, tier int64) {
+	e := benchEngine(b, benchPointwiseSrc)
+	cfg := choice.NewConfig()
+	cfg.SetInt(EngineKey, tier)
+	e.Cfg = cfg
+	in := benchVec(1024, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run1("Pointwise", in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- closure tier (the BenchmarkInterp* baseline family) ----------------
+
+func BenchmarkInterpRollingSumScan(b *testing.B) { benchRollingSumScan(b, EngineClosure) }
 
 // BenchmarkInterpRollingSumScanInstrumented is the scan benchmark with
 // obs instrumentation enabled; comparing it against the plain variant
@@ -64,26 +146,18 @@ func BenchmarkInterpRollingSumScan(b *testing.B) {
 func BenchmarkInterpRollingSumScanInstrumented(b *testing.B) {
 	Instrument(obs.NewRegistry())
 	defer Instrument(nil)
-	e := benchEngine(b, parser.RollingSumSrc)
-	cfg := choice.NewConfig()
-	cfg.SetSelector(SelectorName("RollingSum"), choice.NewSelector(1))
-	e.Cfg = cfg
-	in := benchVec(1024, 1)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.Run1("RollingSum", in); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchRollingSumScan(b, EngineClosure)
 }
 
 // BenchmarkInterpRollingSumDirect is the Θ(n²) direct rule: per-cell a
-// center-dependent region view is bound and reduced with sum().
+// center-dependent region view is bound and reduced with sum(), which
+// is outside the bytecode fragment — it tracks the closure tier's view
+// machinery and has no JIT counterpart.
 func BenchmarkInterpRollingSumDirect(b *testing.B) {
 	e := benchEngine(b, parser.RollingSumSrc)
 	cfg := choice.NewConfig()
 	cfg.SetSelector(SelectorName("RollingSum"), choice.NewSelector(0))
+	cfg.SetInt(EngineKey, EngineClosure)
 	e.Cfg = cfg
 	in := benchVec(256, 2)
 	b.ReportAllocs()
@@ -101,6 +175,7 @@ func BenchmarkInterpMatrixMultiplyBase(b *testing.B) {
 	e := benchEngine(b, parser.MatrixMultiplySrc)
 	cfg := choice.NewConfig()
 	cfg.SetSelector(SelectorName("MatrixMultiply"), choice.NewSelector(0))
+	cfg.SetInt(EngineKey, EngineClosure)
 	e.Cfg = cfg
 	rng := rand.New(rand.NewSource(3))
 	const n = 32
@@ -118,37 +193,21 @@ func BenchmarkInterpMatrixMultiplyBase(b *testing.B) {
 	}
 }
 
-// BenchmarkInterpSummedArea exercises the lexicographic-wavefront path
-// (four region refs per cell, three rules splitting the domain).
-func BenchmarkInterpSummedArea(b *testing.B) {
-	e := benchEngine(b, parser.SummedAreaSrc)
-	rng := rand.New(rand.NewSource(4))
-	const w, h = 64, 64
-	a := matrix.New(h, w)
-	a.Each(func([]int, float64) float64 { return float64(rng.Intn(9)) })
-	in := map[string]*matrix.Matrix{"A": a}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.Run("SummedArea", in); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkInterpSummedArea(b *testing.B) { benchSummedArea(b, EngineClosure) }
 
-// BenchmarkInterpHeat1D iterates the version-dimension wavefront (three
-// constant-offset cell reads per cell).
-func BenchmarkInterpHeat1D(b *testing.B) {
-	e := benchEngine(b, parser.Heat1DSrc)
-	in := benchVec(512, 5)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.Run1("Heat1D", in); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkInterpHeat1D(b *testing.B) { benchHeat1D(b, EngineClosure) }
+
+func BenchmarkInterpPointwise(b *testing.B) { benchPointwise(b, EngineClosure) }
+
+// --- bytecode tier (the BenchmarkJIT* family) ---------------------------
+
+func BenchmarkJITRollingSumScan(b *testing.B) { benchRollingSumScan(b, EngineJIT) }
+
+func BenchmarkJITSummedArea(b *testing.B) { benchSummedArea(b, EngineJIT) }
+
+func BenchmarkJITHeat1D(b *testing.B) { benchHeat1D(b, EngineJIT) }
+
+func BenchmarkJITPointwise(b *testing.B) { benchPointwise(b, EngineJIT) }
 
 // benchPool provides the shared pool for the repeat-execution family and
 // shuts it down with the benchmark.
@@ -164,7 +223,8 @@ func benchPool(b *testing.B) *runtime.Pool {
 // pool enabled — the pbserve traffic shape. This is what the execution
 // plan cache exists for: all per-run schedule lowering (step lookup
 // tables, task allocation, dependency wiring) should happen once and be
-// re-armed in O(tasks) on every later run.
+// re-armed in O(tasks) on every later run. Pinned to the closure tier
+// like the rest of the baseline family.
 
 // BenchmarkInterpRepeatRollingSumScanPool repeats the Θ(n) scan (a
 // single cyclic wavefront step) on the pool.
@@ -172,6 +232,7 @@ func BenchmarkInterpRepeatRollingSumScanPool(b *testing.B) {
 	e := benchEngine(b, parser.RollingSumSrc)
 	cfg := choice.NewConfig()
 	cfg.SetSelector(SelectorName("RollingSum"), choice.NewSelector(1))
+	cfg.SetInt(EngineKey, EngineClosure)
 	e.Cfg = cfg
 	e.Pool = benchPool(b)
 	in := benchVec(1024, 1)
@@ -190,6 +251,7 @@ func BenchmarkInterpRepeatMatrixMultiplyPool(b *testing.B) {
 	e := benchEngine(b, parser.MatrixMultiplySrc)
 	cfg := choice.NewConfig()
 	cfg.SetSelector(SelectorName("MatrixMultiply"), choice.NewSelector(0))
+	cfg.SetInt(EngineKey, EngineClosure)
 	e.Cfg = cfg
 	e.Pool = benchPool(b)
 	rng := rand.New(rand.NewSource(3))
@@ -212,6 +274,9 @@ func BenchmarkInterpRepeatMatrixMultiplyPool(b *testing.B) {
 // the pool: without tiling the cyclic step serializes into one task.
 func BenchmarkInterpRepeatHeat1DPool(b *testing.B) {
 	e := benchEngine(b, parser.Heat1DSrc)
+	cfg := choice.NewConfig()
+	cfg.SetInt(EngineKey, EngineClosure)
+	e.Cfg = cfg
 	e.Pool = benchPool(b)
 	in := benchVec(512, 5)
 	b.ReportAllocs()
@@ -230,6 +295,9 @@ func BenchmarkInterpRepeatHeat1DPool(b *testing.B) {
 // benchmark is the tiled-wavefront speedup witness.
 func BenchmarkInterpWavefrontSummedAreaPool(b *testing.B) {
 	e := benchEngine(b, parser.SummedAreaSrc)
+	cfg := choice.NewConfig()
+	cfg.SetInt(EngineKey, EngineClosure)
+	e.Cfg = cfg
 	e.Pool = benchPool(b)
 	rng := rand.New(rand.NewSource(4))
 	const w, h = 64, 64

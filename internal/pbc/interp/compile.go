@@ -12,6 +12,7 @@ import (
 	"petabricks/internal/matrix"
 	"petabricks/internal/pbc/analysis"
 	"petabricks/internal/pbc/ast"
+	"petabricks/internal/pbc/jit"
 	"petabricks/internal/pbc/symbolic"
 	"petabricks/internal/runtime"
 )
@@ -30,6 +31,25 @@ import (
 // to 0, forcing the AST-interpreting path (useful for differential
 // testing and for measuring the compiled path's speedup).
 const CompileKey = "pbc.compile"
+
+// EngineKey selects the execution tier for rule bodies. The engines are
+// semantically identical (pbfuzz's difftest demands bit-identical
+// outputs across all of them); the key exists for benchmarking,
+// differential testing, and as an autotunable choice.
+const EngineKey = "pbc.engine"
+
+// Execution tiers, the values of EngineKey. Unknown values clamp to the
+// default (EngineJIT).
+const (
+	// EngineInterp walks the AST with a map environment per cell.
+	EngineInterp = 0
+	// EngineClosure lowers bodies once into slot-indexed Go closures.
+	EngineClosure = 1
+	// EngineJIT lowers bodies to flat bytecode run by internal/pbc/jit's
+	// register VM, falling back per rule to closures (and from there to
+	// the AST) with a typed reason.
+	EngineJIT = 2
+)
 
 // progCacheMax bounds the compiled-program cache per engine family.
 // Entries are evicted FIFO; the set of (transform, size, config) keys
@@ -53,18 +73,24 @@ func newProgramCache() *programCache {
 // lookup returns the compiled-transform holder for a key, creating (and
 // possibly evicting the oldest entry) under the lock. Holders compile
 // their rules lazily, so a miss stays cheap until a rule actually runs.
-func (pc *programCache) lookup(key string, res *analysis.Result, sizes map[string]int64) *compiledTransform {
+func (pc *programCache) lookup(key string, res *analysis.Result, sizes map[string]int64, mode int) *compiledTransform {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	m := im.Load()
 	if ct, ok := pc.entries[key]; ok {
 		if m != nil {
 			m.cacheHit.Inc()
+			if mode == EngineJIT {
+				m.jitCacheHit.Inc()
+			}
 		}
 		return ct
 	}
 	if m != nil {
 		m.cacheMiss.Inc()
+		if mode == EngineJIT {
+			m.jitCacheMiss.Inc()
+		}
 	}
 	if len(pc.order) >= progCacheMax {
 		delete(pc.entries, pc.order[0])
@@ -74,7 +100,10 @@ func (pc *programCache) lookup(key string, res *analysis.Result, sizes map[strin
 	for k, v := range sizes {
 		sz[k] = v
 	}
-	ct := &compiledTransform{res: res, sizes: sz, rules: map[int]*compiledRule{}}
+	// The key's config fingerprint covers every int tunable including
+	// EngineKey, so two configs resolving to different modes can never
+	// share an entry; mode is safe to freeze at creation.
+	ct := &compiledTransform{res: res, sizes: sz, mode: mode, rules: map[int]*compiledRule{}}
 	pc.entries[key] = ct
 	pc.order = append(pc.order, key)
 	return ct
@@ -171,39 +200,78 @@ func (ex *exec) invocationKey() string {
 }
 
 // compiledFor returns the compiled-program holder for one invocation,
-// or nil when compilation is disabled by configuration.
+// or nil when configuration forces the AST tier.
 func (ex *exec) compiledFor() *compiledTransform {
 	e := ex.engine
 	if e.Cfg.Int(CompileKey, 1) == 0 {
 		return nil
 	}
-	return e.progs.lookup(ex.invocationKey(), ex.res, ex.sizes)
+	mode := int(e.Cfg.Int(EngineKey, EngineJIT))
+	switch mode {
+	case EngineInterp:
+		return nil
+	case EngineClosure:
+	default:
+		mode = EngineJIT
+	}
+	return e.progs.lookup(ex.invocationKey(), ex.res, ex.sizes, mode)
 }
 
 // compiledTransform holds the lazily compiled rules of one transform at
-// one size binding.
+// one size binding, for one execution tier.
 type compiledTransform struct {
 	res   *analysis.Result
 	sizes map[string]int64
+	mode  int // EngineClosure or EngineJIT
 
 	mu    sync.Mutex
 	rules map[int]*compiledRule // rule index → compiled form (nil: fell back)
 }
 
-// rule returns the compiled form of ri, compiling on first use. A nil
-// result means the rule is outside the compilable fragment and must run
-// through the AST interpreter.
+// rule returns the compiled form of ri, compiling on first use. Under
+// the jit tier the bytecode lowering runs first and falls back to
+// closures with a typed reason; a nil result means the rule is outside
+// both compilable fragments and must run through the AST interpreter.
 func (ct *compiledTransform) rule(ri *analysis.RuleInfo) *compiledRule {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	if cr, ok := ct.rules[ri.Rule.Index]; ok {
 		return cr
 	}
-	cr, err := compileRule(ct.res, ri, ct.sizes)
-	if err != nil {
-		cr = nil
+	m := im.Load()
+	var cr *compiledRule
+	if ct.mode == EngineJIT {
+		prog, jerr := jit.Compile(ct.res, ri, ct.sizes)
+		if jerr == nil {
+			cr = &compiledRule{
+				ri:      ri,
+				name:    ri.Rule.Name(),
+				nCenter: len(ri.CenterVars),
+				jprog:   prog,
+			}
+			recordTierCompile("jit")
+			if m != nil {
+				m.jitCompiled.Inc()
+				m.bytecodeHist(ct.res.Transform.Name).Observe(float64(len(prog.Code)))
+			}
+		} else {
+			recordTierFallback(ct.res.Transform.Name, ri.Rule.Name(), "jit", jerr)
+			if m != nil {
+				m.jitFallback.Inc()
+			}
+		}
 	}
-	if m := im.Load(); m != nil {
+	if cr == nil {
+		cc, err := compileRule(ct.res, ri, ct.sizes)
+		if err != nil {
+			cc = nil
+			recordTierFallback(ct.res.Transform.Name, ri.Rule.Name(), "closure", err)
+		} else {
+			recordTierCompile("closure")
+		}
+		cr = cc
+	}
+	if m != nil {
 		if cr != nil {
 			m.compiled.Inc()
 		} else {
@@ -269,11 +337,14 @@ type compiledRef struct {
 	lo, hi   []affineBound // DSL-order bounds, len nd
 }
 
-// compiledRule is one rule lowered to closures over a frame.
+// compiledRule is one rule lowered to closures over a frame, or — when
+// jprog is set — to a bytecode program run by the jit tier's VM (the
+// closure fields below it are then unused).
 type compiledRule struct {
 	ri         *analysis.RuleInfo
 	name       string // diagnostic rule name
 	nCenter    int
+	jprog      *jit.Program
 	centerSlot []int // slot per center dimension (-1: unnamed)
 	refs       []compiledRef
 	body       []stmtFn
@@ -297,6 +368,7 @@ type frame struct {
 	cr      *compiledRule
 	ex      *exec
 	worker  *runtime.Worker
+	jf      *jit.Frame // bytecode tier; when set, the fields below are unused
 	slots   []value
 	refs    []refState
 	center  []int64
@@ -320,6 +392,11 @@ type refState struct {
 
 // newFrame binds a compiled rule to one invocation's matrices.
 func (cr *compiledRule) newFrame(ex *exec, w *runtime.Worker) *frame {
+	if cr.jprog != nil {
+		f := &frame{cr: cr, ex: ex, worker: w, jf: cr.jprog.NewFrame()}
+		f.bindJIT(ex)
+		return f
+	}
 	f := &frame{
 		cr:     cr,
 		ex:     ex,
@@ -372,6 +449,10 @@ func (cr *compiledRule) acquireFrame(ex *exec, w *runtime.Worker) *frame {
 	f := v.(*frame)
 	f.ex = ex
 	f.worker = w
+	if f.jf != nil {
+		f.bindJIT(ex)
+		return f
+	}
 	for i := range cr.refs {
 		cref := &cr.refs[i]
 		rs := &f.refs[i]
@@ -386,9 +467,23 @@ func (cr *compiledRule) acquireFrame(ex *exec, w *runtime.Worker) *frame {
 // releaseFrame recycles a frame obtained from acquireFrame.
 func (cr *compiledRule) releaseFrame(f *frame) { cr.framePool.Put(f) }
 
+// bindJIT (re)binds the bytecode frame's cell refs to this invocation's
+// matrices. Strides and sizes resolve per invocation — inputs may be
+// arbitrary strided views — which is why they live in the jit frame,
+// not the compiled program.
+func (f *frame) bindJIT(ex *exec) {
+	refs := f.cr.jprog.Refs
+	for i := range refs {
+		f.jf.BindMatrix(i, ex.mats[refs[i].Matrix])
+	}
+}
+
 // runCell rebinds the rule at one center and executes the compiled
 // body. center is nil for macro rules.
 func (f *frame) runCell(center []int64) error {
+	if f.jf != nil {
+		return f.jf.RunCell(center)
+	}
 	cr := f.cr
 	for d := 0; d < cr.nCenter; d++ {
 		f.center[d] = center[d]

@@ -570,7 +570,11 @@ type sliceConstraint struct {
 }
 
 // runCyclic iterates the step's axis in the scheduled direction,
-// executing each node's slice at every index (wavefront order).
+// executing each node's slice at every index (wavefront order). All
+// slice-invariant state — node regions, the configured rule choice,
+// compiled rules and (sequentially) their frames — is derived once
+// before the wavefront loop: fine wavefronts visit one slice per cell,
+// so anything done per index here is effectively per-cell cost.
 func (ex *exec) runCyclic(step *analysis.Step, done map[string]bool, w *runtime.Worker) error {
 	d := step.IterDim
 	lo, hi := int64(1<<62), int64(-1<<62)
@@ -595,24 +599,71 @@ func (ex *exec) runCyclic(step *analysis.Step, done map[string]bool, w *runtime.
 	if lo >= hi {
 		return nil
 	}
-	idxs := make([]int64, 0, hi-lo)
-	if step.IterDir >= 0 {
-		for i := lo; i < hi; i++ {
-			idxs = append(idxs, i)
-		}
-	} else {
-		for i := hi - 1; i >= lo; i-- {
-			idxs = append(idxs, i)
-		}
+	type cyclicRun struct {
+		ri     *analysis.RuleInfo
+		cr     *compiledRule
+		fr     *frame     // pre-acquired frame (sequential execution only)
+		b      [][2]int64 // full node bounds
+		bs     [][2]int64 // scratch: b with the slice constraint applied
+		center []int64
 	}
-	for _, idx := range idxs {
-		for _, node := range step.Nodes {
-			if node.Input || done[node.Matrix] {
+	var runs []*cyclicRun
+	defer func() {
+		for _, cn := range runs {
+			if cn.fr != nil {
+				cn.cr.releaseFrame(cn.fr)
+			}
+		}
+	}()
+	for _, node := range step.Nodes {
+		if node.Input || done[node.Matrix] {
+			continue
+		}
+		gc := node.Cell
+		if gc == nil || len(gc.Rules) == 0 {
+			if gc != nil && len(gc.Rules) == 0 {
+				if empty, _ := ex.regionEmpty(gc.Region); empty {
+					continue
+				}
+				return fmt.Errorf("interp: region %s of %s requires a macro rule; configure the selector to use one", gc.Region, node.Matrix)
+			}
+			continue
+		}
+		ri := ex.chooseCellRule(gc, node.Matrix)
+		b, err := ex.evalNodeRegion(node.Matrix, gc.Region)
+		if err != nil {
+			return err
+		}
+		cn := &cyclicRun{ri: ri, b: b, bs: make([][2]int64, len(b)), center: make([]int64, len(b))}
+		if cn.cr = ex.compiledRule(ri); cn.cr != nil && ex.engine.Pool == nil {
+			cn.fr = cn.cr.acquireFrame(ex, w)
+		}
+		runs = append(runs, cn)
+	}
+	slice := func(idx int64) error {
+		for _, cn := range runs {
+			if idx < cn.b[d][0] || idx >= cn.b[d][1] {
 				continue
 			}
-			if err := ex.runNode(node, &sliceConstraint{dim: d, idx: idx}, w); err != nil {
+			copy(cn.bs, cn.b)
+			cn.bs[d] = [2]int64{idx, idx + 1}
+			if err := ex.runCellsRange(cn.ri, cn.cr, cn.bs, cn.fr, cn.center, w); err != nil {
 				return err
 			}
+		}
+		return nil
+	}
+	if step.IterDir >= 0 {
+		for i := lo; i < hi; i++ {
+			if err := slice(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := hi - 1; i >= lo; i-- {
+		if err := slice(i); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -632,6 +683,16 @@ func (ex *exec) applyCellRule(ri *analysis.RuleInfo, matName string, reg symboli
 		}
 		b[slice.dim] = [2]int64{slice.idx, slice.idx + 1}
 	}
+	return ex.runCellsRange(ri, ex.compiledRule(ri), b, nil, nil, w)
+}
+
+// runCellsRange iterates the rule's centers over concrete bounds b. fr,
+// when non-nil, is a pre-acquired frame used by the sequential path
+// (hoisted by wavefront callers); center, when non-nil, is a reusable
+// coordinate scratch for the same callers. Both may be nil — the chunk
+// then acquires its own. The sequential path is closure-free: wavefront
+// callers hit it once per slice.
+func (ex *exec) runCellsRange(ri *analysis.RuleInfo, cr *compiledRule, b [][2]int64, fr *frame, center []int64, w *runtime.Worker) error {
 	count := int64(1)
 	for _, iv := range b {
 		if iv[1] <= iv[0] {
@@ -639,66 +700,72 @@ func (ex *exec) applyCellRule(ri *analysis.RuleInfo, matName string, reg symboli
 		}
 		count *= iv[1] - iv[0]
 	}
-	cr := ex.compiledRule(ri)
-	// runRange executes [lo, hi) of the flat cell index on one worker.
-	// The compiled path builds a single frame for the whole chunk, so
-	// the per-cell loop is allocation-free; the AST path is the
-	// fallback for rules outside the compilable fragment.
-	runRange := func(cw *runtime.Worker, lo, hi int) error {
-		center := make([]int64, len(b))
-		if cr != nil {
-			f := cr.acquireFrame(ex, cw)
-			defer cr.releaseFrame(f)
-			for flat := lo; flat < hi; flat++ {
-				unflatten(int64(flat), b, center)
-				if err := f.runCell(center); err != nil {
-					return err
+	// Parallel path: flat index over the region. Cells of a non-cyclic
+	// node are fully independent; within one wavefront slice of a cyclic
+	// node they are independent too (the scheduled axis carries every
+	// internal dependency), so both parallelize.
+	if ex.engine.Pool != nil {
+		parGrain := int(ex.engine.Cfg.Int(ParGrainKey, DefaultParGrain))
+		if parGrain < 1 {
+			parGrain = 1
+		}
+		if count >= int64(parGrain)*2 {
+			var firstErr error
+			var mu sync.Mutex
+			body := func(cw *runtime.Worker, lo, hi int) {
+				if err := ex.runCellsChunk(ri, cr, b, nil, nil, cw, lo, hi); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
 				}
 			}
-			return nil
+			if w != nil {
+				w.For(0, int(count), parGrain, body) // helping join
+			} else {
+				ex.engine.Pool.ParallelFor(0, int(count), parGrain, body)
+			}
+			return firstErr
+		}
+	}
+	return ex.runCellsChunk(ri, cr, b, fr, center, w, 0, int(count))
+}
+
+// runCellsChunk executes [lo, hi) of the flat cell index on one worker.
+// The compiled path runs a single frame for the whole chunk, so the
+// per-cell loop is allocation-free; the AST path is the fallback for
+// rules outside the compilable fragment.
+func (ex *exec) runCellsChunk(ri *analysis.RuleInfo, cr *compiledRule, b [][2]int64, f *frame, c []int64, cw *runtime.Worker, lo, hi int) error {
+	if c == nil {
+		c = make([]int64, len(b))
+	}
+	if cr != nil {
+		if f == nil {
+			f = cr.acquireFrame(ex, cw)
+			defer cr.releaseFrame(f)
 		}
 		for flat := lo; flat < hi; flat++ {
-			unflatten(int64(flat), b, center)
-			binding := map[string]int64{}
-			for d, v := range ri.CenterVars {
-				if v != "" {
-					binding[v] = center[d]
-				}
-			}
-			if err := ex.runRuleBody(ri, binding, cw); err != nil {
+			unflatten(int64(flat), b, c)
+			if err := f.runCell(c); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	// Parallel path: flat index over the region. Cells of a non-cyclic
-	// node are fully independent; within one wavefront slice of a cyclic
-	// node they are independent too (the scheduled axis carries every
-	// internal dependency), so both parallelize.
-	parGrain := int(ex.engine.Cfg.Int(ParGrainKey, DefaultParGrain))
-	if parGrain < 1 {
-		parGrain = 1
-	}
-	if ex.engine.Pool != nil && count >= int64(parGrain)*2 {
-		var firstErr error
-		var mu sync.Mutex
-		body := func(cw *runtime.Worker, lo, hi int) {
-			if err := runRange(cw, lo, hi); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
+	for flat := lo; flat < hi; flat++ {
+		unflatten(int64(flat), b, c)
+		binding := map[string]int64{}
+		for d, v := range ri.CenterVars {
+			if v != "" {
+				binding[v] = c[d]
 			}
 		}
-		if w != nil {
-			w.For(0, int(count), parGrain, body) // helping join
-		} else {
-			ex.engine.Pool.ParallelFor(0, int(count), parGrain, body)
+		if err := ex.runRuleBody(ri, binding, cw); err != nil {
+			return err
 		}
-		return firstErr
 	}
-	return runRange(w, 0, int(count))
+	return nil
 }
 
 // unflatten converts a flat index into per-dimension coordinates, last

@@ -32,7 +32,13 @@ type interpMetrics struct {
 	planEvict *obs.Counter   // execution-plan cache evictions (FIFO bound)
 	planTiles *obs.Histogram // tasks per built plan (tiles + fences + steps)
 
-	runHists sync.Map // transform name -> *obs.Histogram
+	jitCompiled  *obs.Counter // rules lowered to bytecode programs
+	jitFallback  *obs.Counter // jit lowering fallbacks (closure tier used)
+	jitCacheHit  *obs.Counter // program-cache hits under the jit tier
+	jitCacheMiss *obs.Counter // program-cache misses under the jit tier
+
+	runHists      sync.Map // transform name -> *obs.Histogram
+	bytecodeHists sync.Map // transform name -> *obs.Histogram
 }
 
 // im holds the installed metrics; a nil load is the disabled state and
@@ -62,6 +68,10 @@ func Instrument(reg *obs.Registry) {
 	m.planEvict = reg.Counter("pb_interp_plan_cache_evictions_total", "Execution-plan cache entries evicted by the FIFO bound.")
 	m.planTiles = reg.Histogram("pb_interp_plan_tasks", "Tasks per built execution plan (tiles, fences and step tasks).",
 		obs.ExpBuckets(1, 2, 12))
+	m.jitCompiled = reg.Counter("pb_jit_rules_compiled_total", "Rules lowered to flat-bytecode programs.")
+	m.jitFallback = reg.Counter("pb_jit_compile_fallbacks_total", "Jit lowering fallbacks to the closure tier.")
+	m.jitCacheHit = reg.Counter("pb_jit_cache_hits_total", "Compiled-program cache hits under the jit tier.")
+	m.jitCacheMiss = reg.Counter("pb_jit_cache_misses_total", "Compiled-program cache misses under the jit tier.")
 	im.Store(m)
 }
 
@@ -74,5 +84,17 @@ func (m *interpMetrics) runHist(name string) *obs.Histogram {
 	h := m.reg.Histogram("pb_interp_run_seconds", "Top-level transform execution latency.",
 		obs.LatencyBuckets, obs.L("transform", name))
 	m.runHists.Store(name, h)
+	return h
+}
+
+// bytecodeHist returns the per-transform bytecode-length histogram,
+// creating it on first use; observed once per rule lowered.
+func (m *interpMetrics) bytecodeHist(name string) *obs.Histogram {
+	if h, ok := m.bytecodeHists.Load(name); ok {
+		return h.(*obs.Histogram)
+	}
+	h := m.reg.Histogram("pb_jit_bytecode_len", "Instructions per lowered rule program.",
+		obs.ExpBuckets(4, 2, 10), obs.L("transform", name))
+	m.bytecodeHists.Store(name, h)
 	return h
 }

@@ -1,0 +1,182 @@
+package interp
+
+import (
+	"sync"
+	"testing"
+
+	"petabricks/internal/choice"
+	"petabricks/internal/matrix"
+	"petabricks/internal/pbc/parser"
+	"petabricks/internal/runtime"
+)
+
+// tierCfg returns a config pinning the execution tier.
+func tierCfg(mode int64) *choice.Config {
+	cfg := choice.NewConfig()
+	cfg.SetInt(EngineKey, mode)
+	return cfg
+}
+
+// TestThreeTierAgreement runs every corpus transform under all three
+// execution tiers, sequentially and on a worker pool, and requires the
+// closure and bytecode tiers to reproduce the AST interpreter's output
+// bit for bit. The tiers may only ever change performance, not results.
+func TestThreeTierAgreement(t *testing.T) {
+	pool := runtime.NewPool(4)
+	defer pool.Close()
+	const size = 17
+	for _, src := range []string{
+		parser.RollingSumSrc,
+		parser.MatrixMultiplySrc,
+		parser.MergeSortSrc,
+		parser.Heat1DSrc,
+		parser.SummedAreaSrc,
+	} {
+		e := engine(t, src)
+		for _, tr := range e.Prog.Transforms {
+			if len(tr.Templates) > 0 {
+				continue
+			}
+			inputs, err := e.GenerateInputs(tr.Name, size, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := e.WithConfig(tierCfg(EngineInterp)).Run(tr.Name, inputs)
+			if err != nil {
+				t.Fatalf("%s interp: %v", tr.Name, err)
+			}
+			for _, tier := range []struct {
+				name string
+				mode int64
+			}{{"closure", EngineClosure}, {"jit", EngineJIT}} {
+				for _, par := range []bool{false, true} {
+					v := e.WithConfig(tierCfg(tier.mode))
+					if par {
+						v.Pool = pool
+					} else {
+						v.Pool = nil
+					}
+					got, err := v.Run(tr.Name, inputs)
+					if err != nil {
+						t.Fatalf("%s %s par=%v: %v", tr.Name, tier.name, par, err)
+					}
+					for name, m := range ref {
+						if !m.AlmostEqual(got[name], 0) {
+							t.Errorf("%s output %s: %s tier (par=%v) diverges from interpreter",
+								tr.Name, name, tier.name, par)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJITCacheConcurrentEngines races engine views pinned to different
+// execution tiers through the shared compiled-program cache. Run under
+// -race: the bytecode tier's programs and pooled frames must be safe to
+// share across goroutines, and each tier must occupy its own cache
+// entry (the config fingerprint covers EngineKey).
+func TestJITCacheConcurrentEngines(t *testing.T) {
+	e := engine(t, parser.RollingSumSrc)
+	const n = 64
+	in := benchVec(n, 3)
+	want := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += in.At1(i)
+		want[i] = acc
+	}
+	cfgs := []*choice.Config{tierCfg(EngineInterp), tierCfg(EngineClosure), tierCfg(EngineJIT)}
+	views := make([]*Engine, len(cfgs))
+	for i, cfg := range cfgs {
+		views[i] = e.WithConfig(cfg)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 9; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := views[g%len(views)]
+			for it := 0; it < 20; it++ {
+				out, err := v.Run1("RollingSum", in)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				for i := 0; i < n; i++ {
+					if out.At1(i) != want[i] {
+						t.Errorf("goroutine %d: element %d = %g, want %g", g, i, out.At1(i), want[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Closure and jit tiers must occupy distinct cache entries; the
+	// interpreter tier compiles nothing and must occupy none.
+	res, _ := e.Analysis("RollingSum")
+	sizes := map[string]int64{"n": n}
+	fpC, fpJ := configFingerprint(cfgs[1]), configFingerprint(cfgs[2])
+	if fpC == fpJ {
+		t.Fatal("closure and jit configs share a fingerprint")
+	}
+	e.progs.mu.Lock()
+	defer e.progs.mu.Unlock()
+	for _, fp := range []uint64{fpC, fpJ} {
+		if _, ok := e.progs.entries[compileKey(res, sizes, fp)]; !ok {
+			t.Errorf("no cache entry for config fingerprint %x", fp)
+		}
+	}
+	if _, ok := e.progs.entries[compileKey(res, sizes, configFingerprint(cfgs[0]))]; ok {
+		t.Error("interpreter-tier view populated the compiled-program cache")
+	}
+}
+
+// TestEngineStatsFallbackReasons checks that jit lowering failures are
+// recorded with their typed construct token and surfaced through
+// EngineStatsSnapshot, instead of the blanket skip they used to be.
+func TestEngineStatsFallbackReasons(t *testing.T) {
+	resetTierStats()
+	defer resetTierStats()
+	// One rule the bytecode tier handles, one it must reject: region
+	// bindings (sum over a view) are outside the flat-bytecode fragment.
+	src := `
+transform Mixed
+from A[n]
+to B[n], C[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) { b = 2 * a + 1; }
+  to (C.cell(i) c) from (A.region(0, n) r) { c = sum(r); }
+}
+`
+	e := engine(t, src)
+	in := vec(1, 2, 3, 4)
+	out, err := e.Run("Mixed", map[string]*matrix.Matrix{"A": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["B"].At1(2) != 7 || out["C"].At1(0) != 10 {
+		t.Fatalf("B[2]=%g C[0]=%g, want 7 and 10", out["B"].At1(2), out["C"].At1(0))
+	}
+
+	stats := EngineStatsSnapshot()
+	if stats.Compiled["jit"] == 0 {
+		t.Error("no rule recorded as jit-compiled")
+	}
+	found := false
+	for _, r := range stats.Fallbacks {
+		if r.Tier == "jit" && r.Transform == "Mixed" && r.Construct == "view-binding" {
+			found = true
+			if r.Rule == "" || r.Count < 1 {
+				t.Errorf("fallback entry incomplete: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no jit view-binding fallback recorded; stats = %+v", stats)
+	}
+}

@@ -1,0 +1,674 @@
+package jit
+
+import (
+	"petabricks/internal/pbc/analysis"
+	"petabricks/internal/pbc/ast"
+	"petabricks/internal/pbc/codegen"
+	"petabricks/internal/pbc/symbolic"
+)
+
+// Compile lowers one analyzed rule into a bytecode Program, or reports
+// why it is outside the lowerable fragment as a typed
+// *codegen.Unsupported so the caller can fall back to the closure tier
+// and surface the reason.
+//
+// The lowerable fragment is the closure tier's compilable fragment
+// restricted to rules whose bound references are all cells with
+// integer-affine center indices: scalar locals, cell reads and writes,
+// arithmetic, comparisons, short-circuit logic, lazy conditionals,
+// if/for control flow, and the scalar builtins. Every lowering decision
+// mirrors compileRule/compileScalar in internal/pbc/interp so outputs
+// stay bit-identical across tiers — evaluation order, error order,
+// truncation, short-circuiting, and lazy out-of-range cell handling
+// included.
+func Compile(res *analysis.Result, ri *analysis.RuleInfo, sizes map[string]int64) (p *Program, err error) {
+	rule := ri.Rule.Name()
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, codegen.Unsup(rule, "panic", "%v", r)
+		}
+	}()
+	if ri.Kind != analysis.RuleCell {
+		return nil, codegen.Unsup(rule, "macro-rule", "")
+	}
+	if ri.Rule.RawBody != "" {
+		return nil, codegen.Unsup(rule, "raw-body", "")
+	}
+	lo := &lowerer{
+		res:    res,
+		ri:     ri,
+		rule:   rule,
+		sizes:  sizes,
+		consts: map[float64]int32{},
+		cpool:  map[float64]int32{},
+		p: &Program{
+			Name:    res.Transform.Name + "/" + rule,
+			NCenter: len(ri.CenterVars),
+		},
+	}
+	root := newScope(nil)
+	lo.p.CenterReg = make([]int32, len(ri.CenterVars))
+	for d, v := range ri.CenterVars {
+		lo.p.CenterReg[d] = -1
+		if v != "" {
+			r := lo.newReg()
+			lo.p.CenterReg[d] = r
+			root.define(v, lvar{kind: lvScalar, reg: r})
+		}
+	}
+	refs := make([]*ast.RegionRef, 0, len(ri.Rule.To)+len(ri.Rule.From))
+	refs = append(refs, ri.Rule.To...)
+	refs = append(refs, ri.Rule.From...)
+	for _, ref := range refs {
+		if err := lo.addRef(ref, root); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range ri.Rule.Body {
+		if err := lo.stmt(s, root); err != nil {
+			return nil, err
+		}
+	}
+	lo.emit(OpHalt, 0, 0, 0)
+	lo.p.RegInit = lo.regInit
+	return lo.p, nil
+}
+
+type lowerer struct {
+	res     *analysis.Result
+	ri      *analysis.RuleInfo
+	rule    string
+	sizes   map[string]int64
+	p       *Program
+	regInit []float64
+	consts  map[float64]int32 // constant value → preloaded register
+	cpool   map[float64]int32 // constant value → Consts pool index
+}
+
+type lvKind int
+
+const (
+	lvScalar lvKind = iota
+	lvCell
+)
+
+// lvar is a compile-time binding: a scalar register or a cell ref.
+type lvar struct {
+	kind lvKind
+	reg  int32
+	ref  int32
+}
+
+type lscope struct {
+	parent *lscope
+	vars   map[string]lvar
+}
+
+func newScope(parent *lscope) *lscope { return &lscope{parent: parent, vars: map[string]lvar{}} }
+
+func (s *lscope) lookup(name string) (lvar, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if v, ok := sc.vars[name]; ok {
+			return v, true
+		}
+	}
+	return lvar{}, false
+}
+
+func (s *lscope) define(name string, v lvar) { s.vars[name] = v }
+
+func (lo *lowerer) newReg() int32 {
+	r := int32(len(lo.regInit))
+	lo.regInit = append(lo.regInit, 0)
+	return r
+}
+
+// constReg returns a register preloaded with v via RegInit, so constants
+// cost nothing per cell.
+func (lo *lowerer) constReg(v float64) int32 {
+	if r, ok := lo.consts[v]; ok {
+		return r
+	}
+	r := int32(len(lo.regInit))
+	lo.regInit = append(lo.regInit, v)
+	lo.consts[v] = r
+	return r
+}
+
+// cconst interns v in the OpConst pool (for registers that must be
+// re-initialized at runtime, like loop guards).
+func (lo *lowerer) cconst(v float64) int32 {
+	if i, ok := lo.cpool[v]; ok {
+		return i
+	}
+	i := int32(len(lo.p.Consts))
+	lo.p.Consts = append(lo.p.Consts, v)
+	lo.cpool[v] = i
+	return i
+}
+
+func (lo *lowerer) emit(op Op, a, b, c int32) int {
+	lo.p.Code = append(lo.p.Code, Instr{Op: op, A: a, B: b, C: c})
+	return len(lo.p.Code) - 1
+}
+
+func (lo *lowerer) here() int32 { return int32(len(lo.p.Code)) }
+
+func (lo *lowerer) patch(pc int, target int32) { lo.p.Code[pc].A = target }
+
+func (lo *lowerer) unsup(construct, detailFmt string, args ...any) error {
+	return codegen.Unsup(lo.rule, construct, detailFmt, args...)
+}
+
+// --- References -------------------------------------------------------------
+
+// addRef validates one region reference the same way the closure tier's
+// compileRef does, and lowers bound cell refs into affine Ref entries.
+// Unbound refs are validated but emit nothing: with affine args and
+// evaluable dims their bounds can never fail at run time, so skipping
+// them is semantics-identical. Bound non-cell refs (views) are the
+// closure tier's territory.
+func (lo *lowerer) addRef(ref *ast.RegionRef, root *lscope) error {
+	mi := lo.res.Matrices[ref.Matrix]
+	if mi == nil {
+		return lo.unsup("unknown-matrix", "%q", ref.Matrix)
+	}
+	for _, se := range mi.Dims {
+		if _, err := se.Eval(lo.sizes); err != nil {
+			return lo.unsup("non-affine-dims", "matrix %q", ref.Matrix)
+		}
+	}
+	bound := func(e ast.Expr) (base int64, coeff []int64, err error) {
+		se, serr := analysis.ToSymbolic(e)
+		if serr != nil {
+			return 0, nil, lo.unsup("non-affine-index", "%s", ast.ExprString(e))
+		}
+		return lo.affineOf(se, e)
+	}
+	if ref.Binding != "" && ref.Kind != ast.RegionCell {
+		return lo.unsup("view-binding", "%q", ref.Binding)
+	}
+	switch ref.Kind {
+	case ast.RegionAll:
+		// No args to validate.
+	case ast.RegionCell, ast.RegionRow, ast.RegionCol, ast.RegionRegion:
+		for _, a := range ref.Args {
+			if _, _, err := bound(a); err != nil {
+				return err
+			}
+		}
+	default:
+		return lo.unsup("region-kind", "%v", ref.Kind)
+	}
+	if ref.Binding == "" {
+		return nil
+	}
+	nd := len(ref.Args)
+	nc := lo.p.NCenter
+	r := Ref{Matrix: ref.Matrix, Binding: ref.Binding, ND: nd, Base: make([]int64, nd)}
+	for d, a := range ref.Args {
+		base, coeff, err := bound(a)
+		if err != nil {
+			return err
+		}
+		r.Base[d] = base
+		for k, co := range coeff {
+			if co != 0 {
+				if r.Coeff == nil {
+					r.Coeff = make([]int64, nd*nc)
+				}
+				r.Coeff[d*nc+k] = co
+			}
+		}
+	}
+	root.define(ref.Binding, lvar{kind: lvCell, ref: int32(len(lo.p.Refs))})
+	lo.p.Refs = append(lo.p.Refs, r)
+	return nil
+}
+
+// affineOf folds a symbolic index into base + Σ coeff·center with the
+// same integer-coefficient requirement as the closure tier's
+// affineBoundOf: flooring distributes over the center terms only when
+// they contribute integers; fractional size terms fold into the base.
+func (lo *lowerer) affineOf(se *symbolic.Expr, e ast.Expr) (int64, []int64, error) {
+	aff, ok := se.Affine()
+	if !ok {
+		return 0, nil, lo.unsup("non-affine-index", "%s", ast.ExprString(e))
+	}
+	coeffs, rest := aff.Split(lo.ri.CenterVars)
+	out := make([]int64, len(coeffs))
+	for d, co := range coeffs {
+		if co.IsZero() {
+			continue
+		}
+		if !co.IsInt() {
+			return 0, nil, lo.unsup("non-integer-coeff", "%s", ast.ExprString(e))
+		}
+		out[d] = co.Int()
+	}
+	base, err := rest.Expr().Eval(lo.sizes)
+	if err != nil {
+		return 0, nil, lo.unsup("non-affine-index", "%s", ast.ExprString(e))
+	}
+	return base, out, nil
+}
+
+// --- Statements -------------------------------------------------------------
+
+func (lo *lowerer) stmts(list []ast.Stmt, sc *lscope) error {
+	for _, s := range list {
+		if err := lo.stmt(s, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) stmt(s ast.Stmt, sc *lscope) error {
+	switch st := s.(type) {
+	case *ast.Decl:
+		src := lo.constReg(0)
+		if st.Init != nil {
+			r, err := lo.scalarRead(st.Init, sc)
+			if err != nil {
+				return err
+			}
+			src = r
+		}
+		reg := lo.newReg()
+		if st.Type == "int" {
+			lo.emit(OpTrunc, reg, src, 0)
+		} else {
+			lo.emit(OpMov, reg, src, 0)
+		}
+		sc.define(st.Name, lvar{kind: lvScalar, reg: reg})
+		return nil
+	case *ast.Assign:
+		return lo.assign(st, sc)
+	case *ast.IncDec:
+		// ++/-- on a cell binding rebinds the name to a scalar in the
+		// env world; registers cannot express that, so fall back.
+		v, ok := sc.lookup(st.Name)
+		if !ok || v.kind != lvScalar {
+			return lo.unsup("incdec-target", "%q", st.Name)
+		}
+		one := lo.constReg(1)
+		if st.Op == "--" {
+			lo.emit(OpSub, v.reg, v.reg, one)
+		} else {
+			lo.emit(OpAdd, v.reg, v.reg, one)
+		}
+		return nil
+	case *ast.If:
+		rc, err := lo.scalarRead(st.Cond, sc)
+		if err != nil {
+			return err
+		}
+		jz := lo.emit(OpJZ, -1, rc, 0)
+		if err := lo.stmts(st.Then, newScope(sc)); err != nil {
+			return err
+		}
+		if len(st.Else) == 0 {
+			lo.patch(jz, lo.here())
+			return nil
+		}
+		jmp := lo.emit(OpJmp, -1, 0, 0)
+		lo.patch(jz, lo.here())
+		if err := lo.stmts(st.Else, newScope(sc)); err != nil {
+			return err
+		}
+		lo.patch(jmp, lo.here())
+		return nil
+	case *ast.For:
+		if st.Cond == nil {
+			return lo.unsup("for-without-cond", "") // interpreter reports the error
+		}
+		scope := newScope(sc)
+		if st.Init != nil {
+			if err := lo.stmt(st.Init, scope); err != nil {
+				return err
+			}
+		}
+		guard := lo.newReg()
+		lo.emit(OpConst, guard, lo.cconst(0), 0)
+		loop := lo.here()
+		rc, err := lo.scalarRead(st.Cond, scope)
+		if err != nil {
+			return err
+		}
+		jz := lo.emit(OpJZ, -1, rc, 0)
+		if err := lo.stmts(st.Body, newScope(scope)); err != nil {
+			return err
+		}
+		if st.Post != nil {
+			if err := lo.stmt(st.Post, scope); err != nil {
+				return err
+			}
+		}
+		lo.emit(OpGuard, guard, 0, 0)
+		lo.emit(OpJmp, loop, 0, 0)
+		lo.patch(jz, lo.here())
+		return nil
+	case *ast.ExprStmt:
+		// Bare names have no effect in the closure tier (the slot value
+		// is produced and discarded without an out-of-range check), so
+		// defined names lower to nothing; anything else evaluates for
+		// its errors only.
+		if id, ok := st.X.(*ast.Ident); ok {
+			if _, ok := sc.lookup(id.Name); ok {
+				return nil
+			}
+			if _, ok := lo.sizes[id.Name]; ok {
+				return nil
+			}
+			return lo.unsup("undefined-name", "%q", id.Name)
+		}
+		_, err := lo.scalarRead(st.X, sc)
+		return err
+	case *ast.Return:
+		return lo.unsup("return-statement", "") // interpreter owns the error
+	}
+	return lo.unsup("unknown-statement", "%T", s)
+}
+
+func (lo *lowerer) assign(st *ast.Assign, sc *lscope) error {
+	switch lhs := st.LHS.(type) {
+	case *ast.Ident:
+		v, ok := sc.lookup(lhs.Name)
+		if !ok {
+			// Implicit local definition, as in execAssign.
+			if st.Op != "=" {
+				return lo.unsup("assign-op", "%q on undefined %q", st.Op, lhs.Name)
+			}
+			src, err := lo.scalarRead(st.RHS, sc)
+			if err != nil {
+				return err
+			}
+			reg := lo.newReg()
+			lo.emit(OpMov, reg, src, 0)
+			sc.define(lhs.Name, lvar{kind: lvScalar, reg: reg})
+			return nil
+		}
+		switch v.kind {
+		case lvCell:
+			// RHS first, then the out-of-range check, matching the
+			// closure tier's order.
+			src, err := lo.scalarRead(st.RHS, sc)
+			if err != nil {
+				return err
+			}
+			switch st.Op {
+			case "=":
+				lo.emit(OpStore, v.ref, src, 0)
+			case "+=":
+				old := lo.newReg()
+				lo.emit(OpLoad, old, v.ref, 0)
+				lo.emit(OpAdd, old, old, src)
+				lo.emit(OpStore, v.ref, old, 0)
+			case "-=":
+				old := lo.newReg()
+				lo.emit(OpLoad, old, v.ref, 0)
+				lo.emit(OpSub, old, old, src)
+				lo.emit(OpStore, v.ref, old, 0)
+			default:
+				return lo.unsup("assign-op", "%q on cell %q", st.Op, lhs.Name)
+			}
+			return nil
+		case lvScalar:
+			src, err := lo.scalarRead(st.RHS, sc)
+			if err != nil {
+				return err
+			}
+			switch st.Op {
+			case "=":
+				lo.emit(OpMov, v.reg, src, 0)
+			case "+=":
+				lo.emit(OpAdd, v.reg, v.reg, src)
+			case "-=":
+				lo.emit(OpSub, v.reg, v.reg, src)
+			default:
+				return lo.unsup("assign-op", "%q", st.Op)
+			}
+			return nil
+		}
+		return lo.unsup("assign-target", "%q", lhs.Name)
+	case *ast.Index:
+		// Indexed assignment needs a view binding; views don't lower.
+		return lo.unsup("indexed-assignment", "%q", lhs.Base)
+	}
+	return lo.unsup("assign-target", "%T", st.LHS)
+}
+
+// --- Expressions ------------------------------------------------------------
+
+// scalarRead returns a register holding e's value at the current point
+// in the instruction stream. Names and literals resolve to their live
+// register with no code emitted (reads never mutate operand registers,
+// so sharing is safe); other expressions evaluate into a fresh
+// register.
+func (lo *lowerer) scalarRead(e ast.Expr, sc *lscope) (int32, error) {
+	switch x := e.(type) {
+	case *ast.Num:
+		return lo.constReg(x.Val), nil
+	case *ast.Ident:
+		if v, ok := sc.lookup(x.Name); ok {
+			if v.kind == lvScalar {
+				return v.reg, nil
+			}
+		} else if sv, ok := lo.sizes[x.Name]; ok {
+			return lo.constReg(float64(sv)), nil
+		}
+	}
+	dst := lo.newReg()
+	if err := lo.scalarInto(e, sc, dst); err != nil {
+		return 0, err
+	}
+	return dst, nil
+}
+
+// scalarInto evaluates e into dst. dst is always a fresh temporary
+// (never a variable or constant register), so lazily-written forms like
+// short-circuit logic may set it before their operands finish.
+func (lo *lowerer) scalarInto(e ast.Expr, sc *lscope, dst int32) error {
+	switch x := e.(type) {
+	case *ast.Num:
+		lo.emit(OpMov, dst, lo.constReg(x.Val), 0)
+		return nil
+	case *ast.Ident:
+		if v, ok := sc.lookup(x.Name); ok {
+			switch v.kind {
+			case lvScalar:
+				lo.emit(OpMov, dst, v.reg, 0)
+			case lvCell:
+				lo.emit(OpLoad, dst, v.ref, 0)
+			}
+			return nil
+		}
+		if sv, ok := lo.sizes[x.Name]; ok {
+			lo.emit(OpMov, dst, lo.constReg(float64(sv)), 0)
+			return nil
+		}
+		return lo.unsup("undefined-name", "%q", x.Name) // interpreter owns the error
+	case *ast.Unary:
+		src, err := lo.scalarRead(x.X, sc)
+		if err != nil {
+			return err
+		}
+		if x.Op == "-" {
+			lo.emit(OpNeg, dst, src, 0)
+		} else {
+			lo.emit(OpNot, dst, src, 0)
+		}
+		return nil
+	case *ast.Binary:
+		return lo.binary(x, sc, dst)
+	case *ast.Cond:
+		rc, err := lo.scalarRead(x.C, sc)
+		if err != nil {
+			return err
+		}
+		jz := lo.emit(OpJZ, -1, rc, 0)
+		if err := lo.scalarInto(x.A, sc, dst); err != nil {
+			return err
+		}
+		jmp := lo.emit(OpJmp, -1, 0, 0)
+		lo.patch(jz, lo.here())
+		if err := lo.scalarInto(x.B, sc, dst); err != nil {
+			return err
+		}
+		lo.patch(jmp, lo.here())
+		return nil
+	case *ast.Call:
+		return lo.call(x, sc, dst)
+	case *ast.Index:
+		return lo.unsup("indexed-read", "%q", x.Base)
+	}
+	return lo.unsup("unknown-expression", "%T", e)
+}
+
+func (lo *lowerer) binary(x *ast.Binary, sc *lscope, dst int32) error {
+	switch x.Op {
+	case "&&":
+		l, err := lo.scalarRead(x.L, sc)
+		if err != nil {
+			return err
+		}
+		lo.emit(OpMov, dst, lo.constReg(0), 0)
+		jz1 := lo.emit(OpJZ, -1, l, 0)
+		r, err := lo.scalarRead(x.R, sc)
+		if err != nil {
+			return err
+		}
+		jz2 := lo.emit(OpJZ, -1, r, 0)
+		lo.emit(OpMov, dst, lo.constReg(1), 0)
+		end := lo.here()
+		lo.patch(jz1, end)
+		lo.patch(jz2, end)
+		return nil
+	case "||":
+		l, err := lo.scalarRead(x.L, sc)
+		if err != nil {
+			return err
+		}
+		lo.emit(OpMov, dst, lo.constReg(1), 0)
+		jnz1 := lo.emit(OpJNZ, -1, l, 0)
+		r, err := lo.scalarRead(x.R, sc)
+		if err != nil {
+			return err
+		}
+		jnz2 := lo.emit(OpJNZ, -1, r, 0)
+		lo.emit(OpMov, dst, lo.constReg(0), 0)
+		end := lo.here()
+		lo.patch(jnz1, end)
+		lo.patch(jnz2, end)
+		return nil
+	}
+	var op Op
+	switch x.Op {
+	case "+":
+		op = OpAdd
+	case "-":
+		op = OpSub
+	case "*":
+		op = OpMul
+	case "/":
+		op = OpDiv
+	case "%":
+		op = OpMod
+	case "<":
+		op = OpLT
+	case "<=":
+		op = OpLE
+	case ">":
+		op = OpGT
+	case ">=":
+		op = OpGE
+	case "==":
+		op = OpEQ
+	case "!=":
+		op = OpNE
+	default:
+		return lo.unsup("operator", "%q", x.Op)
+	}
+	l, err := lo.scalarRead(x.L, sc)
+	if err != nil {
+		return err
+	}
+	r, err := lo.scalarRead(x.R, sc)
+	if err != nil {
+		return err
+	}
+	lo.emit(op, dst, l, r)
+	return nil
+}
+
+// call lowers the scalar builtins. Reductions over views (sum, dot,
+// copy), transform invocations, and arity mismatches (runtime errors in
+// the interpreter tiers) all fall back.
+func (lo *lowerer) call(x *ast.Call, sc *lscope, dst int32) error {
+	unary := func(op Op) error {
+		if len(x.Args) != 1 {
+			return lo.unsup("builtin-arity", "%s with %d args", x.Fn, len(x.Args))
+		}
+		src, err := lo.scalarRead(x.Args[0], sc)
+		if err != nil {
+			return err
+		}
+		lo.emit(op, dst, src, 0)
+		return nil
+	}
+	switch x.Fn {
+	case "abs":
+		return unary(OpAbs)
+	case "sqrt":
+		return unary(OpSqrt)
+	case "floor":
+		return unary(OpFloor)
+	case "ceil":
+		return unary(OpCeil)
+	case "pow":
+		if len(x.Args) != 2 {
+			return lo.unsup("builtin-arity", "pow with %d args", len(x.Args))
+		}
+		a, err := lo.scalarRead(x.Args[0], sc)
+		if err != nil {
+			return err
+		}
+		b, err := lo.scalarRead(x.Args[1], sc)
+		if err != nil {
+			return err
+		}
+		lo.emit(OpPow, dst, a, b)
+		return nil
+	case "min", "max":
+		if len(x.Args) < 1 {
+			return lo.unsup("builtin-arity", "%s with no args", x.Fn)
+		}
+		op := OpMin
+		if x.Fn == "max" {
+			op = OpMax
+		}
+		// All arguments evaluate left-to-right before the fold, like the
+		// closure tier's argument buffer.
+		regs := make([]int32, len(x.Args))
+		for i, a := range x.Args {
+			r, err := lo.scalarRead(a, sc)
+			if err != nil {
+				return err
+			}
+			regs[i] = r
+		}
+		if len(regs) == 1 {
+			lo.emit(OpMov, dst, regs[0], 0)
+			return nil
+		}
+		lo.emit(op, dst, regs[0], regs[1])
+		for _, r := range regs[2:] {
+			lo.emit(op, dst, dst, r)
+		}
+		return nil
+	case "sum", "dot", "copy":
+		return lo.unsup("builtin", "%s needs a view", x.Fn)
+	}
+	return lo.unsup("transform-call", "%q", x.Fn)
+}

@@ -1,0 +1,261 @@
+package jit
+
+import (
+	"errors"
+	"testing"
+
+	"petabricks/internal/matrix"
+	"petabricks/internal/pbc/analysis"
+	"petabricks/internal/pbc/codegen"
+	"petabricks/internal/pbc/parser"
+)
+
+// lowerRule parses src, analyzes its only transform, and lowers rule
+// index ruleIdx under the given sizes.
+func lowerRule(t *testing.T, src string, ruleIdx int, sizes map[string]int64) (*Program, *analysis.Result, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := analysis.Analyze(prog, prog.Transforms[0])
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	p, cerr := Compile(res, res.Rules[ruleIdx], sizes)
+	return p, res, cerr
+}
+
+const pointwiseSrc = `
+transform PW
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) {
+    double t = 2 * a + 1;
+    if (t > 10) { t = t - 10; } else { t = -t; }
+    b = t;
+  }
+}
+`
+
+func TestLowerPointwise(t *testing.T) {
+	p, _, err := lowerRule(t, pointwiseSrc, 0, map[string]int64{"n": 4})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	if len(p.Refs) != 2 {
+		t.Fatalf("refs = %d, want 2 (b, a)", len(p.Refs))
+	}
+	a := matrix.FromSlice([]float64{1, 4, 6, 9})
+	b := matrix.FromSlice(make([]float64, 4))
+	f := p.NewFrame()
+	// Refs in To-then-From order: b then a.
+	f.BindMatrix(0, b)
+	f.BindMatrix(1, a)
+	for i := int64(0); i < 4; i++ {
+		if err := f.RunCell([]int64{i}); err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+	want := []float64{-3, -9, 3, 9}
+	for i, w := range want {
+		if got := b.Get(i); got != w {
+			t.Fatalf("b[%d] = %v, want %v (program:\n%s)", i, got, w, p.Disassemble())
+		}
+	}
+}
+
+func TestLowerLoopAndBuiltins(t *testing.T) {
+	src := `
+transform Scan
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) {
+    double acc = 0;
+    for (int k = 0; k < 3; k++) {
+      acc += k * 2;
+    }
+    b = max(min(a, acc), sqrt(a) > 2 ? pow(a, 0.5) : abs(-a), floor(a / 2));
+  }
+}
+`
+	p, _, err := lowerRule(t, src, 0, map[string]int64{"n": 2})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	a := matrix.FromSlice([]float64{9, 1})
+	b := matrix.FromSlice(make([]float64, 2))
+	f := p.NewFrame()
+	f.BindMatrix(0, b)
+	f.BindMatrix(1, a)
+	for i := int64(0); i < 2; i++ {
+		if err := f.RunCell([]int64{i}); err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+	// acc = 0+2+4 = 6; cell 0: max(min(9,6)=6, sqrt(9)>2 → 3, floor(4.5)=4) = 6
+	// cell 1: max(min(1,6)=1, abs(-1)=1, floor(0.5)=0) = 1
+	if b.Get(0) != 6 || b.Get(1) != 1 {
+		t.Fatalf("b = [%v %v], want [6 1]\n%s", b.Get(0), b.Get(1), p.Disassemble())
+	}
+}
+
+func TestLowerShortCircuitSkipsOOBLoad(t *testing.T) {
+	// The right operand reads a.cell(i-1), out of range at i=0; the
+	// short-circuit left operand must keep it from erroring there.
+	src := `
+transform SC
+from A[n]
+to B[n]
+{
+  priority(1) to (B.cell(i) b) from (A.cell(i) c, A.cell(i-1) l) {
+    b = (i > 0 && l > 0) ? 1 : 0;
+  }
+  priority(2) to (B.cell(i) b) from (A.cell(i) c) {
+    b = 0;
+  }
+}
+`
+	p, _, err := lowerRule(t, src, 0, map[string]int64{"n": 3})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	a := matrix.FromSlice([]float64{5, 0, 7})
+	b := matrix.FromSlice(make([]float64, 3))
+	f := p.NewFrame()
+	f.BindMatrix(0, b)
+	f.BindMatrix(1, a)
+	f.BindMatrix(2, a)
+	for i := int64(0); i < 3; i++ {
+		if err := f.RunCell([]int64{i}); err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+	want := []float64{0, 1, 0}
+	for i, w := range want {
+		if got := b.Get(i); got != w {
+			t.Fatalf("b[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestLowerFallbackReasons(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		rule      int
+		construct string
+	}{
+		{"macro-rule", `
+transform V
+from A[n]
+to B[n]
+{
+  to (B b) from (A a) { b = a; }
+}
+`, 0, "macro-rule"},
+		{"view-binding", `
+transform R
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.region(0, n) r) { b = sum(r); }
+}
+`, 0, "view-binding"},
+		{"transform-call", `
+transform Outer
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) { b = Outer(a); }
+}
+`, 0, "transform-call"},
+		{"builtin-view", `
+transform S
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) { b = sum(a); }
+}
+`, 0, "builtin"},
+		{"builtin-arity", `
+transform P
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) { b = pow(a); }
+}
+`, 0, "builtin-arity"},
+		{"incdec-cell", `
+transform I
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) { b = a; b++; }
+}
+`, 0, "incdec-target"},
+		{"undefined-name", `
+transform U
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.cell(i) a) { b = nosuch; }
+}
+`, 0, "undefined-name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := lowerRule(t, tc.src, tc.rule, map[string]int64{"n": 4})
+			var uns *codegen.Unsupported
+			if !errors.As(err, &uns) {
+				t.Fatalf("err = %v, want *codegen.Unsupported", err)
+			}
+			if uns.Construct != tc.construct {
+				t.Fatalf("construct = %q (%v), want %q", uns.Construct, err, tc.construct)
+			}
+			if uns.Rule == "" {
+				t.Fatal("fallback reason missing rule name")
+			}
+		})
+	}
+}
+
+func TestLowerCorpusCoverage(t *testing.T) {
+	// The hot corpus families the tier targets must actually lower.
+	type tcase struct {
+		src   string
+		sizes map[string]int64
+		// minimum number of rules that must lower (others may fall back)
+		minLowered int
+	}
+	cases := map[string]tcase{
+		"Heat1D":     {parser.Heat1DSrc, map[string]int64{"n": 8}, 3},
+		"SummedArea": {parser.SummedAreaSrc, map[string]int64{"w": 4, "h": 4}, 4},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			prog, err := parser.Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			res, err := analysis.Analyze(prog, prog.Transforms[0])
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			lowered := 0
+			for _, ri := range res.Rules {
+				if p, err := Compile(res, ri, tc.sizes); err == nil {
+					lowered++
+					if len(p.Code) == 0 || p.Code[len(p.Code)-1].Op != OpHalt {
+						t.Fatalf("%s: program must end in halt", ri.Rule.Name())
+					}
+				}
+			}
+			if lowered < tc.minLowered {
+				t.Fatalf("lowered %d rules, want >= %d", lowered, tc.minLowered)
+			}
+		})
+	}
+}

@@ -1,0 +1,415 @@
+// Package jit is the third execution tier of the PetaBricks runtime: a
+// register-based flat-bytecode VM plus a lowering pass (lower.go) that
+// compiles rule bodies into contiguous instruction streams the way
+// wazero's compiler engine sits beside its interpreter.
+//
+// Where the closure tier (internal/pbc/interp/compile.go) executes a
+// tree of Go closures — one indirect call per statement and
+// sub-expression — a jit program is a single []Instr walked by one
+// dispatch switch: no interface calls, no per-cell slot rebinding, and
+// zero allocations steady-state. Matrix cell bindings are pre-resolved
+// to base+stride affine forms per (transform, sizes, config) at compile
+// time, so per-cell addressing is a handful of integer multiply-adds
+// into the matrix backing slice.
+//
+// The tier is semantics-preserving, never semantics-extending: rules
+// outside the lowerable fragment fall back to the closure compiler (and
+// from there to the AST interpreter) with a typed per-rule reason, so
+// the jit only ever changes performance, never which programs run.
+package jit
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"petabricks/internal/matrix"
+)
+
+// Op is a bytecode opcode. The zero value is OpHalt so an accidentally
+// zeroed instruction stops execution instead of corrupting state.
+type Op uint8
+
+const (
+	// OpHalt ends the program (normal completion).
+	OpHalt Op = iota
+	// OpConst sets reg A from the constant pool: r[A] = consts[B].
+	OpConst
+	// OpMov copies registers: r[A] = r[B].
+	OpMov
+	// Arithmetic: r[A] = r[B] <op> r[C].
+	OpAdd
+	OpSub
+	OpMul
+	// OpDiv errors on a zero divisor, matching the interpreter.
+	OpDiv
+	// OpMod is math.Mod and errors on a zero divisor.
+	OpMod
+	// OpNeg: r[A] = -r[B].
+	OpNeg
+	// OpNot: r[A] = 1 if r[B] == 0 else 0.
+	OpNot
+	// Comparisons: r[A] = 1/0 from r[B] <op> r[C].
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	OpEQ
+	OpNE
+	// OpTrunc: r[A] = math.Trunc(r[B]) (int declarations).
+	OpTrunc
+	// Scalar builtins.
+	OpAbs
+	OpSqrt
+	OpFloor
+	OpCeil
+	OpMin // r[A] = math.Min(r[B], r[C])
+	OpMax // r[A] = math.Max(r[B], r[C])
+	OpPow // r[A] = math.Pow(r[B], r[C])
+	// OpLoad reads the cell ref B's current cell: r[A] = data[off].
+	// Errors if the cell is out of range (off < 0), matching the lazy
+	// cell-access semantics of the interpreter tiers.
+	OpLoad
+	// OpStore writes r[B] into cell ref A's current cell.
+	OpStore
+	// OpJmp jumps to pc A unconditionally.
+	OpJmp
+	// OpJZ jumps to pc A when r[B] == 0; OpJNZ when r[B] != 0.
+	OpJZ
+	OpJNZ
+	// OpGuard increments the loop counter r[A] and errors past the
+	// interpreter's runaway-loop bound (10^8 iterations; exact in
+	// float64 far beyond that).
+	OpGuard
+)
+
+var opNames = [...]string{
+	OpHalt: "halt", OpConst: "const", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpNeg: "neg", OpNot: "not",
+	OpLT: "lt", OpLE: "le", OpGT: "gt", OpGE: "ge", OpEQ: "eq", OpNE: "ne",
+	OpTrunc: "trunc", OpAbs: "abs", OpSqrt: "sqrt", OpFloor: "floor", OpCeil: "ceil",
+	OpMin: "min", OpMax: "max", OpPow: "pow",
+	OpLoad: "load", OpStore: "store",
+	OpJmp: "jmp", OpJZ: "jz", OpJNZ: "jnz", OpGuard: "guard",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one fixed-width instruction; A is the destination register
+// (or jump target / ref index), B and C are operands.
+type Instr struct {
+	Op      Op
+	A, B, C int32
+}
+
+// Ref is one bound cell reference of a rule, with its per-dimension
+// affine index forms folded at compile time: dimension d of the cell is
+// Base[d] + Σ_k Coeff[d*NCenter+k] · center[k], with size-variable
+// contributions already evaluated into Base.
+type Ref struct {
+	Matrix  string
+	Binding string
+	ND      int
+	Base    []int64
+	Coeff   []int64 // len ND*NCenter; nil when no center dependence
+}
+
+// Program is one rule body lowered to bytecode. It is immutable after
+// compilation and shared across frames, invocations, and WithConfig
+// views; all mutable state lives in Frame.
+type Program struct {
+	Name string // "Transform/rule k" for diagnostics
+	Code []Instr
+	// Consts is the OpConst pool (runtime re-initialization, e.g. loop
+	// guards); RegInit is the initial register file, with literal and
+	// folded constants preloaded so steady-state cells never re-load
+	// them.
+	Consts    []float64
+	RegInit   []float64
+	NCenter   int
+	CenterReg []int32 // register per center dimension; -1 unnamed
+	Refs      []Ref
+}
+
+// NRegs is the register-file size.
+func (p *Program) NRegs() int { return len(p.RegInit) }
+
+// Disassemble renders the instruction stream for diagnostics and tests.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for pc, in := range p.Code {
+		fmt.Fprintf(&b, "%3d: %-6s %d %d %d\n", pc, in.Op, in.A, in.B, in.C)
+	}
+	return b.String()
+}
+
+// refDim is the specialized per-dimension index form used when a
+// dimension depends on at most one center variable (the overwhelmingly
+// common shape): the cell's coordinate is base + coeff·center[k], valid
+// while 0 ≤ coord < size. k, coeff, base come from the program; size
+// and stride from the bound matrix view.
+type refDim struct {
+	k      int32 // center-var index feeding this dim; -1 constant
+	coeff  int64
+	base   int64
+	size   int64
+	stride int64
+}
+
+// refBind is a frame's live binding of one cell ref: the raw backing
+// slice plus DSL-dimension-order strides and sizes resolved from the
+// bound matrix view at frame-bind time (inputs may be arbitrary strided
+// views, so none of this can be folded at compile time).
+type refBind struct {
+	data    []float64
+	dims    []refDim // single-center-var fast form; nil → general form
+	strides []int
+	sizes   []int64
+	base    int
+	off     int // flat offset of the current cell; -1 out of range
+}
+
+// Frame is the per-worker execution state of one program: the register
+// file and the resolved cell refs. Frames are pooled by the interpreter
+// and rebound per invocation; RunCell allocates nothing.
+type Frame struct {
+	prog *Program
+	regs []float64
+	refs []refBind
+}
+
+// NewFrame allocates a frame; bind every ref before RunCell.
+func (p *Program) NewFrame() *Frame {
+	f := &Frame{
+		prog: p,
+		regs: append([]float64(nil), p.RegInit...),
+		refs: make([]refBind, len(p.Refs)),
+	}
+	for i := range p.Refs {
+		r := &p.Refs[i]
+		f.refs[i].strides = make([]int, r.ND)
+		f.refs[i].sizes = make([]int64, r.ND)
+		f.refs[i].dims = fastDims(r, p.NCenter)
+	}
+	return f
+}
+
+// fastDims derives the single-center-var per-dimension form of a ref,
+// or nil when some dimension mixes several center variables (the
+// general affine path handles those).
+func fastDims(r *Ref, nc int) []refDim {
+	dims := make([]refDim, r.ND)
+	for d := 0; d < r.ND; d++ {
+		dm := &dims[d]
+		dm.k = -1
+		dm.base = r.Base[d]
+		if r.Coeff == nil {
+			continue
+		}
+		for k, co := range r.Coeff[d*nc : (d+1)*nc] {
+			if co == 0 {
+				continue
+			}
+			if dm.k >= 0 {
+				return nil
+			}
+			dm.k, dm.coeff = int32(k), co
+		}
+	}
+	return dims
+}
+
+// BindMatrix (re)binds ref i to a matrix view, reversing row-major
+// metadata into DSL dimension order once per invocation.
+func (f *Frame) BindMatrix(i int, m *matrix.Matrix) {
+	rb := &f.refs[i]
+	nd := f.prog.Refs[i].ND
+	rb.data = m.Backing()
+	rb.base = m.Offset()
+	for d := 0; d < nd; d++ {
+		rd := nd - 1 - d
+		rb.strides[d] = m.Stride(rd)
+		rb.sizes[d] = int64(m.Size(rd))
+		if rb.dims != nil {
+			rb.dims[d].stride = int64(m.Stride(rd))
+			rb.dims[d].size = int64(m.Size(rd))
+		}
+	}
+}
+
+var (
+	errDivZero = fmt.Errorf("jit: division by zero")
+	errModZero = fmt.Errorf("jit: modulo by zero")
+	errRunaway = fmt.Errorf("jit: runaway for loop")
+)
+
+func (f *Frame) oob(ref int32) error {
+	return fmt.Errorf("jit: %s: cell binding %q out of range", f.prog.Name, f.prog.Refs[ref].Binding)
+}
+
+// RunCell resolves every cell ref at the given center and executes the
+// program. A ref whose index falls outside its matrix gets off = -1 and
+// only errors if the body touches it, matching bindRefs in the closure
+// tier. center may be nil when NCenter is 0.
+func (f *Frame) RunCell(center []int64) error {
+	p := f.prog
+	for d, r := range p.CenterReg {
+		if r >= 0 {
+			f.regs[r] = float64(center[d])
+		}
+	}
+	nc := p.NCenter
+	for i := range f.refs {
+		rb := &f.refs[i]
+		if rb.dims != nil {
+			off := int64(rb.base)
+			for j := range rb.dims {
+				dm := &rb.dims[j]
+				v := dm.base
+				if dm.k >= 0 {
+					v += dm.coeff * center[dm.k]
+				}
+				if uint64(v) >= uint64(dm.size) {
+					off = -1
+					break
+				}
+				off += v * dm.stride
+			}
+			rb.off = int(off)
+			continue
+		}
+		r := &p.Refs[i]
+		off := rb.base
+		for d := 0; d < r.ND; d++ {
+			v := r.Base[d]
+			if r.Coeff != nil {
+				for k, co := range r.Coeff[d*nc : (d+1)*nc] {
+					if co != 0 {
+						v += co * center[k]
+					}
+				}
+			}
+			if v < 0 || v >= rb.sizes[d] {
+				off = -1
+				break
+			}
+			off += int(v) * rb.strides[d]
+		}
+		rb.off = off
+	}
+	return f.run()
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// run is the dispatch loop. Malformed programs (bad register or ref
+// indices) panic via the usual slice bounds checks; the lowering never
+// emits them, and the interpreter's recover guard around rule
+// compilation does not extend here by design — an invalid program is a
+// compiler bug, not a program error.
+func (f *Frame) run() error {
+	p := f.prog
+	code := p.Code
+	regs := f.regs
+	for pc := 0; ; pc++ {
+		in := code[pc]
+		switch in.Op {
+		case OpHalt:
+			return nil
+		case OpConst:
+			regs[in.A] = p.Consts[in.B]
+		case OpMov:
+			regs[in.A] = regs[in.B]
+		case OpAdd:
+			regs[in.A] = regs[in.B] + regs[in.C]
+		case OpSub:
+			regs[in.A] = regs[in.B] - regs[in.C]
+		case OpMul:
+			regs[in.A] = regs[in.B] * regs[in.C]
+		case OpDiv:
+			r := regs[in.C]
+			if r == 0 {
+				return errDivZero
+			}
+			regs[in.A] = regs[in.B] / r
+		case OpMod:
+			r := regs[in.C]
+			if r == 0 {
+				return errModZero
+			}
+			regs[in.A] = math.Mod(regs[in.B], r)
+		case OpNeg:
+			regs[in.A] = -regs[in.B]
+		case OpNot:
+			regs[in.A] = b2f(regs[in.B] == 0)
+		case OpLT:
+			regs[in.A] = b2f(regs[in.B] < regs[in.C])
+		case OpLE:
+			regs[in.A] = b2f(regs[in.B] <= regs[in.C])
+		case OpGT:
+			regs[in.A] = b2f(regs[in.B] > regs[in.C])
+		case OpGE:
+			regs[in.A] = b2f(regs[in.B] >= regs[in.C])
+		case OpEQ:
+			regs[in.A] = b2f(regs[in.B] == regs[in.C])
+		case OpNE:
+			regs[in.A] = b2f(regs[in.B] != regs[in.C])
+		case OpTrunc:
+			regs[in.A] = math.Trunc(regs[in.B])
+		case OpAbs:
+			regs[in.A] = math.Abs(regs[in.B])
+		case OpSqrt:
+			regs[in.A] = math.Sqrt(regs[in.B])
+		case OpFloor:
+			regs[in.A] = math.Floor(regs[in.B])
+		case OpCeil:
+			regs[in.A] = math.Ceil(regs[in.B])
+		case OpMin:
+			regs[in.A] = math.Min(regs[in.B], regs[in.C])
+		case OpMax:
+			regs[in.A] = math.Max(regs[in.B], regs[in.C])
+		case OpPow:
+			regs[in.A] = math.Pow(regs[in.B], regs[in.C])
+		case OpLoad:
+			rb := &f.refs[in.B]
+			if rb.off < 0 {
+				return f.oob(in.B)
+			}
+			regs[in.A] = rb.data[rb.off]
+		case OpStore:
+			rb := &f.refs[in.A]
+			if rb.off < 0 {
+				return f.oob(in.A)
+			}
+			rb.data[rb.off] = regs[in.B]
+		case OpJmp:
+			pc = int(in.A) - 1
+		case OpJZ:
+			if regs[in.B] == 0 {
+				pc = int(in.A) - 1
+			}
+		case OpJNZ:
+			if regs[in.B] != 0 {
+				pc = int(in.A) - 1
+			}
+		case OpGuard:
+			regs[in.A]++
+			if regs[in.A] > 100_000_000 {
+				return errRunaway
+			}
+		default:
+			return fmt.Errorf("jit: %s: bad opcode %s at pc %d", p.Name, in.Op, pc)
+		}
+	}
+}

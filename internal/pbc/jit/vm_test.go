@@ -1,0 +1,236 @@
+package jit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"petabricks/internal/matrix"
+)
+
+// run assembles a one-off program around the instruction list, executes
+// it in a fresh frame, and returns register 0.
+func runProg(t *testing.T, p *Program, center []int64, mats ...*matrix.Matrix) (float64, error) {
+	t.Helper()
+	f := p.NewFrame()
+	for i, m := range mats {
+		f.BindMatrix(i, m)
+	}
+	err := f.RunCell(center)
+	return f.regs[0], err
+}
+
+func TestOpcodes(t *testing.T) {
+	halt := Instr{Op: OpHalt}
+	cases := []struct {
+		name    string
+		init    []float64 // initial registers; result read from reg 0
+		consts  []float64
+		code    []Instr
+		want    float64
+		wantErr string
+	}{
+		{"const", []float64{0}, []float64{3.5}, []Instr{{OpConst, 0, 0, 0}, halt}, 3.5, ""},
+		{"mov", []float64{0, 7}, nil, []Instr{{OpMov, 0, 1, 0}, halt}, 7, ""},
+		{"add", []float64{0, 2, 3}, nil, []Instr{{OpAdd, 0, 1, 2}, halt}, 5, ""},
+		{"sub", []float64{0, 2, 3}, nil, []Instr{{OpSub, 0, 1, 2}, halt}, -1, ""},
+		{"mul", []float64{0, 2.5, 4}, nil, []Instr{{OpMul, 0, 1, 2}, halt}, 10, ""},
+		{"div", []float64{0, 7, 2}, nil, []Instr{{OpDiv, 0, 1, 2}, halt}, 3.5, ""},
+		{"div-zero", []float64{0, 7, 0}, nil, []Instr{{OpDiv, 0, 1, 2}, halt}, 0, "division by zero"},
+		{"mod", []float64{0, 7.5, 2}, nil, []Instr{{OpMod, 0, 1, 2}, halt}, math.Mod(7.5, 2), ""},
+		{"mod-negative", []float64{0, -7, 3}, nil, []Instr{{OpMod, 0, 1, 2}, halt}, math.Mod(-7, 3), ""},
+		{"mod-zero", []float64{0, 7, 0}, nil, []Instr{{OpMod, 0, 1, 2}, halt}, 0, "modulo by zero"},
+		{"neg", []float64{0, 4}, nil, []Instr{{OpNeg, 0, 1, 0}, halt}, -4, ""},
+		{"not-true", []float64{0, 0}, nil, []Instr{{OpNot, 0, 1, 0}, halt}, 1, ""},
+		{"not-false", []float64{0, 2}, nil, []Instr{{OpNot, 0, 1, 0}, halt}, 0, ""},
+		{"lt", []float64{0, 1, 2}, nil, []Instr{{OpLT, 0, 1, 2}, halt}, 1, ""},
+		{"le-eq", []float64{0, 2, 2}, nil, []Instr{{OpLE, 0, 1, 2}, halt}, 1, ""},
+		{"gt", []float64{0, 1, 2}, nil, []Instr{{OpGT, 0, 1, 2}, halt}, 0, ""},
+		{"ge", []float64{0, 3, 2}, nil, []Instr{{OpGE, 0, 1, 2}, halt}, 1, ""},
+		{"eq", []float64{0, 2, 2}, nil, []Instr{{OpEQ, 0, 1, 2}, halt}, 1, ""},
+		{"ne", []float64{0, 2, 2}, nil, []Instr{{OpNE, 0, 1, 2}, halt}, 0, ""},
+		{"trunc", []float64{0, -2.7}, nil, []Instr{{OpTrunc, 0, 1, 0}, halt}, -2, ""},
+		{"abs", []float64{0, -3}, nil, []Instr{{OpAbs, 0, 1, 0}, halt}, 3, ""},
+		{"sqrt", []float64{0, 9}, nil, []Instr{{OpSqrt, 0, 1, 0}, halt}, 3, ""},
+		{"sqrt-negative", []float64{0, -1}, nil, []Instr{{OpSqrt, 0, 1, 0}, halt}, math.NaN(), ""},
+		{"floor", []float64{0, -2.3}, nil, []Instr{{OpFloor, 0, 1, 0}, halt}, -3, ""},
+		{"ceil", []float64{0, 2.3}, nil, []Instr{{OpCeil, 0, 1, 0}, halt}, 3, ""},
+		{"min", []float64{0, 2, 3}, nil, []Instr{{OpMin, 0, 1, 2}, halt}, 2, ""},
+		{"max", []float64{0, 2, 3}, nil, []Instr{{OpMax, 0, 1, 2}, halt}, 3, ""},
+		{"pow", []float64{0, 2, 10}, nil, []Instr{{OpPow, 0, 1, 2}, halt}, 1024, ""},
+		{"jmp", []float64{0, 5}, nil, []Instr{{OpJmp, 2, 0, 0}, {OpMov, 0, 1, 0}, halt}, 0, ""},
+		{"jz-taken", []float64{0, 0, 5}, nil, []Instr{{OpJZ, 2, 1, 0}, {OpMov, 0, 2, 0}, halt}, 0, ""},
+		{"jz-not-taken", []float64{0, 1, 5}, nil, []Instr{{OpJZ, 2, 1, 0}, {OpMov, 0, 2, 0}, halt}, 5, ""},
+		{"jnz-taken", []float64{0, 1, 5}, nil, []Instr{{OpJNZ, 2, 1, 0}, {OpMov, 0, 2, 0}, halt}, 0, ""},
+		{"jnz-not-taken", []float64{0, 0, 5}, nil, []Instr{{OpJNZ, 2, 1, 0}, {OpMov, 0, 2, 0}, halt}, 5, ""},
+		{"guard-ok", []float64{0}, nil, []Instr{{OpGuard, 0, 0, 0}, halt}, 1, ""},
+		{"guard-runaway", []float64{0, 100_000_000}, nil,
+			[]Instr{{OpMov, 0, 1, 0}, {OpGuard, 0, 0, 0}, halt}, 0, "runaway"},
+		{"bad-opcode", []float64{0}, nil, []Instr{{Op: 200}, halt}, 0, "bad opcode"},
+		// A tight counted loop: r0 counts 0..r1 by r2.
+		{"loop", []float64{0, 10, 1, 0}, nil, []Instr{
+			{OpLT, 3, 0, 1},  // 0: r3 = r0 < r1
+			{OpJZ, 4, 3, 0},  // 1: exit when done
+			{OpAdd, 0, 0, 2}, // 2: r0 += r2
+			{OpJmp, 0, 0, 0}, // 3: back to cond
+			halt,             // 4
+		}, 10, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &Program{Name: "test/" + tc.name, Code: tc.code, Consts: tc.consts, RegInit: tc.init}
+			got, err := runProg(t, p, nil)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("got %v, want NaN", got)
+				}
+				return
+			}
+			if got != tc.want {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadStoreAffine(t *testing.T) {
+	// One-dimensional shift: dst[i] = src[i-1], bound to len-4 vectors.
+	src := matrix.FromSlice([]float64{10, 20, 30, 40})
+	dst := matrix.FromSlice(make([]float64, 4))
+	p := &Program{
+		Name:      "test/shift",
+		NCenter:   1,
+		CenterReg: []int32{-1},
+		RegInit:   []float64{0},
+		Refs: []Ref{
+			{Matrix: "D", Binding: "d", ND: 1, Base: []int64{0}, Coeff: []int64{1}},
+			{Matrix: "S", Binding: "s", ND: 1, Base: []int64{-1}, Coeff: []int64{1}},
+		},
+		Code: []Instr{{OpLoad, 0, 1, 0}, {OpStore, 0, 0, 0}, {Op: OpHalt}},
+	}
+	f := p.NewFrame()
+	f.BindMatrix(0, dst)
+	f.BindMatrix(1, src)
+	for i := int64(1); i < 4; i++ {
+		if err := f.RunCell([]int64{i}); err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+	want := []float64{0, 10, 20, 30}
+	for i, w := range want {
+		if got := dst.Get(i); got != w {
+			t.Fatalf("dst[%d] = %v, want %v", i, got, w)
+		}
+	}
+	// Out-of-range read (center 0 → src[-1]) errors lazily with the
+	// binding name, but only because the body touches it.
+	if err := f.RunCell([]int64{0}); err == nil || !strings.Contains(err.Error(), `"s" out of range`) {
+		t.Fatalf("expected out-of-range error naming binding, got %v", err)
+	}
+	// Out-of-range write.
+	if err := f.RunCell([]int64{4}); err == nil || !strings.Contains(err.Error(), `"d" out of range`) {
+		t.Fatalf("expected store out-of-range error, got %v", err)
+	}
+	// An out-of-range ref the body never touches is not an error.
+	quiet := &Program{
+		Name:      "test/quiet",
+		NCenter:   1,
+		CenterReg: []int32{-1},
+		RegInit:   []float64{0},
+		Refs: []Ref{
+			{Matrix: "S", Binding: "s", ND: 1, Base: []int64{-100}, Coeff: nil},
+		},
+		Code: []Instr{{Op: OpHalt}},
+	}
+	qf := quiet.NewFrame()
+	qf.BindMatrix(0, src)
+	if err := qf.RunCell([]int64{0}); err != nil {
+		t.Fatalf("untouched out-of-range ref should not error: %v", err)
+	}
+}
+
+func TestStridedViewBinding(t *testing.T) {
+	// Bind a non-contiguous column view: strides must come from the
+	// view, not the parent, and Backing addressing must hit the right
+	// cells.
+	base := matrix.New(3, 3)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			base.Set(float64(3*r+c+1), r, c)
+		}
+	}
+	col := base.Region([]int{0, 1}, []int{3, 2}) // middle column, 3x1
+	p := &Program{
+		Name:      "test/col",
+		NCenter:   2,
+		CenterReg: []int32{-1, -1},
+		RegInit:   []float64{0, 100},
+		Refs: []Ref{
+			// 2-D cell ref (x, y) = (0, center_y).
+			{Matrix: "C", Binding: "c", ND: 2, Base: []int64{0, 0}, Coeff: []int64{0, 0, 0, 1}},
+		},
+		Code: []Instr{{OpLoad, 0, 0, 0}, {OpStore, 0, 1, 0}, {Op: OpHalt}},
+	}
+	f := p.NewFrame()
+	f.BindMatrix(0, col)
+	for y := int64(0); y < 3; y++ {
+		if err := f.RunCell([]int64{0, y}); err != nil {
+			t.Fatalf("cell y=%d: %v", y, err)
+		}
+	}
+	for y := 0; y < 3; y++ {
+		if got := base.Get(y, 1); got != 100 {
+			t.Fatalf("base[%d][1] = %v, want 100", y, got)
+		}
+	}
+	if base.Get(0, 0) != 1 || base.Get(2, 2) != 9 {
+		t.Fatal("cells outside the view were clobbered")
+	}
+}
+
+func TestMalformedProgramPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Program
+	}{
+		{"bad-register", &Program{Name: "p", RegInit: []float64{0},
+			Code: []Instr{{OpMov, 50, 0, 0}, {Op: OpHalt}}}},
+		{"bad-ref", &Program{Name: "p", RegInit: []float64{0},
+			Code: []Instr{{OpLoad, 0, 3, 0}, {Op: OpHalt}}}},
+		{"jump-past-end", &Program{Name: "p", RegInit: []float64{0},
+			Code: []Instr{{OpJmp, 99, 0, 0}, {Op: OpHalt}}}},
+		{"missing-halt", &Program{Name: "p", RegInit: []float64{0},
+			Code: []Instr{{OpMov, 0, 0, 0}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f := tc.p.NewFrame()
+			_ = f.RunCell(nil)
+		})
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := &Program{Code: []Instr{{OpAdd, 0, 1, 2}, {Op: OpHalt}}}
+	d := p.Disassemble()
+	if !strings.Contains(d, "add") || !strings.Contains(d, "halt") {
+		t.Fatalf("unexpected disassembly:\n%s", d)
+	}
+	if Op(200).String() != "op(200)" {
+		t.Fatalf("unknown op rendering: %s", Op(200))
+	}
+}

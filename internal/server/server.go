@@ -16,7 +16,7 @@
 //
 // API:
 //
-//	POST /v1/run       {"program","n","seed","acc"}      execute once
+//	POST /v1/run       {"program","n","seed","acc","engine"}  execute once
 //	POST /v1/tune      {"program","n","max","wait"}      (re)tune
 //	POST /v1/jobs      {"program","n","seed","acc"}      submit async job
 //	GET  /v1/jobs/{id}                                   poll job state
@@ -42,6 +42,7 @@ import (
 	"petabricks/internal/cluster"
 	"petabricks/internal/configstore"
 	"petabricks/internal/obs"
+	"petabricks/internal/pbc/interp"
 	"petabricks/internal/runtime"
 )
 
@@ -309,6 +310,17 @@ type runRequest struct {
 	N       int    `json:"n"`
 	Seed    int64  `json:"seed"`
 	Acc     *int   `json:"acc"` // poisson accuracy index; nil = highest
+	// Engine optionally pins the execution tier for interpreted
+	// programs: "interp", "closure" or "jit". Empty leaves the tuned
+	// configuration's choice in place. Native kernels ignore it.
+	Engine string `json:"engine,omitempty"`
+}
+
+// engineModes maps the /v1/run engine names to interp.EngineKey values.
+var engineModes = map[string]int64{
+	"interp":  interp.EngineInterp,
+	"closure": interp.EngineClosure,
+	"jit":     interp.EngineJIT,
 }
 
 type runResponse struct {
@@ -353,6 +365,12 @@ func (s *Server) validateRun(req *runRequest) (b *bench.Benchmark, acc int, code
 	if req.Acc != nil {
 		acc = *req.Acc
 	}
+	if req.Engine != "" {
+		if _, ok := engineModes[req.Engine]; !ok {
+			return nil, 0, http.StatusBadRequest,
+				fmt.Sprintf("unknown engine %q (want interp, closure or jit)", req.Engine)
+		}
+	}
 	return b, acc, 0, ""
 }
 
@@ -363,13 +381,18 @@ func (s *Server) validateRun(req *runRequest) (b *bench.Benchmark, acc int, code
 func (s *Server) resolveConfig(b *bench.Benchmark, req runRequest) (cfg *choice.Config, keyStr, source string, bucket int, errMsg string) {
 	cfg, key, tuned := s.store.Lookup(req.Program, int64(req.N), s.pool.NumWorkers())
 	if tuned {
-		return cfg, key.String(), "store", key.Bucket, ""
-	}
-	if b.Baseline == nil {
+		keyStr, source, bucket = key.String(), "store", key.Bucket
+	} else if b.Baseline != nil {
+		cfg, keyStr, source, bucket = b.Baseline(), "baseline", "baseline", -1
+	} else {
 		return nil, "", "", -1,
 			fmt.Sprintf("program %q has no tuned configuration and no baseline; tune it first", req.Program)
 	}
-	return b.Baseline(), "baseline", "baseline", -1, ""
+	if mode, ok := engineModes[req.Engine]; ok {
+		cfg = cfg.Clone()
+		cfg.SetInt(interp.EngineKey, mode)
+	}
+	return cfg, keyStr, source, bucket, ""
 }
 
 // execute runs one benchmark request under the admission layer and
@@ -458,7 +481,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// serves other clients too); the admission QueueTimeout still
 	// bounds the wait.
 	if s.coalescer != nil && req.N <= s.opts.CoalesceMaxN {
-		ckey := fmt.Sprintf("%s/%d/%d/%d/%s", req.Program, req.N, req.Seed, acc, keyStr)
+		ckey := fmt.Sprintf("%s/%d/%d/%d/%s/%s", req.Program, req.N, req.Seed, acc, keyStr, req.Engine)
 		v, err, follower := s.coalescer.Do(ckey, func() (any, error) {
 			res, err := s.execute(context.Background(), b, cfg, req, acc)
 			if err != nil {
@@ -654,6 +677,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"leaders":   s.coalescer.Leaders(),
 			"followers": s.coalescer.Followers(),
 		},
+		"engines": interp.EngineStatsSnapshot(),
 	})
 }
 

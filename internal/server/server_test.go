@@ -415,6 +415,52 @@ func TestErrorsAndStats(t *testing.T) {
 	}
 }
 
+// TestEngineSelection pins the execution tier per request and checks
+// the three tiers agree on an interpreted program; /v1/stats must
+// surface the tier-compilation statistics.
+func TestEngineSelection(t *testing.T) {
+	_, ts := newTestServer(t, "", nil)
+	if st, _ := postJSON(t, ts.URL+"/v1/run", map[string]any{"program": "RollingSum", "n": 64, "engine": "turbo"}); st != http.StatusBadRequest {
+		t.Fatalf("bad engine: got %d, want 400", st)
+	}
+	var sums []float64
+	for _, eng := range []string{"interp", "closure", "jit"} {
+		st, body := postJSON(t, ts.URL+"/v1/run", map[string]any{"program": "RollingSum", "n": 64, "engine": eng})
+		if st != http.StatusOK {
+			t.Fatalf("engine %s: got %d: %v", eng, st, body)
+		}
+		sums = append(sums, body["checksum"].(float64))
+	}
+	if sums[0] != sums[1] || sums[1] != sums[2] {
+		t.Fatalf("tiers disagree: checksums %v", sums)
+	}
+	st, body := getJSON(t, ts.URL+"/v1/stats")
+	if st != http.StatusOK {
+		t.Fatal("stats failed")
+	}
+	engines, ok := body["engines"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing engines section: %v", body)
+	}
+	compiled, ok := engines["compiled"].(map[string]any)
+	if !ok || len(compiled) == 0 {
+		t.Fatalf("engines stats recorded no tier compiles: %v", engines)
+	}
+	// The served RollingSum rule reads a region binding, which is
+	// outside the bytecode fragment: the jit must surface a typed
+	// per-rule fallback reason rather than a blanket skip.
+	found := false
+	for _, f := range engines["fallbacks"].([]any) {
+		r := f.(map[string]any)
+		if r["tier"] == "jit" && r["transform"] == "RollingSum" && r["construct"] == "view-binding" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no typed jit fallback reason in stats: %v", engines)
+	}
+}
+
 // TestTuneNeverPromotesBrokenConfig sanity-checks the tuner's evaluator
 // path: the WallClock evaluator must give a working baseline config a
 // finite cost (broken configs score 1e30 and can never rank above it).
