@@ -57,6 +57,10 @@ type baseline struct {
 	Description string            `json:"description"`
 	Environment map[string]string `json:"environment,omitempty"`
 	Benchmarks  []entry           `json:"benchmarks"`
+	// Coldstart is the warm-vs-cold first-request record that `pbbench
+	// -coldstart -baseline` maintains; the gate carries it through
+	// -write untouched rather than owning its shape.
+	Coldstart json.RawMessage `json:"coldstart,omitempty"`
 }
 
 func main() {

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"petabricks/internal/artifact"
+	"petabricks/internal/matrix"
+	"petabricks/internal/pbc/interp"
+	"petabricks/internal/pbc/parser"
+)
+
+// coldstartResult is the JSON shape merged under the baseline file's
+// "coldstart" key: first-request latency with an empty artifact store
+// (cold — every rule lowered from source) vs. the same request against
+// a store persisted by a previous process (warm — bytecode loaded from
+// disk). Best-of-trials on both sides filters scheduler noise.
+type coldstartResult struct {
+	Program     string  `json:"program"`
+	N           int64   `json:"n"`
+	Trials      int     `json:"trials"`
+	ColdSeconds float64 `json:"cold_first_request_seconds"`
+	WarmSeconds float64 `json:"warm_first_request_seconds"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// runColdstart measures warm-vs-cold first-request latency for Heat1D
+// (fully jit-lowerable, so the whole compile pipeline is on the cold
+// path and the whole warm-start path replaces it). Each trial uses a
+// fresh directory: the cold run populates it, the warm run reopens it
+// with a brand-new engine and store instance, exactly like a restarted
+// pbserve node.
+func runColdstart(trials int, n int64) (*coldstartResult, error) {
+	if trials <= 0 {
+		trials = 5
+	}
+	res := &coldstartResult{Program: "Heat1D", N: n, Trials: trials}
+	firstRequest := func(dir string) (float64, map[string]*matrix.Matrix, error) {
+		store, err := artifact.Open(dir, artifact.Options{})
+		if err != nil {
+			return 0, nil, err
+		}
+		prog, err := parser.Parse(parser.Heat1DSrc)
+		if err != nil {
+			return 0, nil, err
+		}
+		eng, err := interp.New(prog)
+		if err != nil {
+			return 0, nil, err
+		}
+		eng.UseArtifacts(store)
+		inputs, err := eng.GenerateInputs("Heat1D", n, 1)
+		if err != nil {
+			return 0, nil, err
+		}
+		start := time.Now()
+		outs, err := eng.Run("Heat1D", inputs)
+		return time.Since(start).Seconds(), outs, err
+	}
+	for trial := 0; trial < trials; trial++ {
+		dir, err := os.MkdirTemp("", "pbbench-coldstart-")
+		if err != nil {
+			return nil, err
+		}
+		coldSec, coldOuts, err := firstRequest(dir)
+		if err == nil {
+			var warmSec float64
+			var warmOuts map[string]*matrix.Matrix
+			warmSec, warmOuts, err = firstRequest(dir)
+			if err == nil {
+				for name, m := range coldOuts {
+					if !m.Equal(warmOuts[name]) {
+						err = fmt.Errorf("coldstart: output %s differs between cold and warm run", name)
+						break
+					}
+				}
+			}
+			if err == nil && (trial == 0 || coldSec < res.ColdSeconds) {
+				res.ColdSeconds = coldSec
+			}
+			if err == nil && (trial == 0 || warmSec < res.WarmSeconds) {
+				res.WarmSeconds = warmSec
+			}
+		}
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if res.WarmSeconds > 0 {
+		res.Speedup = res.ColdSeconds / res.WarmSeconds
+	}
+	return res, nil
+}
+
+// baselineDoc mirrors the benchcmp baseline file shape closely enough
+// to update one key without disturbing the others: the gate owns
+// "benchmarks" (kept as raw bytes), this experiment owns "coldstart".
+type baselineDoc struct {
+	Description string            `json:"description"`
+	Environment map[string]string `json:"environment,omitempty"`
+	Benchmarks  json.RawMessage   `json:"benchmarks"`
+	Coldstart   json.RawMessage   `json:"coldstart,omitempty"`
+}
+
+// mergeColdstart writes the result under the "coldstart" key of the
+// baseline JSON file, leaving every other section intact.
+func mergeColdstart(path string, res *coldstartResult) error {
+	var doc baselineDoc
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	doc.Coldstart = blob
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

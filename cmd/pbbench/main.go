@@ -4,11 +4,18 @@
 // Usage:
 //
 //	pbbench -exp fig11|fig12|fig14|fig15|fig16|table1|table2|cutoff|all [-quick] [-metrics file]
+//	pbbench -coldstart [-coldstart-n n] [-trials k] [-baseline BENCH_interp.json]
 //
 // -quick shrinks every experiment to seconds-scale sizes; without it the
 // defaults approximate the paper's ranges at laptop scale. -metrics
 // instruments the runtime pool, the interpreter, and the autotuner and
 // writes a JSON metrics snapshot after the experiments ("-" = stdout).
+//
+// -coldstart measures restart behavior instead: the first-request
+// latency of a fresh engine against an empty artifact store (cold —
+// rules lowered from source) vs. the same store reopened (warm —
+// persisted bytecode loaded from disk). With -baseline the result is
+// recorded under the file's "coldstart" key.
 package main
 
 import (
@@ -26,11 +33,37 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig11, fig12, fig14, fig15, fig16, table1, table2, cutoff, all)")
-		quick   = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
-		metrics = flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run (\"-\" = stdout)")
+		exp       = flag.String("exp", "all", "experiment id (fig11, fig12, fig14, fig15, fig16, table1, table2, cutoff, all)")
+		quick     = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
+		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run (\"-\" = stdout)")
+		coldstart = flag.Bool("coldstart", false, "measure warm-vs-cold first-request latency instead of running experiments")
+		coldN     = flag.Int64("coldstart-n", 256, "problem size for -coldstart")
+		trials    = flag.Int("trials", 5, "best-of trials for -coldstart")
+		baseline  = flag.String("baseline", "", "merge -coldstart results into this baseline JSON file (e.g. BENCH_interp.json)")
 	)
 	flag.Parse()
+
+	if *coldstart {
+		n := *coldN
+		if *quick {
+			n = 64
+		}
+		res, err := runColdstart(*trials, n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# coldstart: %s n=%d, best of %d trials\n", res.Program, res.N, res.Trials)
+		fmt.Printf("cold first request\t%.6fs\n", res.ColdSeconds)
+		fmt.Printf("warm first request\t%.6fs\n", res.WarmSeconds)
+		fmt.Printf("speedup\t%.2fx\n", res.Speedup)
+		if *baseline != "" {
+			if err := mergeColdstart(*baseline, res); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("# merged into %s\n", *baseline)
+		}
+		return
+	}
 
 	var mreg *obs.Registry
 	if *metrics != "" {

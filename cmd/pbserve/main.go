@@ -18,6 +18,7 @@
 //	-addr addr        listen address (default :8600)
 //	-store file       config-store snapshot file (default pbserve.store.json)
 //	-store-max n      LRU bound on stored configs (default 256)
+//	-artifacts dir    compiled-artifact directory (default <store>.artifacts; 'off' disables)
 //	-workers n        shared pool worker threads (default all CPUs)
 //	-dsl glob         .pbcc files to serve (e.g. 'testdata/*.pbcc')
 //	-max-inflight n   concurrent executions (default 2x workers)
@@ -58,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"petabricks/internal/artifact"
 	"petabricks/internal/autotuner"
 	"petabricks/internal/cluster"
 	"petabricks/internal/configstore"
@@ -72,6 +74,7 @@ func main() {
 		addr      = flag.String("addr", ":8600", "listen address")
 		storePath = flag.String("store", "pbserve.store.json", "config-store snapshot file")
 		storeMax  = flag.Int("store-max", configstore.DefaultMax, "LRU bound on stored configs")
+		artDir    = flag.String("artifacts", "", "compiled-artifact directory (default <store>.artifacts; 'off' disables persistence)")
 		workers   = flag.Int("workers", 0, "worker threads (default all CPUs)")
 		dslGlob   = flag.String("dsl", "", "glob of .pbcc files to serve")
 		inflight  = flag.Int("max-inflight", 0, "concurrent executions (default 2x workers)")
@@ -114,6 +117,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// The artifact store persists compiled bytecode beside the config
+	// store so a restarted node serves its first request without
+	// re-lowering anything ("off" keeps it in memory only).
+	dir := *artDir
+	if dir == "" {
+		dir = *storePath + ".artifacts"
+	}
+	var arts *artifact.Store
+	if dir == "off" {
+		arts = artifact.NewMemOnly()
+	} else {
+		arts, err = artifact.Open(dir, artifact.Options{Logf: log.Printf})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	pool := runtime.NewPool(*workers)
 
 	// A long-running daemon always collects metrics: the /metrics scrape
@@ -153,6 +174,7 @@ func main() {
 		ReplicateInterval: *replicate,
 		CoalesceWindow:    *coalesce,
 		MaxJobs:           *maxJobs,
+		Artifacts:         arts,
 	})
 	if err != nil {
 		fatal(err)
@@ -166,6 +188,9 @@ func main() {
 	}
 	log.Printf("pbserve: listening on %s (%d workers, %d programs, store %s, %d tuned configs)",
 		*addr, pool.NumWorkers(), len(reg.Names()), *storePath, store.Len())
+	if arts.Persistent() {
+		log.Printf("pbserve: artifact store %s holds %d compiled artifacts", arts.Dir(), arts.Len())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

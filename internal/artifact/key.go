@@ -1,0 +1,197 @@
+// Package artifact is the tiered store for compiled execution
+// artifacts: the holders the rule compiler produces per (transform,
+// sizes, config, engine) invocation key. Three tiers sit behind one
+// Store:
+//
+//   - in-memory: bounded MemCache maps (one per artifact kind) holding
+//     live holders — compiled-rule programs, execution plans — shared
+//     across Engine.WithConfig views exactly like the bespoke caches
+//     they replaced (PRs 2, 5, 7);
+//   - disk: serializable artifacts (flat-bytecode jit programs) persist
+//     beside the configstore as checksummed, schema-versioned files
+//     written with the same atomic temp-file + rename idiom, so a
+//     restarted pbserve node serves its first request without
+//     recompiling;
+//   - peer: the cluster replicator pulls missing artifacts from peers
+//     over /v1/artifacts digest probes piggybacked on configstore
+//     replication, so a newly provisioned node starts hot too.
+//
+// This file defines the canonical invocation Key. PRs 2–7 grew three
+// separate caches keyed by near-identical hand-rolled strings; every
+// cache now derives its key from one builder, and the unit tests prove
+// each component (engine, config, sizes, program) perturbs it.
+package artifact
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"petabricks/internal/choice"
+)
+
+// SchemaVersion is the on-disk artifact schema. Bump it whenever the
+// serialized payload shape changes (e.g. the jit instruction set);
+// artifacts written under any other version are rejected at load and
+// recompiled rather than decoded.
+const SchemaVersion = 2
+
+// Artifact kinds. Program and Plan artifacts live in the memory tier
+// only (they hold Go closures and analysis pointers); JIT artifacts —
+// plain-data bytecode programs — also persist to disk.
+const (
+	KindProgram = "prog"
+	KindPlan    = "plan"
+	KindJIT     = "jit"
+)
+
+// Key identifies one compiled artifact: which program text, which
+// transform, at which concrete sizes, under which configuration, for
+// which execution tier. Two invocations share an artifact iff their
+// Keys are equal; the schema version joins the key on disk (see ID) so
+// incompatible payloads can never be loaded by accident.
+type Key struct {
+	// Prog fingerprints the whole source program so two engines serving
+	// same-named transforms from different files never collide in a
+	// shared store.
+	Prog uint64
+	// Transform is the transform (or template-instance) name.
+	Transform string
+	// Sizes is the canonical size-vector encoding from SizesKey.
+	Sizes string
+	// ConfigFP is the configuration fingerprint from ConfigFingerprint.
+	ConfigFP uint64
+	// Engine is the resolved execution tier (interp.EngineInterp /
+	// EngineClosure / EngineJIT). The config fingerprint already covers
+	// an explicitly set pbc.engine tunable; keeping the resolved tier
+	// explicit also separates configs that rely on the default.
+	Engine int
+}
+
+// String renders the canonical cache-key form, e.g.
+// "p=1a2b|RollingSum|n=64|cfg=9f3c|eng=2".
+func (k Key) String() string {
+	var b strings.Builder
+	b.Grow(len(k.Transform) + len(k.Sizes) + 48)
+	b.WriteString("p=")
+	b.WriteString(strconv.FormatUint(k.Prog, 16))
+	b.WriteByte('|')
+	b.WriteString(k.Transform)
+	if k.Sizes != "" {
+		b.WriteByte('|')
+		b.WriteString(k.Sizes)
+	}
+	b.WriteString("|cfg=")
+	b.WriteString(strconv.FormatUint(k.ConfigFP, 16))
+	b.WriteString("|eng=")
+	b.WriteString(strconv.Itoa(k.Engine))
+	return b.String()
+}
+
+// ID is the filename-safe identity of the key at the current schema
+// version: "v<schema>-<fnv64 of String>".
+func (k Key) ID() string {
+	return "v" + strconv.Itoa(SchemaVersion) + "-" + strconv.FormatUint(HashString(k.String()), 16)
+}
+
+// SizesKey encodes a bound size vector canonically (sorted by variable
+// name), e.g. "m=3|n=64".
+func SizesKey(sizes map[string]int64) string {
+	if len(sizes) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(sizes))
+	for k := range sizes {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.Grow(16 * len(names))
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatInt(sizes[k], 10))
+	}
+	return b.String()
+}
+
+// fnvMix streams bytes through an inline FNV-1a state; hashing a config
+// this way (instead of serializing its text form into a hasher) keeps
+// the per-invocation cache-key cost allocation-free.
+type fnvMix uint64
+
+const fnvOffset64 fnvMix = 14695981039346656037
+
+func (h fnvMix) str(s string) fnvMix {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ fnvMix(s[i])) * 1099511628211
+	}
+	return h
+}
+
+func (h fnvMix) num(v int64) fnvMix {
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ fnvMix(byte(v>>i))) * 1099511628211
+	}
+	return h
+}
+
+// HashString is the package's FNV-1a 64-bit string hash, exposed so key
+// derivation (program fingerprints, file IDs, digests) all use one
+// function.
+func HashString(s string) uint64 { return uint64(fnvOffset64.str(s)) }
+
+// HashBytes hashes a byte slice with the same FNV-1a parameters; it is
+// the payload checksum of the disk tier.
+func HashBytes(b []byte) uint64 {
+	h := fnvOffset64
+	for _, c := range b {
+		h = (h ^ fnvMix(c)) * 1099511628211
+	}
+	return uint64(h)
+}
+
+// ConfigFingerprint hashes the configuration's contents (int tunables,
+// selectors, per-level parameters, in sorted key order); it keys every
+// artifact cache so engine views running under different configurations
+// never share an entry.
+func ConfigFingerprint(cfg *choice.Config) uint64 {
+	h := fnvMix(fnvOffset64)
+	if cfg == nil {
+		return uint64(h)
+	}
+	h = h.num(int64(len(cfg.Ints)))
+	for _, k := range sortedKeys(cfg.Ints) {
+		h = h.str(k).num(cfg.Ints[k])
+	}
+	sels := make([]string, 0, len(cfg.Sels))
+	for k := range cfg.Sels {
+		sels = append(sels, k)
+	}
+	sort.Strings(sels)
+	for _, k := range sels {
+		h = h.str(k)
+		for _, l := range cfg.Sels[k].Levels {
+			h = h.num(l.Cutoff).num(int64(l.Choice)).num(int64(len(l.Params)))
+			for _, pk := range sortedKeys(l.Params) {
+				h = h.str(pk).num(l.Params[pk])
+			}
+		}
+	}
+	return uint64(h)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,89 @@
+package artifact
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMemCacheGetOrCreate(t *testing.T) {
+	c := NewMemCache(KindProgram, 4)
+	v, created := c.GetOrCreate("a", func() any { return 1 })
+	if !created || v.(int) != 1 {
+		t.Fatalf("first GetOrCreate = (%v, %v), want (1, true)", v, created)
+	}
+	v, created = c.GetOrCreate("a", func() any { return 2 })
+	if created || v.(int) != 1 {
+		t.Fatalf("second GetOrCreate = (%v, %v), want cached (1, false)", v, created)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+// TestMemCacheBoundAndEvict fills the cache past its bound and checks
+// FIFO eviction order plus the eviction callback contract.
+func TestMemCacheBoundAndEvict(t *testing.T) {
+	const max = 4
+	c := NewMemCache(KindPlan, max)
+	var evicted []string
+	c.SetOnEvict(func(key string, v any) { evicted = append(evicted, key) })
+	for i := 0; i < max+3; i++ {
+		c.GetOrCreate(fmt.Sprintf("k%d", i), func() any { return i })
+	}
+	if c.Len() != max {
+		t.Errorf("cache holds %d entries, want bound %d", c.Len(), max)
+	}
+	if c.Evictions() != 3 {
+		t.Errorf("evictions = %d, want 3", c.Evictions())
+	}
+	want := []string{"k0", "k1", "k2"}
+	if fmt.Sprint(evicted) != fmt.Sprint(want) {
+		t.Errorf("evicted %v, want FIFO order %v", evicted, want)
+	}
+	if c.Contains("k0") {
+		t.Error("oldest entry survived eviction")
+	}
+	if !c.Contains(fmt.Sprintf("k%d", max+2)) {
+		t.Error("newest entry missing")
+	}
+}
+
+func TestMemCacheDefaultBound(t *testing.T) {
+	c := NewMemCache(KindJIT, 0)
+	for i := 0; i < DefaultMemPerKind+5; i++ {
+		c.GetOrCreate(fmt.Sprintf("k%d", i), func() any { return nil })
+	}
+	if c.Len() != DefaultMemPerKind {
+		t.Errorf("cache holds %d entries, want default bound %d", c.Len(), DefaultMemPerKind)
+	}
+}
+
+// TestMemCacheConcurrent hammers one key from many goroutines; exactly
+// one create may run and every caller must observe its value. Run under
+// -race.
+func TestMemCacheConcurrent(t *testing.T) {
+	c := NewMemCache(KindProgram, 8)
+	var creates int // guarded by the cache lock: create runs under it
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v, _ := c.GetOrCreate("shared", func() any {
+					creates++
+					return "value"
+				})
+				if v.(string) != "value" {
+					t.Errorf("observed %v", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if creates != 1 {
+		t.Errorf("create ran %d times, want exactly once", creates)
+	}
+}

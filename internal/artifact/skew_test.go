@@ -1,0 +1,101 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixtureV1 returns the committed v1-schema artifact fixture (raw file
+// bytes and filename). The file was written by a hypothetical older
+// binary: valid header, valid checksum, schema 1 — readable, verifiable,
+// and still unloadable, because the payload shape is one schema behind.
+func fixtureV1(t *testing.T) (name string, raw []byte) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join("testdata", "artifacts", "v1-*"+fileExt))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected exactly one committed v1 fixture, got %v (err %v)", matches, err)
+	}
+	raw, err = os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Base(matches[0]), raw
+}
+
+// TestVersionSkewRejectedOnOpen opens a store over a directory holding
+// an artifact from an older schema version. The store must reject it
+// cleanly — counted under the schema reason, never indexed, never
+// served — while leaving the file in place (a rollback to the older
+// binary may still want it). The caller's recompile path then persists
+// a current-schema artifact beside it without interference.
+func TestVersionSkewRejectedOnOpen(t *testing.T) {
+	name, raw := fixtureV1(t)
+	dir := t.TempDir()
+	stale := filepath.Join(dir, name)
+	if err := os.WriteFile(stale, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openStore(t, dir)
+	if s.Len() != 0 {
+		t.Fatalf("v1 artifact indexed by a v%d store", SchemaVersion)
+	}
+	if s.CorruptCount() != 1 {
+		t.Errorf("corrupt count = %d, want 1", s.CorruptCount())
+	}
+	reasons := s.Stats()["corrupt"].(map[string]any)["reasons"].(map[string]int64)
+	if reasons[CorruptSchema] != 1 {
+		t.Errorf("schema reason count = %d, want 1 (reasons %v)", reasons[CorruptSchema], reasons)
+	}
+	if _, err := os.Stat(stale); err != nil {
+		t.Errorf("schema-skewed artifact was quarantined; want kept in place: %v", err)
+	}
+
+	// The recompile path: a miss, then a current-schema save, then hits.
+	key := testKey(64)
+	if loadPayload(s, KindJIT, key) != nil {
+		t.Fatal("load hit against a store holding only a v1 artifact")
+	}
+	fresh := []byte("recompiled under the current schema")
+	if err := s.Save(KindJIT, key, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if got := loadPayload(s, KindJIT, key); !bytes.Equal(got, fresh) {
+		t.Errorf("recompiled artifact loads %q, want %q", got, fresh)
+	}
+	// Reopen: still exactly one valid entry, the stale file still there,
+	// still counted.
+	s2 := openStore(t, dir)
+	if s2.Len() != 1 {
+		t.Errorf("reopened store indexes %d artifacts, want 1", s2.Len())
+	}
+	if s2.CorruptCount() != 1 {
+		t.Errorf("reopened corrupt count = %d, want 1", s2.CorruptCount())
+	}
+}
+
+// TestVersionSkewRejectedOnInstall feeds the committed v1 fixture
+// through the peer-install path: replication across a mixed-version
+// cluster must refuse foreign-schema artifacts with the typed schema
+// reason rather than write them locally.
+func TestVersionSkewRejectedOnInstall(t *testing.T) {
+	_, raw := fixtureV1(t)
+	s := openStore(t, t.TempDir())
+	_, err := s.InstallRaw(raw)
+	if err == nil {
+		t.Fatal("v1 artifact installed into a v2 store")
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Reason != CorruptSchema {
+		t.Errorf("got %v, want CorruptError with reason %s", err, CorruptSchema)
+	}
+	if s.Len() != 0 {
+		t.Error("rejected install left an index entry")
+	}
+	if s.CorruptCount() != 1 {
+		t.Errorf("corrupt count = %d, want 1", s.CorruptCount())
+	}
+}

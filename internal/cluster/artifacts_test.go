@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"petabricks/internal/artifact"
+	"petabricks/internal/configstore"
+)
+
+// fakeArtifactPeer serves /v1/configs (empty) and /v1/artifacts from a
+// real artifact store, the way pbserve does, counting request shapes.
+func fakeArtifactPeer(t *testing.T, src *artifact.Store) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var digestCalls, rawCalls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/configs":
+			json.NewEncoder(w).Encode(ConfigsResponse{Digest: "static"})
+		case "/v1/artifacts":
+			q := r.URL.Query()
+			if id := q.Get("id"); id != "" {
+				rawCalls.Add(1)
+				raw, err := src.ReadRaw(id)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusNotFound)
+					return
+				}
+				w.Write(raw)
+				return
+			}
+			resp := ArtifactsResponse{Digest: DigestString(src.Digest()), Schema: artifact.SchemaVersion}
+			if q.Get("digest") != "" {
+				digestCalls.Add(1)
+			} else {
+				resp.Entries = src.List()
+			}
+			json.NewEncoder(w).Encode(resp)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &digestCalls, &rawCalls
+}
+
+// TestReplicatorPullsArtifacts is the peer tier end to end: a node with
+// an empty store pulls a peer's compiled artifacts, verifies them, and
+// serves them locally; unchanged digests short-circuit later rounds.
+func TestReplicatorPullsArtifacts(t *testing.T) {
+	src, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := artifact.Key{Prog: 7, Transform: "Heat1D", Sizes: "n=64", ConfigFP: 9, Engine: 2}
+	payload := []byte("compiled bytecode from the peer")
+	if err := src.Save(artifact.KindJIT, key, payload); err != nil {
+		t.Fatal(err)
+	}
+	peer, digestCalls, rawCalls := fakeArtifactPeer(t, src)
+
+	dst, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgStore, _ := configstore.Open("", 16)
+	self := "http://127.0.0.1:1"
+	c, err := New(Options{Self: self, Peers: []string{self, peer.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplicator(c, cfgStore, time.Hour, 0.02, t.Logf).WithArtifacts(dst)
+
+	r.PullOnce(context.Background())
+	if !dst.Has(key.ID()) {
+		t.Fatal("peer artifact not installed")
+	}
+	var got []byte
+	if !dst.Load(artifact.KindJIT, key, func(p []byte) error {
+		got = append([]byte(nil), p...)
+		return nil
+	}) {
+		t.Fatal("installed artifact does not load")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("installed payload %q, want %q", got, payload)
+	}
+	if rawCalls.Load() != 1 {
+		t.Fatalf("raw fetches = %d, want 1", rawCalls.Load())
+	}
+
+	// Second round: the artifact digest is unchanged, so the replicator
+	// probes and stops — no listing, no raw fetches.
+	r.PullOnce(context.Background())
+	if rawCalls.Load() != 1 {
+		t.Fatalf("second round re-fetched artifacts (%d raw calls)", rawCalls.Load())
+	}
+	if digestCalls.Load() != 2 {
+		t.Fatalf("digest probes = %d, want 2", digestCalls.Load())
+	}
+	st := r.Stats()
+	if st["artifacts_pulled"].(int64) != 1 || st["artifacts_skipped"].(int64) != 1 {
+		t.Fatalf("stats = %v, want 1 pulled / 1 skipped", st)
+	}
+}
+
+// TestReplicatorArtifactsNeedPersistentStore pins WithArtifacts'
+// contract: a memory-only store cannot install peer files, so the tier
+// stays disabled rather than erroring every round.
+func TestReplicatorArtifactsNeedPersistentStore(t *testing.T) {
+	cfgStore, _ := configstore.Open("", 16)
+	self := "http://127.0.0.1:1"
+	c, err := New(Options{Self: self, Peers: []string{self}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplicator(c, cfgStore, time.Hour, 0.02, t.Logf).WithArtifacts(artifact.NewMemOnly())
+	if r.Stats()["artifacts_enabled"].(bool) {
+		t.Error("memory-only store enabled the artifact tier")
+	}
+	r = r.WithArtifacts(nil)
+	if r.Stats()["artifacts_enabled"].(bool) {
+		t.Error("nil store enabled the artifact tier")
+	}
+}
+
+// TestReplicatorRejectsTamperedPeerArtifact: a hostile or corrupt peer
+// serves bytes whose checksum does not match; the local store must
+// reject the install and count it, and the replicator must survive.
+func TestReplicatorRejectsTamperedPeerArtifact(t *testing.T) {
+	src, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := artifact.Key{Prog: 7, Transform: "T", Sizes: "n=8", ConfigFP: 1, Engine: 2}
+	if err := src.Save(artifact.KindJIT, key, []byte("true payload")); err != nil {
+		t.Fatal(err)
+	}
+	// A peer that serves the listing honestly but tampers with raw bytes.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/configs":
+			json.NewEncoder(w).Encode(ConfigsResponse{Digest: "static"})
+		case "/v1/artifacts":
+			if id := r.URL.Query().Get("id"); id != "" {
+				raw, _ := src.ReadRaw(id)
+				raw[len(raw)-1] ^= 1
+				w.Write(raw)
+				return
+			}
+			json.NewEncoder(w).Encode(ArtifactsResponse{
+				Digest: DigestString(src.Digest()), Schema: artifact.SchemaVersion, Entries: src.List(),
+			})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+
+	dst, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgStore, _ := configstore.Open("", 16)
+	self := "http://127.0.0.1:1"
+	c, err := New(Options{Self: self, Peers: []string{self, ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplicator(c, cfgStore, time.Hour, 0.02, t.Logf).WithArtifacts(dst)
+	r.PullOnce(context.Background())
+	if dst.Len() != 0 {
+		t.Error("tampered peer artifact was installed")
+	}
+	if dst.CorruptCount() == 0 {
+		t.Error("tampered peer artifact not counted corrupt")
+	}
+	if r.Stats()["artifact_errors"].(int64) == 0 {
+		t.Error("tampered install not counted as an artifact error")
+	}
+}

@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 
+	"petabricks/internal/artifact"
 	"petabricks/internal/choice"
 	"petabricks/internal/matrix"
 	"petabricks/internal/pbc/ast"
@@ -47,6 +49,12 @@ type Options struct {
 	Seed    int64 // seed for inputs and random configs
 	MaxN    int   // largest problem size exercised (default 14)
 	Fault   Fault
+	// NoWarmCold disables the warm/cold persistence axis: by default
+	// every case also runs once against an empty persistent artifact
+	// store (cold) and once against the same store reopened (warm), and
+	// the two runs must be bit-identical — the restart path is part of
+	// the oracle matrix, not a separate test.
+	NoWarmCold bool
 }
 
 func (o Options) withDefaults() Options {
@@ -290,6 +298,14 @@ func (h *Harness) Check(c *gen.Case) (*Result, error) {
 	for _, n := range ns {
 		inputs := c.MakeInputs(n, rand.New(rand.NewSource(h.inputSeed(c.Name, n))))
 		divs, runs := h.checkPoint(s, inputs, cfgs)
+		if !h.opts.NoWarmCold {
+			wcDivs, wcRuns, err := h.checkWarmCold(c, inputs)
+			if err != nil {
+				return nil, fmt.Errorf("difftest: warm/cold axis for %s: %w", c.Name, err)
+			}
+			divs = append(divs, wcDivs...)
+			runs += wcRuns
+		}
 		res.Runs += runs
 		for _, d := range divs {
 			d.Case, d.Family, d.N = c.Name, c.Family, n
@@ -297,6 +313,68 @@ func (h *Harness) Check(c *gen.Case) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// checkWarmCold runs one case twice through the jit tier against a
+// persistent artifact store: once cold (empty directory — every rule is
+// lowered and persisted) and once warm (same directory reopened by a
+// fresh subject — persisted bytecode is loaded instead of lowered). The
+// outputs must be bit-identical, and when the cold run persisted
+// anything, the warm run must actually have loaded it — a silent
+// fall-through to recompilation would leave the restart path untested.
+func (h *Harness) checkWarmCold(c *gen.Case, inputs map[string]*matrix.Matrix) ([]*Divergence, int, error) {
+	dir, err := os.MkdirTemp("", "pbdiff-arts-")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	ax := axis{engine: interp.EngineJIT}
+	run := func() (map[string]*matrix.Matrix, error, *artifact.Store) {
+		store, err := artifact.Open(dir, artifact.Options{})
+		if err != nil {
+			return nil, err, nil
+		}
+		s, err := h.newSubject(c.Src, c.Main, c.TArgs)
+		if err != nil {
+			return nil, err, nil
+		}
+		s.eng.UseArtifacts(store)
+		outs, err := h.runOnce(s, inputs, choice.NewConfig(), ax)
+		return outs, err, store
+	}
+
+	coldOuts, coldErr, coldStore := run()
+	if coldStore == nil {
+		return nil, 0, coldErr
+	}
+	warmOuts, warmErr, warmStore := run()
+	if warmStore == nil {
+		return nil, 1, warmErr
+	}
+	var divs []*Divergence
+	switch {
+	case (coldErr == nil) != (warmErr == nil):
+		divs = append(divs, &Divergence{
+			Axis:   "jit/warmcold",
+			Detail: fmt.Sprintf("error status differs between cold and warm run: %v vs %v", coldErr, warmErr),
+		})
+	case coldErr == nil:
+		if diff := compareOuts(coldOuts, warmOuts); diff != "" {
+			divs = append(divs, &Divergence{
+				Axis:   "jit/warmcold",
+				Detail: "warm-started run disagrees with cold run: " + diff,
+			})
+		}
+		if coldStore.Len() > 0 && warmStore.DiskHits() == 0 {
+			divs = append(divs, &Divergence{
+				Axis: "jit/warmcold",
+				Detail: fmt.Sprintf("cold run persisted %d artifacts but the warm run loaded none (%d misses)",
+					coldStore.Len(), warmStore.DiskMisses()),
+			})
+		}
+	}
+	return divs, 2, nil
 }
 
 // pickSizes selects the problem sizes for a case: the minimum, one

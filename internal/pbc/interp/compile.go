@@ -3,12 +3,9 @@ package interp
 import (
 	"fmt"
 	"math"
-	"sort"
-	"strconv"
-	"strings"
 	"sync"
 
-	"petabricks/internal/choice"
+	"petabricks/internal/artifact"
 	"petabricks/internal/matrix"
 	"petabricks/internal/pbc/analysis"
 	"petabricks/internal/pbc/ast"
@@ -51,187 +48,106 @@ const (
 	EngineJIT = 2
 )
 
-// progCacheMax bounds the compiled-program cache per engine family.
-// Entries are evicted FIFO; the set of (transform, size, config) keys
-// seen in steady state is small, so recency tracking isn't worth it.
-const progCacheMax = 64
-
-// programCache is the bounded, concurrency-safe compiled-program cache.
-// It is shared by pointer across Engine.WithConfig views, so server
-// requests racing a background tuner reuse each other's compilations
-// whenever their configurations genuinely match.
-type programCache struct {
-	mu      sync.Mutex
-	entries map[string]*compiledTransform
-	order   []string
+// invocationKey returns the canonical artifact key of this invocation —
+// program fingerprint, transform, size binding, config fingerprint,
+// resolved engine tier — built once (see artifact.Key) and shared by
+// the compiled-program and execution-plan lookups.
+func (ex *exec) invocationKey() string {
+	if ex.key == "" {
+		e := ex.engine
+		ex.akey = artifact.Key{
+			Prog:      e.progFP,
+			Transform: ex.res.Transform.Name,
+			Sizes:     artifact.SizesKey(ex.sizes),
+			ConfigFP:  artifact.ConfigFingerprint(e.Cfg),
+			Engine:    e.engineMode(),
+		}
+		ex.key = ex.akey.String()
+	}
+	return ex.key
 }
 
-func newProgramCache() *programCache {
-	return &programCache{entries: map[string]*compiledTransform{}}
+// engineMode resolves the configured execution tier: EngineInterp when
+// compilation is disabled or explicitly selected, else the clamped
+// EngineKey value (default EngineJIT).
+func (e *Engine) engineMode() int {
+	if e.Cfg.Int(CompileKey, 1) == 0 {
+		return EngineInterp
+	}
+	switch int(e.Cfg.Int(EngineKey, EngineJIT)) {
+	case EngineInterp:
+		return EngineInterp
+	case EngineClosure:
+		return EngineClosure
+	default:
+		return EngineJIT
+	}
 }
 
-// lookup returns the compiled-transform holder for a key, creating (and
-// possibly evicting the oldest entry) under the lock. Holders compile
-// their rules lazily, so a miss stays cheap until a rule actually runs.
-func (pc *programCache) lookup(key string, res *analysis.Result, sizes map[string]int64, mode int) *compiledTransform {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	m := im.Load()
-	if ct, ok := pc.entries[key]; ok {
-		if m != nil {
+// compiledFor returns the compiled-program holder for one invocation,
+// or nil when configuration forces the AST tier. Holders live in the
+// artifact store's memory tier and compile their rules lazily, so a
+// miss stays cheap until a rule actually runs.
+func (ex *exec) compiledFor() *compiledTransform {
+	e := ex.engine
+	mode := e.engineMode()
+	if mode == EngineInterp {
+		return nil
+	}
+	key := ex.invocationKey()
+	v, created := e.arts.Mem(artifact.KindProgram).GetOrCreate(key, func() any {
+		sz := make(map[string]int64, len(ex.sizes))
+		for k, v := range ex.sizes {
+			sz[k] = v
+		}
+		// The key's config fingerprint covers every int tunable including
+		// EngineKey, so two configs resolving to different modes can never
+		// share an entry; mode is safe to freeze at creation.
+		return &compiledTransform{res: ex.res, sizes: sz, mode: mode, akey: ex.akey, arts: e.arts, rules: map[int]*compiledRule{}}
+	})
+	if m := im.Load(); m != nil {
+		if created {
+			m.cacheMiss.Inc()
+			if mode == EngineJIT {
+				m.jitCacheMiss.Inc()
+			}
+		} else {
 			m.cacheHit.Inc()
 			if mode == EngineJIT {
 				m.jitCacheHit.Inc()
 			}
 		}
-		return ct
 	}
-	if m != nil {
-		m.cacheMiss.Inc()
-		if mode == EngineJIT {
-			m.jitCacheMiss.Inc()
-		}
-	}
-	if len(pc.order) >= progCacheMax {
-		delete(pc.entries, pc.order[0])
-		pc.order = pc.order[1:]
-	}
-	sz := make(map[string]int64, len(sizes))
-	for k, v := range sizes {
-		sz[k] = v
-	}
-	// The key's config fingerprint covers every int tunable including
-	// EngineKey, so two configs resolving to different modes can never
-	// share an entry; mode is safe to freeze at creation.
-	ct := &compiledTransform{res: res, sizes: sz, mode: mode, rules: map[int]*compiledRule{}}
-	pc.entries[key] = ct
-	pc.order = append(pc.order, key)
-	return ct
-}
-
-// fnvMix streams bytes through an inline FNV-1a state; hashing a config
-// this way (instead of serializing its text form into a hasher) keeps
-// the per-invocation cache-key cost allocation-free.
-type fnvMix uint64
-
-const fnvOffset64 fnvMix = 14695981039346656037
-
-func (h fnvMix) str(s string) fnvMix {
-	for i := 0; i < len(s); i++ {
-		h = (h ^ fnvMix(s[i])) * 1099511628211
-	}
-	return h
-}
-
-func (h fnvMix) num(v int64) fnvMix {
-	for i := 0; i < 64; i += 8 {
-		h = (h ^ fnvMix(byte(v>>i))) * 1099511628211
-	}
-	return h
-}
-
-// configFingerprint hashes the configuration's contents (int tunables,
-// selectors, per-level parameters, in sorted key order); it keys the
-// compiled-program and execution-plan caches so engine views running
-// under different configurations never share an entry.
-func configFingerprint(cfg *choice.Config) uint64 {
-	h := fnvMix(fnvOffset64)
-	if cfg == nil {
-		return uint64(h)
-	}
-	h = h.num(int64(len(cfg.Ints)))
-	for _, k := range sortedKeys(cfg.Ints) {
-		h = h.str(k).num(cfg.Ints[k])
-	}
-	sels := make([]string, 0, len(cfg.Sels))
-	for k := range cfg.Sels {
-		sels = append(sels, k)
-	}
-	sort.Strings(sels)
-	for _, k := range sels {
-		h = h.str(k)
-		for _, l := range cfg.Sels[k].Levels {
-			h = h.num(l.Cutoff).num(int64(l.Choice)).num(int64(len(l.Params)))
-			for _, pk := range sortedKeys(l.Params) {
-				h = h.str(pk).num(l.Params[pk])
-			}
-		}
-	}
-	return uint64(h)
-}
-
-func sortedKeys(m map[string]int64) []string {
-	if len(m) == 0 {
-		return nil
-	}
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-// compileKey builds the cache key: transform name, the bound size
-// vector (sorted for determinism), and the config fingerprint.
-func compileKey(res *analysis.Result, sizes map[string]int64, fp uint64) string {
-	var b strings.Builder
-	b.Grow(len(res.Transform.Name) + 16*len(sizes) + 24)
-	b.WriteString(res.Transform.Name)
-	for _, k := range sortedKeys(sizes) {
-		b.WriteByte('|')
-		b.WriteString(k)
-		b.WriteByte('=')
-		b.WriteString(strconv.FormatInt(sizes[k], 10))
-	}
-	b.WriteString("|cfg=")
-	b.WriteString(strconv.FormatUint(fp, 16))
-	return b.String()
-}
-
-// invocationKey returns the cache key of this invocation — transform,
-// size binding, config fingerprint — computed once and shared by the
-// compiled-program and execution-plan lookups.
-func (ex *exec) invocationKey() string {
-	if ex.key == "" {
-		ex.key = compileKey(ex.res, ex.sizes, configFingerprint(ex.engine.Cfg))
-	}
-	return ex.key
-}
-
-// compiledFor returns the compiled-program holder for one invocation,
-// or nil when configuration forces the AST tier.
-func (ex *exec) compiledFor() *compiledTransform {
-	e := ex.engine
-	if e.Cfg.Int(CompileKey, 1) == 0 {
-		return nil
-	}
-	mode := int(e.Cfg.Int(EngineKey, EngineJIT))
-	switch mode {
-	case EngineInterp:
-		return nil
-	case EngineClosure:
-	default:
-		mode = EngineJIT
-	}
-	return e.progs.lookup(ex.invocationKey(), ex.res, ex.sizes, mode)
+	return v.(*compiledTransform)
 }
 
 // compiledTransform holds the lazily compiled rules of one transform at
-// one size binding, for one execution tier.
+// one size binding, for one execution tier. It is the value of one
+// memory-tier artifact (KindProgram); under the jit tier it also fronts
+// the store's disk tier, loading persisted bytecode before lowering and
+// persisting fresh lowerings back.
 type compiledTransform struct {
 	res   *analysis.Result
 	sizes map[string]int64
 	mode  int // EngineClosure or EngineJIT
+	akey  artifact.Key
+	arts  *artifact.Store
 
 	mu    sync.Mutex
 	rules map[int]*compiledRule // rule index → compiled form (nil: fell back)
+	// warmLoaded marks the one disk-tier load attempt; jprogs then holds
+	// every live jit program — warm-loaded or freshly lowered — and is
+	// what persists back on each fresh lowering.
+	warmLoaded bool
+	jprogs     map[int]*jit.Program
 }
 
 // rule returns the compiled form of ri, compiling on first use. Under
-// the jit tier the bytecode lowering runs first and falls back to
-// closures with a typed reason; a nil result means the rule is outside
-// both compilable fragments and must run through the AST interpreter.
+// the jit tier a persisted bytecode program is used when the disk tier
+// has one for this invocation key; otherwise the lowering runs and its
+// result is persisted. Lowering failures fall back to closures with a
+// typed reason; a nil result means the rule is outside both compilable
+// fragments and must run through the AST interpreter.
 func (ct *compiledTransform) rule(ri *analysis.RuleInfo) *compiledRule {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
@@ -241,8 +157,18 @@ func (ct *compiledTransform) rule(ri *analysis.RuleInfo) *compiledRule {
 	m := im.Load()
 	var cr *compiledRule
 	if ct.mode == EngineJIT {
-		prog, jerr := jit.Compile(ct.res, ri, ct.sizes)
-		if jerr == nil {
+		if prog := ct.warmProgram(ri.Rule.Index); prog != nil {
+			cr = &compiledRule{
+				ri:      ri,
+				name:    ri.Rule.Name(),
+				nCenter: len(ri.CenterVars),
+				jprog:   prog,
+			}
+			recordTierCompile("jit-warm")
+			if m != nil {
+				m.jitWarm.Inc()
+			}
+		} else if prog, jerr := jit.Compile(ct.res, ri, ct.sizes); jerr == nil {
 			cr = &compiledRule{
 				ri:      ri,
 				name:    ri.Rule.Name(),
@@ -254,6 +180,7 @@ func (ct *compiledTransform) rule(ri *analysis.RuleInfo) *compiledRule {
 				m.jitCompiled.Inc()
 				m.bytecodeHist(ct.res.Transform.Name).Observe(float64(len(prog.Code)))
 			}
+			ct.persist(ri.Rule.Index, prog)
 		} else {
 			recordTierFallback(ct.res.Transform.Name, ri.Rule.Name(), "jit", jerr)
 			if m != nil {
@@ -280,6 +207,45 @@ func (ct *compiledTransform) rule(ri *analysis.RuleInfo) *compiledRule {
 	}
 	ct.rules[ri.Rule.Index] = cr
 	return cr
+}
+
+// warmProgram returns the disk-tier bytecode for one rule, attempting
+// the transform's persisted program set once on first call. The load
+// happens here — under the holder's lock, not the store's cache lock —
+// so disk I/O never blocks unrelated cache lookups. Decoded programs
+// are fully validated (jit.DecodePrograms) before any frame runs them.
+func (ct *compiledTransform) warmProgram(idx int) *jit.Program {
+	if !ct.warmLoaded {
+		ct.warmLoaded = true
+		ct.arts.Load(artifact.KindJIT, ct.akey, func(payload []byte) error {
+			progs, err := jit.DecodePrograms(payload)
+			if err != nil {
+				return err
+			}
+			ct.jprogs = progs
+			return nil
+		})
+	}
+	return ct.jprogs[idx]
+}
+
+// persist saves the holder's accumulated jit program set to the disk
+// tier (no-op on a memory-only store). Rules lower lazily, so each save
+// replaces the artifact with the grown set; a warm start then restores
+// exactly the rules this invocation shape exercises.
+func (ct *compiledTransform) persist(idx int, prog *jit.Program) {
+	if ct.jprogs == nil {
+		ct.jprogs = map[int]*jit.Program{}
+	}
+	ct.jprogs[idx] = prog
+	if !ct.arts.Persistent() {
+		return
+	}
+	payload, err := jit.EncodePrograms(ct.jprogs)
+	if err != nil {
+		return
+	}
+	_ = ct.arts.Save(artifact.KindJIT, ct.akey, payload)
 }
 
 // compiledRule returns the compiled form of a rule for this invocation,

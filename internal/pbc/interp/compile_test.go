@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"petabricks/internal/artifact"
 	"petabricks/internal/choice"
 	"petabricks/internal/matrix"
 	"petabricks/internal/pbc/ast"
@@ -210,20 +211,29 @@ func TestCompiledCacheConcurrentConfigs(t *testing.T) {
 
 	// The two compiling configurations must occupy distinct cache
 	// entries, and the compile-disabled one must occupy none.
-	res, _ := e.Analysis("RollingSum")
 	sizes := map[string]int64{"n": n}
-	fp0, fp1 := configFingerprint(cfg0), configFingerprint(cfg1)
-	if fp0 == fp1 {
+	if artifact.ConfigFingerprint(cfg0) == artifact.ConfigFingerprint(cfg1) {
 		t.Fatal("distinct configs share a fingerprint")
 	}
-	e.progs.mu.Lock()
-	defer e.progs.mu.Unlock()
-	for _, fp := range []uint64{fp0, fp1} {
-		if _, ok := e.progs.entries[compileKey(res, sizes, fp)]; !ok {
-			t.Errorf("no cache entry for config fingerprint %x", fp)
+	progs := e.Artifacts().Mem(artifact.KindProgram)
+	for _, v := range views[:2] {
+		if !progs.Contains(invocationKeyFor(v, "RollingSum", sizes)) {
+			t.Errorf("no cache entry for key %s", invocationKeyFor(v, "RollingSum", sizes))
 		}
 	}
-	if _, ok := e.progs.entries[compileKey(res, sizes, configFingerprint(cfgOff))]; ok {
-		t.Error("compile-disabled view populated the cache")
+	if progs.Len() != 2 {
+		t.Errorf("program cache holds %d entries, want 2", progs.Len())
 	}
+}
+
+// invocationKeyFor rebuilds the canonical artifact key one engine view
+// uses for a (transform, sizes) invocation.
+func invocationKeyFor(e *Engine, transform string, sizes map[string]int64) string {
+	return artifact.Key{
+		Prog:      e.progFP,
+		Transform: transform,
+		Sizes:     artifact.SizesKey(sizes),
+		ConfigFP:  artifact.ConfigFingerprint(e.Cfg),
+		Engine:    e.engineMode(),
+	}.String()
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"petabricks/internal/artifact"
 	"petabricks/internal/choice"
 	"petabricks/internal/matrix"
 	"petabricks/internal/pbc/analysis"
@@ -22,19 +23,29 @@ type Engine struct {
 
 	mu       sync.Mutex
 	analyses map[string]*analysis.Result
-	// progs caches compiled rule programs keyed by (transform, size
-	// vector, config fingerprint); shared by pointer across WithConfig
-	// views.
-	progs *programCache
-	// plans caches lowered execution plans under the same keys (see
-	// plan.go); also shared across WithConfig views.
-	plans *planCache
+	// arts is the tiered artifact store holding compiled-program holders
+	// and execution plans (memory tier) and, when persistent, jit
+	// bytecode (disk tier). Shared by pointer across WithConfig views —
+	// and, via UseArtifacts, across engines.
+	arts *artifact.Store
+	// progFP fingerprints the program's printed text, so engines serving
+	// same-named transforms from different programs never collide in a
+	// shared store (and a restarted process recomputes the same value,
+	// which is what makes the disk tier reusable across runs).
+	progFP uint64
 }
 
 // New analyzes every transform in the program eagerly so compile errors
 // surface before execution.
 func New(prog *ast.Program) (*Engine, error) {
-	e := &Engine{Prog: prog, Cfg: choice.NewConfig(), analyses: map[string]*analysis.Result{}, progs: newProgramCache(), plans: newPlanCache()}
+	e := &Engine{
+		Prog:     prog,
+		Cfg:      choice.NewConfig(),
+		analyses: map[string]*analysis.Result{},
+		arts:     artifact.NewMemOnly(),
+		progFP:   artifact.HashString(ast.Print(prog)),
+	}
+	wirePlanEvict(e.arts)
 	for _, t := range prog.Transforms {
 		if len(t.Templates) > 0 {
 			// Template transforms are analyzed per instance, when
@@ -66,7 +77,38 @@ func (e *Engine) WithConfig(cfg *choice.Config) *Engine {
 	for k, v := range e.analyses {
 		an[k] = v
 	}
-	return &Engine{Prog: e.Prog, Cfg: cfg, Pool: e.Pool, analyses: an, progs: e.progs, plans: e.plans}
+	return &Engine{Prog: e.Prog, Cfg: cfg, Pool: e.Pool, analyses: an, arts: e.arts, progFP: e.progFP}
+}
+
+// UseArtifacts replaces the engine's default memory-only artifact store
+// (normally with the persistent, process-shared store pbserve opens).
+// Call it before serving traffic; WithConfig views created afterwards
+// share the new store, existing views keep the old one.
+func (e *Engine) UseArtifacts(s *artifact.Store) {
+	if s == nil {
+		return
+	}
+	e.mu.Lock()
+	e.arts = s
+	e.mu.Unlock()
+	wirePlanEvict(s)
+}
+
+// Artifacts returns the engine's artifact store.
+func (e *Engine) Artifacts() *artifact.Store {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.arts
+}
+
+// wirePlanEvict points the store's plan-cache evictions at the
+// installed interp metrics (idempotent: the cache keeps one callback).
+func wirePlanEvict(s *artifact.Store) {
+	s.Mem(artifact.KindPlan).SetOnEvict(func(string, any) {
+		if m := im.Load(); m != nil {
+			m.planEvict.Inc()
+		}
+	})
 }
 
 // Analysis returns the analysis result for a transform.
@@ -176,8 +218,10 @@ type exec struct {
 	// comp holds the invocation's compiled-program cache entry (nil when
 	// compilation is disabled).
 	comp *compiledTransform
-	// key is the lazily built invocation cache key (see invocationKey).
-	key string
+	// key is the lazily built invocation cache key (see invocationKey);
+	// akey is its structured form, valid once key is non-empty.
+	key  string
+	akey artifact.Key
 }
 
 // dslDims returns the matrix's extents in DSL (x, y, …) order.

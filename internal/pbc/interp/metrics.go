@@ -36,6 +36,7 @@ type interpMetrics struct {
 	jitFallback  *obs.Counter // jit lowering fallbacks (closure tier used)
 	jitCacheHit  *obs.Counter // program-cache hits under the jit tier
 	jitCacheMiss *obs.Counter // program-cache misses under the jit tier
+	jitWarm      *obs.Counter // rules warm-started from the artifact disk tier
 
 	runHists      sync.Map // transform name -> *obs.Histogram
 	bytecodeHists sync.Map // transform name -> *obs.Histogram
@@ -72,6 +73,7 @@ func Instrument(reg *obs.Registry) {
 	m.jitFallback = reg.Counter("pb_jit_compile_fallbacks_total", "Jit lowering fallbacks to the closure tier.")
 	m.jitCacheHit = reg.Counter("pb_jit_cache_hits_total", "Compiled-program cache hits under the jit tier.")
 	m.jitCacheMiss = reg.Counter("pb_jit_cache_misses_total", "Compiled-program cache misses under the jit tier.")
+	m.jitWarm = reg.Counter("pb_jit_warm_loads_total", "Rules warm-started from persisted bytecode instead of lowering.")
 	im.Store(m)
 }
 

@@ -3,6 +3,7 @@ package interp
 import (
 	"sync"
 
+	"petabricks/internal/artifact"
 	"petabricks/internal/pbc/analysis"
 	"petabricks/internal/runtime"
 )
@@ -31,9 +32,6 @@ import (
 const PlanKey = "pbc.plan"
 
 const (
-	// planCacheMax bounds the plan cache per engine family (FIFO, like
-	// the compiled-program cache).
-	planCacheMax = 64
 	// planMaxTilesPerStep caps tiling fan-out: beyond it the tiler
 	// coarsens blocks, and if even single blocks per dimension exceed it
 	// the step stays step-granular.
@@ -70,48 +68,13 @@ type planTask struct {
 	lex    []analysis.LexDim
 }
 
-// planCache is the bounded, concurrency-safe plan cache, shared by
-// pointer across Engine.WithConfig views (keys include the config
-// fingerprint, so views only share entries when configs match).
-type planCache struct {
-	mu      sync.Mutex
-	entries map[string]*planEntry
-	order   []string
-}
-
-// planEntry builds its plan once, outside the cache lock, so a slow
-// build never blocks unrelated lookups.
+// planEntry builds its plan once, outside the artifact cache's lock, so
+// a slow build never blocks unrelated lookups. Plans hold analysis
+// pointers and so live in the memory tier only (KindPlan); rebuilding
+// one after a restart is a cheap pure computation.
 type planEntry struct {
 	once sync.Once
 	p    *plan
-}
-
-func newPlanCache() *planCache { return &planCache{entries: map[string]*planEntry{}} }
-
-func (pc *planCache) lookup(key string) *planEntry {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	m := im.Load()
-	if e, ok := pc.entries[key]; ok {
-		if m != nil {
-			m.planHit.Inc()
-		}
-		return e
-	}
-	if m != nil {
-		m.planMiss.Inc()
-	}
-	if len(pc.order) >= planCacheMax {
-		delete(pc.entries, pc.order[0])
-		pc.order = pc.order[1:]
-		if m != nil {
-			m.planEvict.Inc()
-		}
-	}
-	e := &planEntry{}
-	pc.entries[key] = e
-	pc.order = append(pc.order, key)
-	return e
 }
 
 // planFor returns the memoized plan for this invocation, building it on
@@ -122,7 +85,15 @@ func (ex *exec) planFor(done map[string]bool) *plan {
 	if e.Cfg.Int(PlanKey, 1) == 0 {
 		return nil
 	}
-	pe := e.plans.lookup(ex.invocationKey())
+	v, created := e.arts.Mem(artifact.KindPlan).GetOrCreate(ex.invocationKey(), func() any { return &planEntry{} })
+	if m := im.Load(); m != nil {
+		if created {
+			m.planMiss.Inc()
+		} else {
+			m.planHit.Inc()
+		}
+	}
+	pe := v.(*planEntry)
 	pe.once.Do(func() { pe.p = ex.buildPlan(done) })
 	return pe.p
 }

@@ -5,36 +5,44 @@ import (
 	"sync"
 	"testing"
 
+	"petabricks/internal/artifact"
 	"petabricks/internal/choice"
 	"petabricks/internal/matrix"
 	"petabricks/internal/pbc/parser"
 	"petabricks/internal/runtime"
 )
 
-// TestPlanCacheBound fills the plan cache past its bound and checks the
-// FIFO eviction: the size never exceeds planCacheMax, the oldest keys
-// are gone, and a re-lookup of a live key returns the same entry.
+// TestPlanCacheBound fills the plan tier of the artifact store past its
+// bound and checks the FIFO eviction: the size never exceeds the bound,
+// the oldest keys are gone, and a re-lookup of a live key returns the
+// same entry. (The generic eviction mechanics live in
+// internal/artifact's own tests; this pins the interp wiring.)
 func TestPlanCacheBound(t *testing.T) {
-	pc := newPlanCache()
+	pc := artifact.NewMemOnly().Mem(artifact.KindPlan)
+	const bound = artifact.DefaultMemPerKind
 	const extra = 10
-	entries := make([]*planEntry, planCacheMax+extra)
-	for i := range entries {
-		entries[i] = pc.lookup(fmt.Sprintf("k%d", i))
+	mint := func(key string) *planEntry {
+		v, _ := pc.GetOrCreate(key, func() any { return &planEntry{} })
+		return v.(*planEntry)
 	}
-	if n := len(pc.entries); n != planCacheMax {
-		t.Fatalf("cache holds %d entries, want %d", n, planCacheMax)
+	entries := make([]*planEntry, bound+extra)
+	for i := range entries {
+		entries[i] = mint(fmt.Sprintf("k%d", i))
+	}
+	if n := pc.Len(); n != bound {
+		t.Fatalf("cache holds %d entries, want %d", n, bound)
 	}
 	// The newest key must still hit its original entry.
-	last := fmt.Sprintf("k%d", planCacheMax+extra-1)
-	if pc.lookup(last) != entries[planCacheMax+extra-1] {
+	last := fmt.Sprintf("k%d", bound+extra-1)
+	if mint(last) != entries[bound+extra-1] {
 		t.Fatalf("live key %s did not hit its entry", last)
 	}
 	// The oldest keys were evicted: looking one up mints a fresh entry.
-	if pc.lookup("k0") == entries[0] {
+	if mint("k0") == entries[0] {
 		t.Fatal("k0 should have been evicted but hit its old entry")
 	}
-	if n := len(pc.entries); n != planCacheMax {
-		t.Fatalf("cache holds %d entries after re-insert, want %d", n, planCacheMax)
+	if n := pc.Len(); n != bound {
+		t.Fatalf("cache holds %d entries after re-insert, want %d", n, bound)
 	}
 }
 
@@ -59,10 +67,7 @@ func TestPlanCacheSharedAcrossViews(t *testing.T) {
 		}
 		outs[i] = out
 	}
-	e.plans.mu.Lock()
-	n := len(e.plans.entries)
-	e.plans.mu.Unlock()
-	if n != 1 {
+	if n := e.Artifacts().Mem(artifact.KindPlan).Len(); n != 1 {
 		t.Fatalf("plan cache holds %d entries after two identical runs, want 1", n)
 	}
 	if !outs[0]["B"].Equal(outs[1]["B"]) {
@@ -284,10 +289,7 @@ func TestPlanDisabledByConfig(t *testing.T) {
 	if out.At1(3) != 10 {
 		t.Fatalf("B[3] = %g, want 10", out.At1(3))
 	}
-	e.plans.mu.Lock()
-	n := len(e.plans.entries)
-	e.plans.mu.Unlock()
-	if n != 0 {
+	if n := e.Artifacts().Mem(artifact.KindPlan).Len(); n != 0 {
 		t.Fatalf("plan cache holds %d entries with pbc.plan=0, want 0", n)
 	}
 }

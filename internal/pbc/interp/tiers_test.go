@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"petabricks/internal/artifact"
 	"petabricks/internal/choice"
 	"petabricks/internal/matrix"
 	"petabricks/internal/pbc/parser"
@@ -118,21 +119,21 @@ func TestJITCacheConcurrentEngines(t *testing.T) {
 
 	// Closure and jit tiers must occupy distinct cache entries; the
 	// interpreter tier compiles nothing and must occupy none.
-	res, _ := e.Analysis("RollingSum")
 	sizes := map[string]int64{"n": n}
-	fpC, fpJ := configFingerprint(cfgs[1]), configFingerprint(cfgs[2])
-	if fpC == fpJ {
+	if artifact.ConfigFingerprint(cfgs[1]) == artifact.ConfigFingerprint(cfgs[2]) {
 		t.Fatal("closure and jit configs share a fingerprint")
 	}
-	e.progs.mu.Lock()
-	defer e.progs.mu.Unlock()
-	for _, fp := range []uint64{fpC, fpJ} {
-		if _, ok := e.progs.entries[compileKey(res, sizes, fp)]; !ok {
-			t.Errorf("no cache entry for config fingerprint %x", fp)
+	progs := e.Artifacts().Mem(artifact.KindProgram)
+	for _, v := range views[1:] {
+		if !progs.Contains(invocationKeyFor(v, "RollingSum", sizes)) {
+			t.Errorf("no cache entry for key %s", invocationKeyFor(v, "RollingSum", sizes))
 		}
 	}
-	if _, ok := e.progs.entries[compileKey(res, sizes, configFingerprint(cfgs[0]))]; ok {
+	if progs.Contains(invocationKeyFor(views[0], "RollingSum", sizes)) {
 		t.Error("interpreter-tier view populated the compiled-program cache")
+	}
+	if progs.Len() != 2 {
+		t.Errorf("program cache holds %d entries, want 2", progs.Len())
 	}
 }
 

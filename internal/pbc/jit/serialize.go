@@ -1,0 +1,144 @@
+package jit
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Programs are the one compiled artifact that persists to disk: unlike
+// the closure tier (Go closures) and execution plans (analysis
+// pointers), a Program is plain exported data, so a gob round-trip
+// reproduces it exactly. The unit stored is a whole transform's program
+// set — rule index → bytecode — because warm-starting half a transform
+// would still pay the lowering pass for the other half.
+
+// EncodePrograms serializes a transform's jit program set (rule index →
+// program) for the artifact disk tier.
+func EncodePrograms(progs map[int]*Program) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(progs); err != nil {
+		return nil, fmt.Errorf("jit: encoding programs: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePrograms deserializes a program set and validates every program
+// before returning it. Validation is not optional: the VM dispatch loop
+// intentionally has no bounds checks (see run), so a program that
+// decoded cleanly from a tampered or torn file could otherwise index
+// outside its register file or jump past its code. A set that fails
+// validation is rejected whole.
+func DecodePrograms(payload []byte) (map[int]*Program, error) {
+	var progs map[int]*Program
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&progs); err != nil {
+		return nil, fmt.Errorf("jit: decoding programs: %w", err)
+	}
+	for ri, p := range progs {
+		if p == nil {
+			return nil, fmt.Errorf("jit: rule %d: nil program", ri)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("jit: rule %d: %w", ri, err)
+		}
+	}
+	return progs, nil
+}
+
+// Validate checks every structural invariant the VM relies on instead
+// of bounds checks: register, constant, and ref operands in range for
+// their opcode; jump targets inside the code; a terminal OpHalt so
+// straight-line execution cannot run off the end; and ref/center shapes
+// consistent with NCenter. Freshly lowered programs satisfy it by
+// construction; disk-loaded programs must prove it.
+func (p *Program) Validate() error {
+	nregs := len(p.RegInit)
+	ncode := len(p.Code)
+	if ncode == 0 {
+		return fmt.Errorf("%s: empty code", p.Name)
+	}
+	if p.Code[ncode-1].Op != OpHalt {
+		return fmt.Errorf("%s: last instruction is %s, want halt", p.Name, p.Code[ncode-1].Op)
+	}
+	if p.NCenter < 0 || len(p.CenterReg) != p.NCenter {
+		return fmt.Errorf("%s: %d center regs for %d center dims", p.Name, len(p.CenterReg), p.NCenter)
+	}
+	for d, r := range p.CenterReg {
+		if r < -1 || int(r) >= nregs {
+			return fmt.Errorf("%s: center dim %d register %d out of range", p.Name, d, r)
+		}
+	}
+	for i := range p.Refs {
+		r := &p.Refs[i]
+		if r.ND < 0 || len(r.Base) != r.ND {
+			return fmt.Errorf("%s: ref %d: %d base terms for %d dims", p.Name, i, len(r.Base), r.ND)
+		}
+		if r.Coeff != nil && len(r.Coeff) != r.ND*p.NCenter {
+			return fmt.Errorf("%s: ref %d: %d coeffs, want %d", p.Name, i, len(r.Coeff), r.ND*p.NCenter)
+		}
+	}
+	reg := func(pc int, v int32) error {
+		if v < 0 || int(v) >= nregs {
+			return fmt.Errorf("%s: pc %d: register %d out of range [0,%d)", p.Name, pc, v, nregs)
+		}
+		return nil
+	}
+	jump := func(pc int, v int32) error {
+		if v < 0 || int(v) >= ncode {
+			return fmt.Errorf("%s: pc %d: jump target %d out of range [0,%d)", p.Name, pc, v, ncode)
+		}
+		return nil
+	}
+	ref := func(pc int, v int32) error {
+		if v < 0 || int(v) >= len(p.Refs) {
+			return fmt.Errorf("%s: pc %d: ref %d out of range [0,%d)", p.Name, pc, v, len(p.Refs))
+		}
+		return nil
+	}
+	for pc, in := range p.Code {
+		var err error
+		switch in.Op {
+		case OpHalt:
+		case OpConst:
+			if err = reg(pc, in.A); err == nil {
+				if in.B < 0 || int(in.B) >= len(p.Consts) {
+					err = fmt.Errorf("%s: pc %d: constant %d out of range [0,%d)", p.Name, pc, in.B, len(p.Consts))
+				}
+			}
+		case OpMov, OpNeg, OpNot, OpTrunc, OpAbs, OpSqrt, OpFloor, OpCeil:
+			if err = reg(pc, in.A); err == nil {
+				err = reg(pc, in.B)
+			}
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod,
+			OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE,
+			OpMin, OpMax, OpPow:
+			if err = reg(pc, in.A); err == nil {
+				if err = reg(pc, in.B); err == nil {
+					err = reg(pc, in.C)
+				}
+			}
+		case OpLoad:
+			if err = reg(pc, in.A); err == nil {
+				err = ref(pc, in.B)
+			}
+		case OpStore:
+			if err = ref(pc, in.A); err == nil {
+				err = reg(pc, in.B)
+			}
+		case OpJmp:
+			err = jump(pc, in.A)
+		case OpJZ, OpJNZ:
+			if err = jump(pc, in.A); err == nil {
+				err = reg(pc, in.B)
+			}
+		case OpGuard:
+			err = reg(pc, in.A)
+		default:
+			err = fmt.Errorf("%s: pc %d: unknown opcode %d", p.Name, pc, uint8(in.Op))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

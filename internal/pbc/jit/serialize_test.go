@@ -1,0 +1,120 @@
+package jit
+
+import (
+	"reflect"
+	"testing"
+)
+
+// validProgram builds a small program exercising every operand class:
+// constants, arithmetic, a load/store pair, a guarded backward jump.
+func validProgram() *Program {
+	return &Program{
+		Name: "T/rule 0",
+		Code: []Instr{
+			{Op: OpConst, A: 0, B: 0},
+			{Op: OpLoad, A: 1, B: 0},
+			{Op: OpAdd, A: 2, B: 0, C: 1},
+			{Op: OpGuard, A: 2},
+			{Op: OpJZ, A: 6, B: 2},
+			{Op: OpStore, A: 1, B: 2},
+			{Op: OpHalt},
+		},
+		Consts:    []float64{1.5},
+		RegInit:   []float64{0, 0, 0},
+		NCenter:   1,
+		CenterReg: []int32{2},
+		Refs: []Ref{
+			{Matrix: "A", Binding: "a", ND: 1, Base: []int64{3}, Coeff: []int64{1}},
+			{Matrix: "B", Binding: "b", ND: 1, Base: []int64{0}, Coeff: nil},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := map[int]*Program{0: validProgram(), 2: validProgram()}
+	in[2].Name = "T/rule 2"
+	payload, err := EncodePrograms(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodePrograms(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodePrograms([]byte("not a gob stream")); err == nil {
+		t.Error("garbage payload decoded")
+	}
+	if _, err := DecodePrograms(nil); err == nil {
+		t.Error("empty payload decoded")
+	}
+	// A truncated but prefix-valid gob stream must also fail cleanly.
+	payload, err := EncodePrograms(map[int]*Program{0: validProgram()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePrograms(payload[:len(payload)/2]); err == nil {
+		t.Error("truncated payload decoded")
+	}
+}
+
+// TestValidateRejections mutates a valid program one invariant at a
+// time. The VM run loop has no bounds checks by design, so each of
+// these is a memory-safety violation Validate must catch before a
+// disk-loaded program ever executes.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(p *Program)
+	}{
+		{"empty_code", func(p *Program) { p.Code = nil }},
+		{"missing_halt", func(p *Program) { p.Code = p.Code[:len(p.Code)-1] }},
+		{"dest_register_out_of_range", func(p *Program) { p.Code[2].A = 99 }},
+		{"src_register_out_of_range", func(p *Program) { p.Code[2].B = -1 }},
+		{"const_index_out_of_range", func(p *Program) { p.Code[0].B = 7 }},
+		{"load_ref_out_of_range", func(p *Program) { p.Code[1].B = 5 }},
+		{"store_ref_out_of_range", func(p *Program) { p.Code[5].A = -2 }},
+		{"jump_past_end", func(p *Program) { p.Code[4].A = int32(len(p.Code)) }},
+		{"negative_jump_target", func(p *Program) { p.Code[4].A = -1 }},
+		{"jump_cond_register_out_of_range", func(p *Program) { p.Code[4].B = 88 }},
+		{"guard_register_out_of_range", func(p *Program) { p.Code[3].A = 12 }},
+		{"unknown_opcode", func(p *Program) { p.Code[2].Op = Op(200) }},
+		{"center_reg_count_mismatch", func(p *Program) { p.CenterReg = nil }},
+		{"center_reg_out_of_range", func(p *Program) { p.CenterReg[0] = 44 }},
+		{"negative_ncenter", func(p *Program) { p.NCenter = -1; p.CenterReg = nil }},
+		{"ref_base_rank_mismatch", func(p *Program) { p.Refs[0].Base = []int64{1, 2} }},
+		{"ref_coeff_length_mismatch", func(p *Program) { p.Refs[0].Coeff = []int64{1, 2, 3} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := validProgram()
+			if err := p.Validate(); err != nil {
+				t.Fatalf("baseline program invalid: %v", err)
+			}
+			tc.mutate(p)
+			if err := p.Validate(); err == nil {
+				t.Error("mutated program validated")
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsInvalidSetWhole proves one bad program poisons the
+// whole set: warm-starting rules 0..k-1 while silently recompiling rule
+// k would hide corruption, so the decoder refuses everything.
+func TestDecodeRejectsInvalidSetWhole(t *testing.T) {
+	good, bad := validProgram(), validProgram()
+	bad.Code[4].A = 99 // jump target out of range
+	payload, err := EncodePrograms(map[int]*Program{0: good, 1: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePrograms(payload); err == nil {
+		t.Error("set containing an invalid program decoded")
+	}
+}

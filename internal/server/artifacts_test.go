@@ -1,0 +1,148 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"testing"
+
+	"petabricks/internal/artifact"
+)
+
+const heat1dSrc = "../../testdata/heat1d.pbcc"
+
+// artifactServer builds a test server whose registry also serves Heat1D
+// (fully jit-lowerable, so it exercises the persistent tier) backed by
+// an artifact store on dir.
+func artifactServer(t *testing.T, dir string) (*Server, *httptest2) {
+	t.Helper()
+	arts, err := artifact.Open(dir, artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, "", func(o *Options) {
+		if err := o.Registry.LoadDSLFile(heat1dSrc); err != nil {
+			t.Fatal(err)
+		}
+		o.Artifacts = arts
+	})
+	return srv, &httptest2{ts.URL}
+}
+
+// httptest2 wraps the test server URL so helpers read naturally.
+type httptest2 struct{ URL string }
+
+func runHeat1D(t *testing.T, baseURL string) {
+	t.Helper()
+	status, body := postJSON(t, baseURL+"/v1/run", map[string]any{
+		"program": "Heat1D", "n": 32, "seed": 5,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("/v1/run Heat1D: status %d body %v", status, body)
+	}
+}
+
+func artifactStats(t *testing.T, baseURL string) map[string]any {
+	t.Helper()
+	status, body := getJSON(t, baseURL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/stats: status %d", status)
+	}
+	sec, ok := body["artifacts"].(map[string]any)
+	if !ok {
+		t.Fatalf("/v1/stats has no artifacts section: %v", body)
+	}
+	return sec
+}
+
+// TestServerPersistsAndServesArtifacts drives the full service story:
+// a run populates the disk tier, /v1/stats reports it, /v1/artifacts
+// exposes it, and a second server over the same directory serves the
+// same request from the persisted bytecode with zero disk misses.
+func TestServerPersistsAndServesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := artifactServer(t, dir)
+	runHeat1D(t, ts1.URL)
+
+	stats := artifactStats(t, ts1.URL)
+	if stats["persistent"] != true {
+		t.Fatalf("artifacts section not persistent: %v", stats)
+	}
+	disk := stats["disk"].(map[string]any)
+	if disk["saves"].(float64) < 1 {
+		t.Fatalf("no artifact saved after a Heat1D run: %v", disk)
+	}
+
+	// The listing endpoint: digest probe carries no entries, the full
+	// form lists what the run persisted.
+	status, probe := getJSON(t, ts1.URL+"/v1/artifacts?digest=1")
+	if status != http.StatusOK || probe["digest"] == "" || probe["entries"] != nil {
+		t.Fatalf("digest probe: status %d body %v", status, probe)
+	}
+	status, full := getJSON(t, ts1.URL+"/v1/artifacts")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/artifacts: status %d", status)
+	}
+	entries, ok := full["entries"].([]any)
+	if !ok || len(entries) == 0 {
+		t.Fatalf("/v1/artifacts lists no entries: %v", full)
+	}
+	if int(full["schema"].(float64)) != artifact.SchemaVersion {
+		t.Errorf("schema = %v, want %d", full["schema"], artifact.SchemaVersion)
+	}
+
+	// The raw fetch must round-trip through InstallRaw on another store
+	// — this is exactly what a replication peer does.
+	id := entries[0].(map[string]any)["id"].(string)
+	resp, err := http.Get(ts1.URL + "/v1/artifacts?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw fetch: status %d err %v", resp.StatusCode, err)
+	}
+	other, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err := other.InstallRaw(raw); err != nil || info.ID != id {
+		t.Fatalf("InstallRaw of fetched artifact: info %+v err %v", info, err)
+	}
+
+	// The restart: a second server over the same directory must serve
+	// the identical request warm — disk hits, no disk misses.
+	_, ts2 := artifactServer(t, dir)
+	runHeat1D(t, ts2.URL)
+	disk2 := artifactStats(t, ts2.URL)["disk"].(map[string]any)
+	if disk2["hits"].(float64) < 1 {
+		t.Errorf("restarted server recorded no disk hits: %v", disk2)
+	}
+	if disk2["misses"].(float64) != 0 {
+		t.Errorf("restarted server recorded %v disk misses", disk2["misses"])
+	}
+}
+
+// TestServerArtifactsDisabled pins the no-store behavior: the stats
+// section reports disabled and the endpoint 404s rather than serving an
+// empty store that peers would endlessly probe.
+func TestServerArtifactsDisabled(t *testing.T) {
+	_, ts := newTestServer(t, "", nil)
+	stats := artifactStats(t, ts.URL)
+	if stats["enabled"] != false {
+		t.Errorf("artifacts section = %v, want enabled false", stats)
+	}
+	status, _ := getJSON(t, ts.URL+"/v1/artifacts")
+	if status != http.StatusNotFound {
+		t.Errorf("/v1/artifacts without a store: status %d, want 404", status)
+	}
+}
+
+// TestServerArtifactsUnknownID pins the raw-fetch miss path.
+func TestServerArtifactsUnknownID(t *testing.T) {
+	_, ts := artifactServer(t, t.TempDir())
+	status, _ := getJSON(t, ts.URL+"/v1/artifacts?id=v2-doesnotexist")
+	if status != http.StatusNotFound {
+		t.Errorf("unknown artifact fetch: status %d, want 404", status)
+	}
+}

@@ -66,6 +66,7 @@ func (s *Server) instrument() {
 	s.coalescer.Instrument(reg)
 	s.jobs.Instrument(reg)
 	s.replic.Instrument(reg)
+	s.opts.Artifacts.Instrument(reg)
 }
 
 // retryAfterSeconds is the hint sent with load-shedding responses: the

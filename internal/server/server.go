@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"petabricks/internal/artifact"
 	"petabricks/internal/bench"
 	"petabricks/internal/choice"
 	"petabricks/internal/cluster"
@@ -110,6 +111,14 @@ type Options struct {
 	CoalesceMaxN int
 	// MaxJobs bounds the async job store. Default 256.
 	MaxJobs int
+
+	// Artifacts, when set, is the tiered compiled-artifact store: every
+	// registry benchmark backed by a DSL engine is pointed at it before
+	// traffic starts, so compiled bytecode persists across restarts and a
+	// rebooted node serves its first request warm. GET /v1/artifacts
+	// exposes the disk tier to replication peers. Nil keeps each engine
+	// on its private in-memory store.
+	Artifacts *artifact.Store
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -213,8 +222,19 @@ func New(opts Options) (*Server, error) {
 	if opts.CoalesceWindow > 0 || (opts.CoalesceWindow == 0 && opts.Cluster.Enabled()) {
 		s.coalescer = cluster.NewCoalescer(opts.CoalesceWindow)
 	}
-	s.replic = cluster.NewReplicator(s.cluster, s.store, opts.ReplicateInterval, opts.PromoteMargin, opts.Logf)
+	s.replic = cluster.NewReplicator(s.cluster, s.store, opts.ReplicateInterval, opts.PromoteMargin, opts.Logf).
+		WithArtifacts(opts.Artifacts)
 	s.tuner = newTuner(s)
+	// Point every DSL engine at the shared artifact store before any
+	// traffic: a store populated by a previous process (or a peer) then
+	// warm-starts compiled bytecode instead of lowering from scratch.
+	if opts.Artifacts != nil {
+		for _, name := range opts.Registry.Names() {
+			if b, ok := opts.Registry.Get(name); ok && b.Engine != nil {
+				b.Engine.UseArtifacts(opts.Artifacts)
+			}
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/run", s.handleRun)
 	s.mux.HandleFunc("/v1/tune", s.handleTune)
@@ -223,6 +243,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/configs", s.handleConfigs)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/programs", s.handlePrograms)
+	s.mux.HandleFunc("/v1/artifacts", s.handleArtifacts)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -677,8 +698,52 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"leaders":   s.coalescer.Leaders(),
 			"followers": s.coalescer.Followers(),
 		},
-		"engines": interp.EngineStatsSnapshot(),
+		"engines":   interp.EngineStatsSnapshot(),
+		"artifacts": s.opts.Artifacts.Stats(),
 	})
+}
+
+// handleArtifacts exposes the artifact store's disk tier to peers.
+// Three forms, mirroring /v1/configs:
+//
+//	GET /v1/artifacts              digest + entry list
+//	GET /v1/artifacts?digest=1     digest only (replication probe)
+//	GET /v1/artifacts?id=X         one artifact's raw on-disk bytes
+//
+// The raw form returns the exact file contents (header line + gob
+// payload); the peer's InstallRaw re-verifies schema, length, and
+// checksum before accepting, so this endpoint never needs to trust its
+// own disk either.
+func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := s.opts.Artifacts
+	if !st.Persistent() {
+		writeErr(w, http.StatusNotFound, "artifact store disabled or memory-only")
+		return
+	}
+	q := r.URL.Query()
+	if id := q.Get("id"); id != "" {
+		raw, err := st.ReadRaw(id)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, "no such artifact")
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		w.Write(raw)
+		return
+	}
+	resp := cluster.ArtifactsResponse{
+		Digest: cluster.DigestString(st.Digest()),
+		Schema: artifact.SchemaVersion,
+	}
+	if q.Get("digest") == "" {
+		resp.Entries = st.List()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
