@@ -15,6 +15,9 @@
 //	-warn f          print a warning beyond this fraction (default 0.10)
 //	-write           refresh the baseline's "after" numbers from the
 //	                 measured output instead of comparing
+//	-md file         append a markdown comparison table to file (use
+//	                 $GITHUB_STEP_SUMMARY in CI); written even when the
+//	                 gate fails, so the summary shows what failed
 //
 // With -count=N the best (minimum) ns/op per benchmark is used, which
 // filters scheduler noise on shared CI runners. A benchmark present in
@@ -70,6 +73,7 @@ func main() {
 		threshold = flag.Float64("threshold", 0.25, "fail beyond this fractional ns/op regression")
 		warnTh    = flag.Float64("warn", 0.10, "warn beyond this fractional ns/op regression")
 		write     = flag.Bool("write", false, "refresh the baseline from the measured output")
+		mdPath    = flag.String("md", "", "append a markdown comparison table to this file")
 	)
 	flag.Parse()
 	if *basePath == "" {
@@ -116,6 +120,11 @@ func main() {
 	}
 
 	fails, warns := compare(&base, got, *threshold, *warnTh)
+	if *mdPath != "" {
+		if err := appendFile(*mdPath, mdTable(&base, got, *threshold, *warnTh)); err != nil {
+			fatal(err)
+		}
+	}
 	for _, w := range warns {
 		fmt.Println("WARN:", w)
 	}
@@ -255,6 +264,62 @@ func refresh(base *baseline, got map[string]metrics) {
 	for _, name := range extra {
 		base.Benchmarks = append(base.Benchmarks, entry{Name: name, After: got[name]})
 	}
+}
+
+// mdTable renders the comparison as a GitHub-flavored markdown table:
+// one row per baseline benchmark (and any extra measured ones), with
+// the same thresholds the gate enforces driving the status column.
+func mdTable(base *baseline, got map[string]metrics, failTh, warnTh float64) string {
+	var b strings.Builder
+	b.WriteString("### Benchmark gate\n\n")
+	b.WriteString("| benchmark | measured ns/op | baseline ns/op | delta | status |\n")
+	b.WriteString("|---|---:|---:|---:|---|\n")
+	seen := map[string]bool{}
+	for _, e := range base.Benchmarks {
+		seen[e.Name] = true
+		m, ok := got[e.Name]
+		if !ok {
+			fmt.Fprintf(&b, "| %s | — | %.0f | — | ❌ not measured |\n", e.Name, e.After.NsOp)
+			continue
+		}
+		if e.After.NsOp <= 0 {
+			fmt.Fprintf(&b, "| %s | %.0f | %v | — | ❌ bad baseline |\n", e.Name, m.NsOp, e.After.NsOp)
+			continue
+		}
+		delta := m.NsOp/e.After.NsOp - 1
+		status := "✅"
+		switch {
+		case delta > failTh:
+			status = "❌ regression"
+		case delta > warnTh:
+			status = "⚠️ slower"
+		}
+		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %+.1f%% | %s |\n", e.Name, m.NsOp, e.After.NsOp, delta*100, status)
+	}
+	var extra []string
+	for name := range got {
+		if !seen[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(&b, "| %s | %.0f | — | — | ⚠️ not in baseline |\n", name, got[name].NsOp)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// appendFile appends content to path, creating it if absent (the step
+// summary file already exists in CI; locally it usually does not).
+func appendFile(path, content string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.WriteString(f, content)
+	return err
 }
 
 func round1(v float64) float64 { return math.Round(v*10) / 10 }

@@ -142,3 +142,27 @@ func TestRefresh(t *testing.T) {
 		t.Errorf("extra benchmark not adopted cleanly: %+v", base.Benchmarks)
 	}
 }
+
+// TestMDTable checks the step-summary table carries one row per
+// baseline benchmark plus extras, with the gate's own verdicts.
+func TestMDTable(t *testing.T) {
+	got := map[string]metrics{
+		"BenchmarkA": {NsOp: 1300}, // > 25% over baseline 1000: regression
+		"BenchmarkB": {NsOp: 2100}, // within warn threshold
+		"BenchmarkC": {NsOp: 5},    // not in baseline
+	}
+	md := mdTable(testBaseline(), got, 0.25, 0.10)
+	for _, want := range []string{
+		"| BenchmarkA | 1300 | 1000 | +30.0% | ❌ regression |",
+		"| BenchmarkB | 2100 | 2000 | +5.0% | ✅ |",
+		"| BenchmarkC | 5 | — | — | ⚠️ not in baseline |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("table missing row %q\n%s", want, md)
+		}
+	}
+	missing := mdTable(testBaseline(), map[string]metrics{"BenchmarkA": {NsOp: 1000}}, 0.25, 0.10)
+	if !strings.Contains(missing, "❌ not measured") {
+		t.Errorf("table does not flag missing benchmarks\n%s", missing)
+	}
+}

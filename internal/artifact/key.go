@@ -34,7 +34,9 @@ import (
 // serialized payload shape changes (e.g. the jit instruction set);
 // artifacts written under any other version are rejected at load and
 // recompiled rather than decoded.
-const SchemaVersion = 2
+// Version 3: the jit instruction set gained view refs and reduction
+// ops (sumv/dotv/loadat/storeat), changing the Ref payload shape.
+const SchemaVersion = 3
 
 // Artifact kinds. Program and Plan artifacts live in the memory tier
 // only (they hold Go closures and analysis pointers); JIT artifacts —

@@ -74,8 +74,8 @@ func TestKeyStringStable(t *testing.T) {
 	if got, want := k.String(), "p=1a2b|RollingSum|n=64|cfg=9f3c|eng=2"; got != want {
 		t.Errorf("String() = %q, want %q", got, want)
 	}
-	if !strings.HasPrefix(k.ID(), "v2-") {
-		t.Errorf("ID %q does not carry schema version prefix v2-", k.ID())
+	if !strings.HasPrefix(k.ID(), "v3-") {
+		t.Errorf("ID %q does not carry schema version prefix v3-", k.ID())
 	}
 	// No sizes: the segment disappears rather than leaving "||".
 	k.Sizes = ""

@@ -196,6 +196,31 @@ func (g *Generator) recsplit() *Case {
 	return &Case{Family: "recsplit", Src: src, Main: "FzRec", MinN: 1, MakeInputs: vecInputs("A")}
 }
 
+// reduce: a per-row dot-product reduction C[y] = e * <A.row(y), B.row(y)>
+// — the dense linear-algebra inner kernel — computed via the dot builtin
+// (both argument orders; IEEE multiplication commutes bit-exactly) and
+// sometimes via an explicit indexed loop over the row views. All values
+// are small integers so every alternative is exact. Exercises collapsed
+// row views, the vm's dot/sum loops, and indexed view reads across
+// tiers. (region() views keep their rank by design, so only the row
+// accessor yields the 1-D vectors dot requires.)
+func (g *Generator) reduce() *Case {
+	rng := g.rng
+	e := int64(1 + rng.Intn(3))
+	rowA := "A.row(y) ra"
+	rules := []string{
+		"  to (C.cell(y) c) from (" + rowA + ", B.row(y) rb) {\n    c = (" + lit(e) + " * dot(ra, rb));\n  }\n",
+		"  to (C.cell(y) c) from (" + rowA + ", B.row(y) rb) {\n    c = (dot(rb, ra) * " + lit(e) + ");\n  }\n",
+	}
+	if rng.Intn(2) == 0 {
+		rules = append(rules,
+			"  to (C.cell(y) c) from ("+rowA+", B.row(y) rb) {\n"+
+				"    double s = 0;\n    for (int k = 0; k < w; k++) {\n      s += (ra.cell(k) * rb.cell(k));\n    }\n    c = ("+lit(e)+" * s);\n  }\n")
+	}
+	src := "transform FzReduce\nfrom A[w, h], B[w, h]\nto C[h]\n{\n" + strings.Join(rules, "\n") + "}\n"
+	return &Case{Family: "reduce", Src: src, Main: "FzReduce", MinN: 1, MakeInputs: gridInputs("A", "B")}
+}
+
 // invalid: deliberately malformed programs ("deliberately non-affine
 // regions" and friends). The front end must reject them with an error,
 // never a panic.

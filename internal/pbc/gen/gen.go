@@ -72,7 +72,7 @@ func New(seed int64) *Generator {
 func (g *Generator) Next() (*Case, error) {
 	g.seq++
 	var c *Case
-	switch pick := g.rng.Intn(16); {
+	switch pick := g.rng.Intn(18); {
 	case pick < 3:
 		c = g.pointwise()
 	case pick < 5:
@@ -87,6 +87,8 @@ func (g *Generator) Next() (*Case, error) {
 		c = g.recsplit()
 	case pick < 14:
 		c = g.stencil(true)
+	case pick < 16:
+		c = g.reduce()
 	default:
 		c = g.invalid()
 	}
@@ -146,12 +148,16 @@ func vecInputs(names ...string) func(n int, rng *rand.Rand) map[string]*matrix.M
 	}
 }
 
-// gridInputs builds one 2-D input of DSL shape [w, h] = [n, n+1]
+// gridInputs builds 2-D inputs of DSL shape [w, h] = [n, n+1]
 // (storage is row-major [h, w]) with small integer values.
-func gridInputs(name string) func(n int, rng *rand.Rand) map[string]*matrix.Matrix {
+func gridInputs(names ...string) func(n int, rng *rand.Rand) map[string]*matrix.Matrix {
 	return func(n int, rng *rand.Rand) map[string]*matrix.Matrix {
-		m := matrix.New(n+1, n)
-		m.Each(func([]int, float64) float64 { return float64(rng.Intn(7) - 3) })
-		return map[string]*matrix.Matrix{name: m}
+		out := map[string]*matrix.Matrix{}
+		for _, nm := range names {
+			m := matrix.New(n+1, n)
+			m.Each(func([]int, float64) float64 { return float64(rng.Intn(7) - 3) })
+			out[nm] = m
+		}
+		return out
 	}
 }

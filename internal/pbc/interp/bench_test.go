@@ -149,15 +149,16 @@ func BenchmarkInterpRollingSumScanInstrumented(b *testing.B) {
 	benchRollingSumScan(b, EngineClosure)
 }
 
-// BenchmarkInterpRollingSumDirect is the Θ(n²) direct rule: per-cell a
-// center-dependent region view is bound and reduced with sum(), which
-// is outside the bytecode fragment — it tracks the closure tier's view
-// machinery and has no JIT counterpart.
-func BenchmarkInterpRollingSumDirect(b *testing.B) {
+// benchRollingSumDirect is the Θ(n²) direct rule: per cell a
+// center-dependent region view is bound and reduced with sum(). The
+// bytecode tier lowers the view binding and the reduction to a single
+// strided loop (OpSumV); the closure tier materializes a matrix view
+// and walks it, so this pair tracks the reduction-lowering payoff.
+func benchRollingSumDirect(b *testing.B, tier int64) {
 	e := benchEngine(b, parser.RollingSumSrc)
 	cfg := choice.NewConfig()
 	cfg.SetSelector(SelectorName("RollingSum"), choice.NewSelector(0))
-	cfg.SetInt(EngineKey, EngineClosure)
+	cfg.SetInt(EngineKey, tier)
 	e.Cfg = cfg
 	in := benchVec(256, 2)
 	b.ReportAllocs()
@@ -169,13 +170,15 @@ func BenchmarkInterpRollingSumDirect(b *testing.B) {
 	}
 }
 
-// BenchmarkInterpMatrixMultiplyBase runs the base cell rule (dot of a
-// row view and a column view) over a 32³ multiply.
-func BenchmarkInterpMatrixMultiplyBase(b *testing.B) {
+func BenchmarkInterpRollingSumDirect(b *testing.B) { benchRollingSumDirect(b, EngineClosure) }
+
+// benchMatrixMultiplyBase runs the base cell rule (dot of a row view
+// and a column view) over a 32³ multiply.
+func benchMatrixMultiplyBase(b *testing.B, tier int64) {
 	e := benchEngine(b, parser.MatrixMultiplySrc)
 	cfg := choice.NewConfig()
 	cfg.SetSelector(SelectorName("MatrixMultiply"), choice.NewSelector(0))
-	cfg.SetInt(EngineKey, EngineClosure)
+	cfg.SetInt(EngineKey, tier)
 	e.Cfg = cfg
 	rng := rand.New(rand.NewSource(3))
 	const n = 32
@@ -193,6 +196,46 @@ func BenchmarkInterpMatrixMultiplyBase(b *testing.B) {
 	}
 }
 
+func BenchmarkInterpMatrixMultiplyBase(b *testing.B) { benchMatrixMultiplyBase(b, EngineClosure) }
+
+// benchDotSrc is a pure per-row dot-product reduction: two contiguous
+// row views and one dot() per cell, nothing else. It isolates the
+// vm's stride-1 dot loop against the closure tier's view-materializing
+// builtin.
+const benchDotSrc = `
+transform DotRows
+from A[w, h], B[w, h]
+to C[h]
+{
+  to (C.cell(y) c) from (A.row(y) ra, B.row(y) rb) {
+    c = dot(ra, rb);
+  }
+}
+`
+
+func benchDotRows(b *testing.B, tier int64) {
+	e := benchEngine(b, benchDotSrc)
+	cfg := choice.NewConfig()
+	cfg.SetInt(EngineKey, tier)
+	e.Cfg = cfg
+	rng := rand.New(rand.NewSource(8))
+	const w, h = 256, 64
+	a := matrix.New(h, w)
+	bm := matrix.New(h, w)
+	a.Each(func([]int, float64) float64 { return rng.Float64() })
+	bm.Each(func([]int, float64) float64 { return rng.Float64() })
+	in := map[string]*matrix.Matrix{"A": a, "B": bm}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run("DotRows", in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpDotRows(b *testing.B) { benchDotRows(b, EngineClosure) }
+
 func BenchmarkInterpSummedArea(b *testing.B) { benchSummedArea(b, EngineClosure) }
 
 func BenchmarkInterpHeat1D(b *testing.B) { benchHeat1D(b, EngineClosure) }
@@ -208,6 +251,17 @@ func BenchmarkJITSummedArea(b *testing.B) { benchSummedArea(b, EngineJIT) }
 func BenchmarkJITHeat1D(b *testing.B) { benchHeat1D(b, EngineJIT) }
 
 func BenchmarkJITPointwise(b *testing.B) { benchPointwise(b, EngineJIT) }
+
+// The BenchmarkJITReduce* family is the reduction workloads on the
+// bytecode tier — the rules that used to fall back to the closure tier
+// before bounded views and reduction loops entered the vm fragment.
+// Compare against the matching BenchmarkInterp* closure numbers.
+
+func BenchmarkJITReduceRollingSumDirect(b *testing.B) { benchRollingSumDirect(b, EngineJIT) }
+
+func BenchmarkJITReduceMatrixMultiplyBase(b *testing.B) { benchMatrixMultiplyBase(b, EngineJIT) }
+
+func BenchmarkJITReduceDotRows(b *testing.B) { benchDotRows(b, EngineJIT) }
 
 // benchPool provides the shared pool for the repeat-execution family and
 // shuts it down with the benchmark.

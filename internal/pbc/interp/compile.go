@@ -179,6 +179,12 @@ func (ct *compiledTransform) rule(ri *analysis.RuleInfo) *compiledRule {
 			if m != nil {
 				m.jitCompiled.Inc()
 				m.bytecodeHist(ct.res.Transform.Name).Observe(float64(len(prog.Code)))
+				for _, r := range prog.Refs {
+					if r.Kind == jit.RefView {
+						m.jitViewRules.Inc()
+						break
+					}
+				}
 			}
 			ct.persist(ri.Rule.Index, prog)
 		} else {

@@ -684,6 +684,41 @@ func (ex *exec) runCyclic(step *analysis.Step, done map[string]bool, w *runtime.
 		}
 		runs = append(runs, cn)
 	}
+	// Batched fast path: a lone 1-D node with a compiled rule and a
+	// pre-acquired frame (sequential execution) visits one cell per
+	// wavefront slice, so the general per-slice machinery — bounds
+	// copy, range dispatch, flat-index unflatten — is pure overhead.
+	// Run the axis as one tight cell loop instead; cell order and error
+	// order are identical (the slice closure would visit the same
+	// indices in the same direction and skip the same out-of-range
+	// ones).
+	if len(runs) == 1 && runs[0].cr != nil && runs[0].fr != nil && len(runs[0].b) == 1 {
+		cn := runs[0]
+		from, to := cn.b[0][0], cn.b[0][1]
+		if from < lo {
+			from = lo
+		}
+		if to > hi {
+			to = hi
+		}
+		c := cn.center
+		if step.IterDir >= 0 {
+			for i := from; i < to; i++ {
+				c[0] = i
+				if err := cn.fr.runCell(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := to - 1; i >= from; i-- {
+			c[0] = i
+			if err := cn.fr.runCell(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	slice := func(idx int64) error {
 		for _, cn := range runs {
 			if idx < cn.b[d][0] || idx >= cn.b[d][1] {

@@ -37,6 +37,7 @@ type interpMetrics struct {
 	jitCacheHit  *obs.Counter // program-cache hits under the jit tier
 	jitCacheMiss *obs.Counter // program-cache misses under the jit tier
 	jitWarm      *obs.Counter // rules warm-started from the artifact disk tier
+	jitViewRules *obs.Counter // lowered programs carrying view refs (reduction loops)
 
 	runHists      sync.Map // transform name -> *obs.Histogram
 	bytecodeHists sync.Map // transform name -> *obs.Histogram
@@ -74,6 +75,7 @@ func Instrument(reg *obs.Registry) {
 	m.jitCacheHit = reg.Counter("pb_jit_cache_hits_total", "Compiled-program cache hits under the jit tier.")
 	m.jitCacheMiss = reg.Counter("pb_jit_cache_misses_total", "Compiled-program cache misses under the jit tier.")
 	m.jitWarm = reg.Counter("pb_jit_warm_loads_total", "Rules warm-started from persisted bytecode instead of lowering.")
+	m.jitViewRules = reg.Counter("pb_jit_view_rules_total", "Lowered rule programs whose bytecode binds region views (reduction loops).")
 	im.Store(m)
 }
 

@@ -143,15 +143,17 @@ func TestJITCacheConcurrentEngines(t *testing.T) {
 func TestEngineStatsFallbackReasons(t *testing.T) {
 	resetTierStats()
 	defer resetTierStats()
-	// One rule the bytecode tier handles, one it must reject: region
-	// bindings (sum over a view) are outside the flat-bytecode fragment.
+	// One rule the bytecode tier handles (including the sum reduction
+	// over a view, which lowers to OpSumV), one it must reject: a view
+	// read as a scalar succeeds only when the view holds one element — a
+	// dynamic property the register vm cannot express.
 	src := `
 transform Mixed
 from A[n]
 to B[n], C[n]
 {
-  to (B.cell(i) b) from (A.cell(i) a) { b = 2 * a + 1; }
-  to (C.cell(i) c) from (A.region(0, n) r) { c = sum(r); }
+  to (B.cell(i) b) from (A.region(0, n) r) { b = sum(r); }
+  to (C.cell(i) c) from (A.region(i, (i + 1)) r) { c = 2 * r; }
 }
 `
 	e := engine(t, src)
@@ -160,8 +162,8 @@ to B[n], C[n]
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out["B"].At1(2) != 7 || out["C"].At1(0) != 10 {
-		t.Fatalf("B[2]=%g C[0]=%g, want 7 and 10", out["B"].At1(2), out["C"].At1(0))
+	if out["B"].At1(2) != 10 || out["C"].At1(1) != 4 {
+		t.Fatalf("B[2]=%g C[1]=%g, want 10 and 4", out["B"].At1(2), out["C"].At1(1))
 	}
 
 	stats := EngineStatsSnapshot()
@@ -170,7 +172,11 @@ to B[n], C[n]
 	}
 	found := false
 	for _, r := range stats.Fallbacks {
-		if r.Tier == "jit" && r.Transform == "Mixed" && r.Construct == "view-binding" {
+		if r.Tier == "jit" && r.Transform == "Mixed" {
+			if r.Construct != "view-scalar" {
+				t.Errorf("fallback construct = %q, want view-scalar (%+v)", r.Construct, r)
+				continue
+			}
 			found = true
 			if r.Rule == "" || r.Count < 1 {
 				t.Errorf("fallback entry incomplete: %+v", r)
@@ -178,6 +184,6 @@ to B[n], C[n]
 		}
 	}
 	if !found {
-		t.Errorf("no jit view-binding fallback recorded; stats = %+v", stats)
+		t.Errorf("no jit view-scalar fallback recorded; stats = %+v", stats)
 	}
 }

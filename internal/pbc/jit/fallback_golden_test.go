@@ -1,0 +1,101 @@
+package jit
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"petabricks/internal/pbc/analysis"
+	"petabricks/internal/pbc/codegen"
+	"petabricks/internal/pbc/parser"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/fallback_golden.txt from the current lowerer")
+
+// TestFallbackGolden pins the bytecode tier's coverage of the example
+// corpus: every rule of every corpus transform is run through Compile
+// and the outcome — lowered, or the typed construct it fell back on —
+// is compared line by line against a committed golden file. Widening
+// the lowerable fragment (a rule flips to "lowered") or accidentally
+// narrowing it (a new fallback construct appears) both fail this test
+// until the golden is regenerated with -update and the diff reviewed.
+func TestFallbackGolden(t *testing.T) {
+	corpus := []struct {
+		src   string
+		sizes map[string]int64
+	}{
+		{parser.RollingSumSrc, map[string]int64{"n": 8}},
+		{parser.MatrixMultiplySrc, map[string]int64{"w": 4, "c": 4, "h": 4}},
+		{parser.MergeSortSrc, map[string]int64{"n": 8, "a": 4, "b": 4}},
+		{parser.Heat1DSrc, map[string]int64{"n": 8}},
+		{parser.SummedAreaSrc, map[string]int64{"w": 4, "h": 4}},
+	}
+	var b strings.Builder
+	for _, c := range corpus {
+		prog, err := parser.Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		for _, tr := range prog.Transforms {
+			if len(tr.Templates) > 0 {
+				fmt.Fprintf(&b, "%s: template (instantiated per use, not lowered directly)\n", tr.Name)
+				continue
+			}
+			res, err := analysis.Analyze(prog, tr)
+			if err != nil {
+				t.Fatalf("analyze %s: %v", tr.Name, err)
+			}
+			for _, ri := range res.Rules {
+				if _, cerr := Compile(res, ri, c.sizes); cerr == nil {
+					fmt.Fprintf(&b, "%s/%s: lowered\n", tr.Name, ri.Rule.Name())
+				} else {
+					construct := cerr.Error()
+					var u *codegen.Unsupported
+					if errors.As(cerr, &u) {
+						construct = u.Construct
+					}
+					fmt.Fprintf(&b, "%s/%s: fallback %s\n", tr.Name, ri.Rule.Name(), construct)
+				}
+			}
+		}
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "fallback_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	wantLines := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("line %d:\n  got  %q\n  want %q", i+1, g, w)
+		}
+	}
+	t.Error("jit fallback coverage changed; review and regenerate with: go test ./internal/pbc/jit -run TestFallbackGolden -update")
+}

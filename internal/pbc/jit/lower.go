@@ -13,14 +13,17 @@ import (
 // and surface the reason.
 //
 // The lowerable fragment is the closure tier's compilable fragment
-// restricted to rules whose bound references are all cells with
-// integer-affine center indices: scalar locals, cell reads and writes,
-// arithmetic, comparisons, short-circuit logic, lazy conditionals,
-// if/for control flow, and the scalar builtins. Every lowering decision
-// mirrors compileRule/compileScalar in internal/pbc/interp so outputs
-// stay bit-identical across tiers — evaluation order, error order,
-// truncation, short-circuiting, and lazy out-of-range cell handling
-// included.
+// restricted to rules whose bound references have integer-affine
+// center indices: scalar locals, cell reads and writes, arithmetic,
+// comparisons, short-circuit logic, lazy conditionals, if/for control
+// flow, the scalar builtins, and — over bound region/row/column/whole
+// views whose bounds fold to affine forms at (transform, sizes,
+// config) time — the sum and dot reductions plus direct .cell(...)
+// indexed reads and writes. Every lowering decision mirrors
+// compileRule/compileScalar in internal/pbc/interp so outputs stay
+// bit-identical across tiers — evaluation order, error order,
+// truncation, short-circuiting, eager view bounds checks, and lazy
+// out-of-range cell handling included.
 func Compile(res *analysis.Result, ri *analysis.RuleInfo, sizes map[string]int64) (p *Program, err error) {
 	rule := ri.Rule.Name()
 	defer func() {
@@ -90,13 +93,16 @@ type lvKind int
 const (
 	lvScalar lvKind = iota
 	lvCell
+	lvView
 )
 
-// lvar is a compile-time binding: a scalar register or a cell ref.
+// lvar is a compile-time binding: a scalar register, a cell ref, or a
+// view ref (vnd is the view's statically known post-collapse rank).
 type lvar struct {
 	kind lvKind
 	reg  int32
 	ref  int32
+	vnd  int
 }
 
 type lscope struct {
@@ -162,40 +168,94 @@ func (lo *lowerer) unsup(construct, detailFmt string, args ...any) error {
 
 // --- References -------------------------------------------------------------
 
+// affForm is one folded affine bound: base + Σ coeff·center.
+type affForm struct {
+	base  int64
+	coeff []int64
+}
+
+func (a affForm) plus(n int64) affForm { return affForm{a.base + n, a.coeff} }
+
 // addRef validates one region reference the same way the closure tier's
-// compileRef does, and lowers bound cell refs into affine Ref entries.
-// Unbound refs are validated but emit nothing: with affine args and
-// evaluable dims their bounds can never fail at run time, so skipping
-// them is semantics-identical. Bound non-cell refs (views) are the
-// closure tier's territory.
+// compileRef does, and lowers bound refs into affine Ref entries: cells
+// become lazily range-checked single-offset RefCell refs; every other
+// shape (whole matrix, row, column, region) becomes a RefView window
+// with the closure tier's eager per-dimension [lo,hi) bounds checks.
+// Unbound refs are validated but emit nothing: bindRefs skips slotless
+// refs too, so their bounds are never checked at run time in any tier.
 func (lo *lowerer) addRef(ref *ast.RegionRef, root *lscope) error {
 	mi := lo.res.Matrices[ref.Matrix]
 	if mi == nil {
 		return lo.unsup("unknown-matrix", "%q", ref.Matrix)
 	}
-	for _, se := range mi.Dims {
-		if _, err := se.Eval(lo.sizes); err != nil {
+	dims := make([]int64, len(mi.Dims))
+	for i, se := range mi.Dims {
+		v, err := se.Eval(lo.sizes)
+		if err != nil {
 			return lo.unsup("non-affine-dims", "matrix %q", ref.Matrix)
 		}
+		dims[i] = v
 	}
-	bound := func(e ast.Expr) (base int64, coeff []int64, err error) {
+	bound := func(e ast.Expr) (affForm, error) {
 		se, serr := analysis.ToSymbolic(e)
 		if serr != nil {
-			return 0, nil, lo.unsup("non-affine-index", "%s", ast.ExprString(e))
+			return affForm{}, lo.unsup("non-affine-index", "%s", ast.ExprString(e))
 		}
-		return lo.affineOf(se, e)
+		base, coeff, err := lo.affineOf(se, e)
+		return affForm{base, coeff}, err
 	}
-	if ref.Binding != "" && ref.Kind != ast.RegionCell {
-		return lo.unsup("view-binding", "%q", ref.Binding)
-	}
+	// Fold the ref into DSL-order lo/hi bounds, mirroring compileRef's
+	// shapes exactly (shape violations are errNotCompilable there — the
+	// whole rule runs on the AST interpreter either way, so which tier
+	// rejects them never changes results).
+	var lob, hib []affForm
+	collapse := false
 	switch ref.Kind {
 	case ast.RegionAll:
-		// No args to validate.
-	case ast.RegionCell, ast.RegionRow, ast.RegionCol, ast.RegionRegion:
+		for _, ext := range dims {
+			lob = append(lob, affForm{})
+			hib = append(hib, affForm{base: ext})
+		}
+	case ast.RegionCell:
 		for _, a := range ref.Args {
-			if _, _, err := bound(a); err != nil {
+			ab, err := bound(a)
+			if err != nil {
 				return err
 			}
+			lob = append(lob, ab)
+		}
+	case ast.RegionRow, ast.RegionCol:
+		if len(dims) != 2 || len(ref.Args) != 1 {
+			return lo.unsup("region-shape", "%d-arg row/column on %d-dim %q", len(ref.Args), len(dims), ref.Matrix)
+		}
+		ab, err := bound(ref.Args[0])
+		if err != nil {
+			return err
+		}
+		collapse = true
+		if ref.Kind == ast.RegionRow {
+			lob = []affForm{{}, ab}
+			hib = []affForm{{base: dims[0]}, ab.plus(1)}
+		} else {
+			lob = []affForm{ab, {}}
+			hib = []affForm{ab.plus(1), {base: dims[1]}}
+		}
+	case ast.RegionRegion:
+		nd := len(dims)
+		if len(ref.Args) != 2*nd {
+			return lo.unsup("region-shape", "%d-arg region on %d-dim %q", len(ref.Args), nd, ref.Matrix)
+		}
+		for d := 0; d < nd; d++ {
+			loB, err := bound(ref.Args[d])
+			if err != nil {
+				return err
+			}
+			hiB, err := bound(ref.Args[nd+d])
+			if err != nil {
+				return err
+			}
+			lob = append(lob, loB)
+			hib = append(hib, hiB)
 		}
 	default:
 		return lo.unsup("region-kind", "%v", ref.Kind)
@@ -203,25 +263,40 @@ func (lo *lowerer) addRef(ref *ast.RegionRef, root *lscope) error {
 	if ref.Binding == "" {
 		return nil
 	}
-	nd := len(ref.Args)
 	nc := lo.p.NCenter
-	r := Ref{Matrix: ref.Matrix, Binding: ref.Binding, ND: nd, Base: make([]int64, nd)}
-	for d, a := range ref.Args {
-		base, coeff, err := bound(a)
-		if err != nil {
-			return err
-		}
-		r.Base[d] = base
-		for k, co := range coeff {
-			if co != 0 {
-				if r.Coeff == nil {
-					r.Coeff = make([]int64, nd*nc)
+	fill := func(forms []affForm, nd int, base []int64, coeff *[]int64) {
+		for d, ab := range forms {
+			base[d] = ab.base
+			for k, co := range ab.coeff {
+				if co != 0 {
+					if *coeff == nil {
+						*coeff = make([]int64, nd*nc)
+					}
+					(*coeff)[d*nc+k] = co
 				}
-				r.Coeff[d*nc+k] = co
 			}
 		}
 	}
-	root.define(ref.Binding, lvar{kind: lvCell, ref: int32(len(lo.p.Refs))})
+	if ref.Kind == ast.RegionCell {
+		nd := len(lob)
+		r := Ref{Matrix: ref.Matrix, Binding: ref.Binding, ND: nd, Base: make([]int64, nd)}
+		fill(lob, nd, r.Base, &r.Coeff)
+		root.define(ref.Binding, lvar{kind: lvCell, ref: int32(len(lo.p.Refs))})
+		lo.p.Refs = append(lo.p.Refs, r)
+		return nil
+	}
+	nd := len(dims)
+	r := Ref{
+		Matrix: ref.Matrix, Binding: ref.Binding, ND: nd, Kind: RefView,
+		Base: make([]int64, nd), HiBase: make([]int64, nd), Collapse: collapse,
+	}
+	fill(lob, nd, r.Base, &r.Coeff)
+	fill(hib, nd, r.HiBase, &r.HiCoeff)
+	vnd := nd
+	if collapse {
+		vnd = 1 // a collapsed 2-D row/column view is always exactly 1-D
+	}
+	root.define(ref.Binding, lvar{kind: lvView, ref: int32(len(lo.p.Refs)), vnd: vnd})
 	lo.p.Refs = append(lo.p.Refs, r)
 	return nil
 }
@@ -430,13 +505,73 @@ func (lo *lowerer) assign(st *ast.Assign, sc *lscope) error {
 				return lo.unsup("assign-op", "%q", st.Op)
 			}
 			return nil
+		case lvView:
+			// Whole-region assignment (b = MergeSort(a)) copies a matrix
+			// into the view in the closure tier; that stays its territory.
+			return lo.unsup("region-assignment", "%q", lhs.Name)
 		}
 		return lo.unsup("assign-target", "%q", lhs.Name)
 	case *ast.Index:
-		// Indexed assignment needs a view binding; views don't lower.
-		return lo.unsup("indexed-assignment", "%q", lhs.Base)
+		v, ok := sc.lookup(lhs.Base)
+		if !ok || v.kind != lvView {
+			return lo.unsup("indexed-assignment", "%q", lhs.Base)
+		}
+		// RHS first, then indices, matching execAssign's order.
+		src, err := lo.scalarRead(st.RHS, sc)
+		if err != nil {
+			return err
+		}
+		switch st.Op {
+		case "=", "+=", "-=":
+		default:
+			return lo.unsup("assign-op", "%q on view %q", st.Op, lhs.Base)
+		}
+		idx, err := lo.indexRegs(lhs.Base, lhs.Args, v, sc)
+		if err != nil {
+			return err
+		}
+		switch st.Op {
+		case "=":
+			lo.emit(OpStoreAt, v.ref, idx, src)
+		case "+=":
+			old := lo.newReg()
+			lo.emit(OpLoadAt, old, v.ref, idx)
+			lo.emit(OpAdd, old, old, src)
+			lo.emit(OpStoreAt, v.ref, idx, old)
+		case "-=":
+			old := lo.newReg()
+			lo.emit(OpLoadAt, old, v.ref, idx)
+			lo.emit(OpSub, old, old, src)
+			lo.emit(OpStoreAt, v.ref, idx, old)
+		}
+		return nil
 	}
 	return lo.unsup("assign-target", "%T", st.LHS)
+}
+
+// indexRegs lowers a .cell(...) index list on a view binding into a
+// block of consecutive registers (one per DSL dimension, as OpLoadAt
+// and OpStoreAt expect) and returns the block's first register. Index
+// expressions evaluate left to right — the closure tier's order — with
+// truncation and bounds checks deferred to the op itself. A rank
+// mismatch is a per-cell runtime error in the closure tier, so it
+// falls back rather than lowering.
+func (lo *lowerer) indexRegs(name string, args []ast.Expr, v lvar, sc *lscope) (int32, error) {
+	if len(args) != v.vnd {
+		return 0, lo.unsup("index-rank", "%d indices for %d-dim view %q", len(args), v.vnd, name)
+	}
+	base := int32(len(lo.regInit))
+	for range args {
+		lo.newReg()
+	}
+	for d, a := range args {
+		r, err := lo.scalarRead(a, sc)
+		if err != nil {
+			return 0, err
+		}
+		lo.emit(OpMov, base+int32(d), r, 0)
+	}
+	return base, nil
 }
 
 // --- Expressions ------------------------------------------------------------
@@ -481,6 +616,12 @@ func (lo *lowerer) scalarInto(e ast.Expr, sc *lscope, dst int32) error {
 				lo.emit(OpMov, dst, v.reg, 0)
 			case lvCell:
 				lo.emit(OpLoad, dst, v.ref, 0)
+			case lvView:
+				// A view used as a scalar succeeds at run time iff it
+				// holds exactly one element (value.num) — a dynamic
+				// property registers cannot express, so the closure tier
+				// keeps it.
+				return lo.unsup("view-scalar", "%q", x.Name)
 			}
 			return nil
 		}
@@ -521,7 +662,16 @@ func (lo *lowerer) scalarInto(e ast.Expr, sc *lscope, dst int32) error {
 	case *ast.Call:
 		return lo.call(x, sc, dst)
 	case *ast.Index:
-		return lo.unsup("indexed-read", "%q", x.Base)
+		v, ok := sc.lookup(x.Base)
+		if !ok || v.kind != lvView {
+			return lo.unsup("indexed-read", "%q", x.Base)
+		}
+		idx, err := lo.indexRegs(x.Base, x.Args, v, sc)
+		if err != nil {
+			return err
+		}
+		lo.emit(OpLoadAt, dst, v.ref, idx)
+		return nil
 	}
 	return lo.unsup("unknown-expression", "%T", e)
 }
@@ -667,8 +817,47 @@ func (lo *lowerer) call(x *ast.Call, sc *lscope, dst int32) error {
 			lo.emit(op, dst, dst, r)
 		}
 		return nil
-	case "sum", "dot", "copy":
+	case "sum":
+		// Lowers over a view binding of any rank (OpSumV walks the
+		// window in matrix.Walk's row-major order). Any other argument
+		// shape — cell bindings, nested calls, arity mismatches — keeps
+		// the closure tier's runtime coercions and errors.
+		if len(x.Args) == 1 {
+			if v, ok := lo.viewArg(x.Args[0], sc); ok {
+				lo.emit(OpSumV, dst, v.ref, 0)
+				return nil
+			}
+		}
+		return lo.unsup("builtin", "%s needs a view", x.Fn)
+	case "dot":
+		// Lowers when both arguments are statically 1-D view bindings;
+		// the length check stays a runtime error inside OpDotV, like the
+		// interpreter's. A 2-D view argument falls back so the closure
+		// tier can raise its runtime dimension error.
+		if len(x.Args) == 2 {
+			a, okA := lo.viewArg(x.Args[0], sc)
+			b, okB := lo.viewArg(x.Args[1], sc)
+			if okA && okB && a.vnd == 1 && b.vnd == 1 {
+				lo.emit(OpDotV, dst, a.ref, b.ref)
+				return nil
+			}
+		}
+		return lo.unsup("builtin", "%s needs two vector views", x.Fn)
+	case "copy":
 		return lo.unsup("builtin", "%s needs a view", x.Fn)
 	}
 	return lo.unsup("transform-call", "%q", x.Fn)
+}
+
+// viewArg resolves a call argument that is a bare view binding.
+func (lo *lowerer) viewArg(e ast.Expr, sc *lscope) (lvar, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return lvar{}, false
+	}
+	v, ok := sc.lookup(id.Name)
+	if !ok || v.kind != lvView {
+		return lvar{}, false
+	}
+	return v, true
 }

@@ -2,6 +2,8 @@ package jit
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 
 	"petabricks/internal/matrix"
@@ -141,6 +143,161 @@ to B[n]
 	}
 }
 
+// TestLowerSumOverRegion lowers RollingSum's direct rule — sum over the
+// affine prefix view A.region(0, i+1) — and checks the vm computes
+// exact prefix sums through OpSumV.
+func TestLowerSumOverRegion(t *testing.T) {
+	p, _, err := lowerRule(t, parser.RollingSumSrc, 0, map[string]int64{"n": 5})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	a := matrix.FromSlice([]float64{1, 2, 3, 4, 5})
+	b := matrix.FromSlice(make([]float64, 5))
+	f := p.NewFrame()
+	f.BindMatrix(0, b)
+	f.BindMatrix(1, a)
+	for i := int64(0); i < 5; i++ {
+		if err := f.RunCell([]int64{i}); err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+	want := []float64{1, 3, 6, 10, 15}
+	for i, w := range want {
+		if got := b.Get(i); got != w {
+			t.Fatalf("b[%d] = %v, want %v\n%s", i, got, w, p.Disassemble())
+		}
+	}
+	// The view's bounds are checked eagerly: at i = n the prefix view
+	// [0, n+1) exceeds the matrix and must error before the body runs.
+	if err := f.RunCell([]int64{5}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("expected eager view bounds error, got %v", err)
+	}
+}
+
+// TestLowerDotRowCol lowers MatrixMultiply's base rule — dot over a row
+// view and a (non-contiguous) column view — and checks OpDotV against a
+// hand-computed product.
+func TestLowerDotRowCol(t *testing.T) {
+	sizes := map[string]int64{"w": 2, "c": 2, "h": 2}
+	p, _, err := lowerRule(t, parser.MatrixMultiplySrc, 0, sizes)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	mk := func(vals ...float64) *matrix.Matrix {
+		m := matrix.New(2, 2)
+		for i, v := range vals {
+			m.Set(v, i/2, i%2)
+		}
+		return m
+	}
+	a := mk(1, 2, 3, 4)  // rows [1 2], [3 4]
+	bm := mk(5, 6, 7, 8) // columns [5 7], [6 8]
+	ab := matrix.New(2, 2)
+	f := p.NewFrame()
+	f.BindMatrix(0, ab) // To: AB.cell(x, y)
+	f.BindMatrix(1, a)  // From: A.row(y)
+	f.BindMatrix(2, bm) // From: B.column(x)
+	for x := int64(0); x < 2; x++ {
+		for y := int64(0); y < 2; y++ {
+			if err := f.RunCell([]int64{x, y}); err != nil {
+				t.Fatalf("cell (%d,%d): %v", x, y, err)
+			}
+		}
+	}
+	want := [][]float64{{19, 22}, {43, 50}} // row y, col x
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			if got := ab.Get(y, x); got != want[y][x] {
+				t.Fatalf("ab[%d][%d] = %v, want %v\n%s", y, x, got, want[y][x], p.Disassemble())
+			}
+		}
+	}
+}
+
+// TestLowerIndexedAccess covers register-indexed reads and writes on
+// view bindings: an explicit loop summing r.cell(k) (OpLoadAt with a
+// loop-register index) and an indexed read-modify-write through a From
+// view (OpStoreAt).
+func TestLowerIndexedAccess(t *testing.T) {
+	src := `
+transform IX
+from A[w, h]
+to B[h]
+{
+  to (B.cell(y) b) from (A.row(y) r) {
+    double s = 0;
+    for (int k = 0; k < w; k++) {
+      s += r.cell(k);
+    }
+    b = s;
+  }
+}
+`
+	p, _, err := lowerRule(t, src, 0, map[string]int64{"w": 3, "h": 2})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	a := matrix.New(2, 3) // row-major h x w
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			a.Set(float64(10*r+c+1), r, c)
+		}
+	}
+	b := matrix.FromSlice(make([]float64, 2))
+	f := p.NewFrame()
+	f.BindMatrix(0, b)
+	f.BindMatrix(1, a)
+	for y := int64(0); y < 2; y++ {
+		if err := f.RunCell([]int64{y}); err != nil {
+			t.Fatalf("cell %d: %v", y, err)
+		}
+	}
+	if b.Get(0) != 1+2+3 || b.Get(1) != 11+12+13 {
+		t.Fatalf("b = [%v %v], want [6 36]\n%s", b.Get(0), b.Get(1), p.Disassemble())
+	}
+
+	wsrc := `
+transform WX
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.region(0, n) r) {
+    r.cell(i) = r.cell(i) + 1;
+    b = r.cell(i);
+  }
+}
+`
+	wp, _, err := lowerRule(t, wsrc, 0, map[string]int64{"n": 3})
+	if err != nil {
+		t.Fatalf("lower write: %v", err)
+	}
+	wa := matrix.FromSlice([]float64{4, 5, 6})
+	wb := matrix.FromSlice(make([]float64, 3))
+	wf := wp.NewFrame()
+	wf.BindMatrix(0, wb)
+	wf.BindMatrix(1, wa)
+	for i := int64(0); i < 3; i++ {
+		if err := wf.RunCell([]int64{i}); err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+	for i, w := range []float64{5, 6, 7} {
+		if wb.Get(i) != w || wa.Get(i) != w {
+			t.Fatalf("i=%d: b=%v a=%v, want %v\n%s", i, wb.Get(i), wa.Get(i), w, wp.Disassemble())
+		}
+	}
+	// An out-of-range explicit index panics exactly like matrix.Get.
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil || !strings.Contains(fmt.Sprint(r), "out of range") {
+				t.Fatalf("expected matrix.Get-style panic, got %v", r)
+			}
+		}()
+		_ = wf.RunCell([]int64{3}) // r.cell(3) on a 3-element view
+	}()
+}
+
 func TestLowerFallbackReasons(t *testing.T) {
 	cases := []struct {
 		name      string
@@ -156,14 +313,30 @@ to B[n]
   to (B b) from (A a) { b = a; }
 }
 `, 0, "macro-rule"},
-		{"view-binding", `
+		{"view-scalar", `
 transform R
 from A[n]
 to B[n]
 {
-  to (B.cell(i) b) from (A.region(0, n) r) { b = sum(r); }
+  to (B.cell(i) b) from (A.region(i, (i + 1)) r) { b = 2 * r; }
 }
-`, 0, "view-binding"},
+`, 0, "view-scalar"},
+		{"region-assignment", `
+transform RA
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.region(0, n) r) { r = b; b = 0; }
+}
+`, 0, "region-assignment"},
+		{"index-rank", `
+transform IR
+from A[n]
+to B[n]
+{
+  to (B.cell(i) b) from (A.region(0, n) r) { b = r.cell(i, 0); }
+}
+`, 0, "index-rank"},
 		{"transform-call", `
 transform Outer
 from A[n]
@@ -233,6 +406,11 @@ func TestLowerCorpusCoverage(t *testing.T) {
 	cases := map[string]tcase{
 		"Heat1D":     {parser.Heat1DSrc, map[string]int64{"n": 8}, 3},
 		"SummedArea": {parser.SummedAreaSrc, map[string]int64{"w": 4, "h": 4}, 4},
+		// The paper's reduction kernels: RollingSum's direct
+		// sum-over-prefix rule and MatrixMultiply's dot-product base rule
+		// lower now that bounded views and reductions are in the fragment.
+		"RollingSum":     {parser.RollingSumSrc, map[string]int64{"n": 8}, 2},
+		"MatrixMultiply": {parser.MatrixMultiplySrc, map[string]int64{"w": 4, "c": 4, "h": 4}, 1},
 	}
 	for name, tc := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -76,6 +76,31 @@ func (p *Program) Validate() error {
 		if r.Coeff != nil && len(r.Coeff) != r.ND*p.NCenter {
 			return fmt.Errorf("%s: ref %d: %d coeffs, want %d", p.Name, i, len(r.Coeff), r.ND*p.NCenter)
 		}
+		switch r.Kind {
+		case RefCell:
+			if len(r.HiBase) != 0 || len(r.HiCoeff) != 0 || r.Collapse {
+				return fmt.Errorf("%s: ref %d: cell ref carries view bounds", p.Name, i)
+			}
+		case RefView:
+			if r.ND < 1 {
+				return fmt.Errorf("%s: ref %d: %d-dim view", p.Name, i, r.ND)
+			}
+			if len(r.HiBase) != r.ND {
+				return fmt.Errorf("%s: ref %d: %d hi terms for %d dims", p.Name, i, len(r.HiBase), r.ND)
+			}
+			if r.HiCoeff != nil && len(r.HiCoeff) != r.ND*p.NCenter {
+				return fmt.Errorf("%s: ref %d: %d hi coeffs, want %d", p.Name, i, len(r.HiCoeff), r.ND*p.NCenter)
+			}
+			// Collapsing is only emitted for 2-D row/column views, the
+			// one shape whose post-collapse rank is statically 1 — the
+			// rank the register-block operands of OpLoadAt/OpStoreAt and
+			// OpDotV's 1-D requirement were checked against.
+			if r.Collapse && r.ND != 2 {
+				return fmt.Errorf("%s: ref %d: collapse on %d-dim view", p.Name, i, r.ND)
+			}
+		default:
+			return fmt.Errorf("%s: ref %d: unknown kind %d", p.Name, i, r.Kind)
+		}
 	}
 	reg := func(pc int, v int32) error {
 		if v < 0 || int(v) >= nregs {
@@ -89,9 +114,28 @@ func (p *Program) Validate() error {
 		}
 		return nil
 	}
-	ref := func(pc int, v int32) error {
+	refKind := func(pc int, v int32, kind RefKind) error {
 		if v < 0 || int(v) >= len(p.Refs) {
 			return fmt.Errorf("%s: pc %d: ref %d out of range [0,%d)", p.Name, pc, v, len(p.Refs))
+		}
+		if p.Refs[v].Kind != kind {
+			return fmt.Errorf("%s: pc %d: ref %d has kind %d, want %d", p.Name, pc, v, p.Refs[v].Kind, kind)
+		}
+		return nil
+	}
+	ref := func(pc int, v int32) error { return refKind(pc, v, RefCell) }
+	// staticVND is a view ref's post-collapse rank (collapse is only
+	// valid on 2-D views, which always collapse to 1-D).
+	staticVND := func(v int32) int {
+		if p.Refs[v].Collapse {
+			return 1
+		}
+		return p.Refs[v].ND
+	}
+	// regBlock checks the vnd consecutive index registers starting at v.
+	regBlock := func(pc int, v int32, n int) error {
+		if v < 0 || int(v)+n > nregs {
+			return fmt.Errorf("%s: pc %d: register block [%d,%d) out of range [0,%d)", p.Name, pc, v, int(v)+n, nregs)
 		}
 		return nil
 	}
@@ -133,6 +177,31 @@ func (p *Program) Validate() error {
 			}
 		case OpGuard:
 			err = reg(pc, in.A)
+		case OpSumV:
+			if err = reg(pc, in.A); err == nil {
+				err = refKind(pc, in.B, RefView)
+			}
+		case OpDotV:
+			if err = reg(pc, in.A); err == nil {
+				if err = refKind(pc, in.B, RefView); err == nil {
+					err = refKind(pc, in.C, RefView)
+				}
+			}
+			if err == nil && (staticVND(in.B) != 1 || staticVND(in.C) != 1) {
+				err = fmt.Errorf("%s: pc %d: dotv over non-1-D views", p.Name, pc)
+			}
+		case OpLoadAt:
+			if err = reg(pc, in.A); err == nil {
+				if err = refKind(pc, in.B, RefView); err == nil {
+					err = regBlock(pc, in.C, staticVND(in.B))
+				}
+			}
+		case OpStoreAt:
+			if err = refKind(pc, in.A, RefView); err == nil {
+				if err = regBlock(pc, in.B, staticVND(in.A)); err == nil {
+					err = reg(pc, in.C)
+				}
+			}
 		default:
 			err = fmt.Errorf("%s: pc %d: unknown opcode %d", p.Name, pc, uint8(in.Op))
 		}

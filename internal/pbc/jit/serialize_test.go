@@ -104,6 +104,95 @@ func TestValidateRejections(t *testing.T) {
 	}
 }
 
+// validViewProgram builds a program exercising the view-ref operand
+// classes: a 1-D bounded view, a collapsed 2-D row view, and all four
+// reduction/indexed ops over them.
+func validViewProgram() *Program {
+	return &Program{
+		Name: "T/rule 1",
+		Code: []Instr{
+			{Op: OpSumV, A: 0, B: 1},          // reg0 = sum(view 1)
+			{Op: OpDotV, A: 1, B: 1, C: 2},    // reg1 = dot(view 1, view 2)
+			{Op: OpLoadAt, A: 1, B: 1, C: 0},  // reg1 = view1[regs[0]]
+			{Op: OpStoreAt, A: 1, B: 0, C: 1}, // view1[regs[0]] = reg1
+			{Op: OpHalt},
+		},
+		RegInit:   []float64{0, 0, 0},
+		NCenter:   1,
+		CenterReg: []int32{2},
+		Refs: []Ref{
+			{Matrix: "A", Binding: "a", ND: 1, Base: []int64{0}, Coeff: []int64{1}},
+			{Matrix: "A", Binding: "v", Kind: RefView, ND: 1,
+				Base: []int64{0}, Coeff: []int64{0}, HiBase: []int64{4}, HiCoeff: []int64{0}},
+			{Matrix: "B", Binding: "r", Kind: RefView, ND: 2, Collapse: true,
+				Base: []int64{0, 0}, Coeff: nil, HiBase: []int64{4, 1}, HiCoeff: nil},
+		},
+	}
+}
+
+// TestValidateViewRefRejections is TestValidateRejections for the view
+// refs and reduction ops: each mutation breaks an invariant the vm's
+// bindView/viewOff paths rely on without checking.
+func TestValidateViewRefRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(p *Program)
+	}{
+		{"unknown_ref_kind", func(p *Program) { p.Refs[1].Kind = RefKind(9) }},
+		{"cell_ref_with_view_bounds", func(p *Program) { p.Refs[0].HiBase = []int64{4} }},
+		{"cell_ref_with_collapse", func(p *Program) { p.Refs[0].Collapse = true }},
+		{"zero_dim_view", func(p *Program) {
+			p.Refs[1].ND = 0
+			p.Refs[1].Base = nil
+			p.Refs[1].Coeff = nil
+			p.Refs[1].HiBase = nil
+			p.Refs[1].HiCoeff = nil
+		}},
+		{"hi_base_rank_mismatch", func(p *Program) { p.Refs[1].HiBase = []int64{4, 5} }},
+		{"hi_coeff_length_mismatch", func(p *Program) { p.Refs[1].HiCoeff = []int64{0, 0} }},
+		{"collapse_on_1d_view", func(p *Program) { p.Refs[1].Collapse = true }},
+		{"sumv_on_cell_ref", func(p *Program) { p.Code[0].B = 0 }},
+		{"sumv_ref_out_of_range", func(p *Program) { p.Code[0].B = 7 }},
+		{"sumv_dest_out_of_range", func(p *Program) { p.Code[0].A = 33 }},
+		{"dotv_on_2d_view", func(p *Program) { p.Refs[2].Collapse = false }},
+		{"dotv_on_cell_ref", func(p *Program) { p.Code[1].C = 0 }},
+		{"loadat_on_cell_ref", func(p *Program) { p.Code[2].B = 0 }},
+		{"loadat_index_block_out_of_range", func(p *Program) { p.Code[2].C = 3 }},
+		{"storeat_on_cell_ref", func(p *Program) { p.Code[3].A = 0 }},
+		{"storeat_index_block_negative", func(p *Program) { p.Code[3].B = -1 }},
+		{"storeat_src_out_of_range", func(p *Program) { p.Code[3].C = 55 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := validViewProgram()
+			if err := p.Validate(); err != nil {
+				t.Fatalf("baseline program invalid: %v", err)
+			}
+			tc.mutate(p)
+			if err := p.Validate(); err == nil {
+				t.Error("mutated program validated")
+			}
+		})
+	}
+}
+
+// TestViewProgramRoundTrip proves view refs survive the gob round trip
+// with kind, bounds, and collapse intact.
+func TestViewProgramRoundTrip(t *testing.T) {
+	in := map[int]*Program{1: validViewProgram()}
+	payload, err := EncodePrograms(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodePrograms(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
 // TestDecodeRejectsInvalidSetWhole proves one bad program poisons the
 // whole set: warm-starting rules 0..k-1 while silently recompiling rule
 // k would hide corruption, so the decoder refuses everything.

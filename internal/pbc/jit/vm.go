@@ -81,6 +81,29 @@ const (
 	// interpreter's runaway-loop bound (10^8 iterations; exact in
 	// float64 far beyond that).
 	OpGuard
+	// View ops. They operate on refs of Kind RefView, whose window
+	// (base offset, row-major extents and strides) was resolved and
+	// eagerly bounds-checked by bindView at the top of RunCell.
+	//
+	// OpSumV: r[A] = row-major sum of every element of view ref B,
+	// the same element order (last index fastest) and accumulation
+	// (acc starts at 0, one add per element) as matrix.Walk under the
+	// interpreter's sum builtin, so results are bit-identical.
+	OpSumV
+	// OpDotV: r[A] = dot product of 1-D view refs B and C, ascending,
+	// acc += b[k]*c[k]; errors on a length mismatch like the
+	// interpreter's dot builtin.
+	OpDotV
+	// OpLoadAt reads one element of view ref B by explicit indices:
+	// registers C..C+nd-1 hold the DSL-order indices; each is
+	// truncated and bounds-checked against the view in row-major
+	// order, panicking exactly like matrix.Get on violation (an
+	// explicit bad index is a program bug in every tier, not a lazy
+	// cell miss). r[A] = element.
+	OpLoadAt
+	// OpStoreAt writes r[C] into view ref A at the DSL-order indices
+	// held in registers B..B+nd-1, with OpLoadAt's checking.
+	OpStoreAt
 )
 
 var opNames = [...]string{
@@ -92,6 +115,7 @@ var opNames = [...]string{
 	OpMin: "min", OpMax: "max", OpPow: "pow",
 	OpLoad: "load", OpStore: "store",
 	OpJmp: "jmp", OpJZ: "jz", OpJNZ: "jnz", OpGuard: "guard",
+	OpSumV: "sumv", OpDotV: "dotv", OpLoadAt: "loadat", OpStoreAt: "storeat",
 }
 
 func (o Op) String() string {
@@ -108,16 +132,40 @@ type Instr struct {
 	A, B, C int32
 }
 
-// Ref is one bound cell reference of a rule, with its per-dimension
-// affine index forms folded at compile time: dimension d of the cell is
+// RefKind distinguishes single-cell refs from bound region views.
+type RefKind uint8
+
+const (
+	// RefCell is a single-cell binding resolved to one flat offset per
+	// center (lazily range-checked: only errors if the body reads it).
+	RefCell RefKind = iota
+	// RefView is a bound region/row/column/whole-matrix view: a
+	// [lo,hi) window per dimension, eagerly bounds-checked at every
+	// cell exactly like the closure tier's bindRefs.
+	RefView
+)
+
+// Ref is one bound reference of a rule, with its per-dimension affine
+// index forms folded at compile time: bound d of the ref is
 // Base[d] + Σ_k Coeff[d*NCenter+k] · center[k], with size-variable
-// contributions already evaluated into Base.
+// contributions already evaluated into Base. For RefCell that is the
+// cell's coordinate; for RefView it is the window's inclusive lower
+// bound, with HiBase/HiCoeff giving the exclusive upper bound the same
+// way.
 type Ref struct {
 	Matrix  string
 	Binding string
 	ND      int
 	Base    []int64
 	Coeff   []int64 // len ND*NCenter; nil when no center dependence
+	Kind    RefKind
+	HiBase  []int64 // RefView only: upper-bound bases, len ND
+	HiCoeff []int64 // RefView only: len ND*NCenter; nil when constant
+	// Collapse mirrors the closure tier's row/column handling: after
+	// binding, unit dimensions are dropped (matrix.CollapseUnitDims),
+	// which for the only emitted shape — a 2-D row or column view —
+	// always leaves exactly one dimension.
+	Collapse bool
 }
 
 // Program is one rule body lowered to bytecode. It is immutable after
@@ -162,17 +210,23 @@ type refDim struct {
 	stride int64
 }
 
-// refBind is a frame's live binding of one cell ref: the raw backing
-// slice plus DSL-dimension-order strides and sizes resolved from the
-// bound matrix view at frame-bind time (inputs may be arbitrary strided
+// refBind is a frame's live binding of one ref: the raw backing slice
+// plus DSL-dimension-order strides and sizes resolved from the bound
+// matrix view at frame-bind time (inputs may be arbitrary strided
 // views, so none of this can be folded at compile time).
 type refBind struct {
 	data    []float64
-	dims    []refDim // single-center-var fast form; nil → general form
+	dims    []refDim // single-center-var fast form; nil → general/view form
 	strides []int
 	sizes   []int64
 	base    int
 	off     int // flat offset of the current cell; -1 out of range
+	// RefView state, rebuilt by bindView each cell: the window's flat
+	// base offset, post-collapse rank, and row-major extents/strides.
+	voff    int
+	vnd     int
+	vext    []int64
+	vstride []int
 }
 
 // Frame is the per-worker execution state of one program: the register
@@ -195,7 +249,12 @@ func (p *Program) NewFrame() *Frame {
 		r := &p.Refs[i]
 		f.refs[i].strides = make([]int, r.ND)
 		f.refs[i].sizes = make([]int64, r.ND)
-		f.refs[i].dims = fastDims(r, p.NCenter)
+		if r.Kind == RefView {
+			f.refs[i].vext = make([]int64, r.ND)
+			f.refs[i].vstride = make([]int, r.ND)
+		} else {
+			f.refs[i].dims = fastDims(r, p.NCenter)
+		}
 	}
 	return f
 }
@@ -247,16 +306,19 @@ var (
 	errDivZero = fmt.Errorf("jit: division by zero")
 	errModZero = fmt.Errorf("jit: modulo by zero")
 	errRunaway = fmt.Errorf("jit: runaway for loop")
+	errDotLen  = fmt.Errorf("jit: dot needs equal-length vectors")
 )
 
 func (f *Frame) oob(ref int32) error {
 	return fmt.Errorf("jit: %s: cell binding %q out of range", f.prog.Name, f.prog.Refs[ref].Binding)
 }
 
-// RunCell resolves every cell ref at the given center and executes the
-// program. A ref whose index falls outside its matrix gets off = -1 and
-// only errors if the body touches it, matching bindRefs in the closure
-// tier. center may be nil when NCenter is 0.
+// RunCell resolves every ref at the given center and executes the
+// program. A cell ref whose index falls outside its matrix gets
+// off = -1 and only errors if the body touches it; a view ref's window
+// is eagerly range-checked here, erroring before any of the body runs —
+// both matching bindRefs in the closure tier, in the same ref order (To
+// bindings before From). center may be nil when NCenter is 0.
 func (f *Frame) RunCell(center []int64) error {
 	p := f.prog
 	for d, r := range p.CenterReg {
@@ -285,6 +347,12 @@ func (f *Frame) RunCell(center []int64) error {
 			continue
 		}
 		r := &p.Refs[i]
+		if r.Kind == RefView {
+			if err := f.bindView(r, rb, center); err != nil {
+				return err
+			}
+			continue
+		}
 		off := rb.base
 		for d := 0; d < r.ND; d++ {
 			v := r.Base[d]
@@ -304,6 +372,100 @@ func (f *Frame) RunCell(center []int64) error {
 		rb.off = off
 	}
 	return f.run()
+}
+
+// bindView resolves one view ref's window at the current center:
+// per-dimension affine lo/hi bounds, the closure tier's eager range
+// check in the same DSL-dimension order, then the same unit-dimension
+// drop matrix.CollapseUnitDims performs for row/column views. For the
+// only collapsing shape the lowering emits — a 2-D row or column — the
+// result is always exactly 1-D.
+func (f *Frame) bindView(r *Ref, rb *refBind, center []int64) error {
+	nd, nc := r.ND, f.prog.NCenter
+	off := rb.base
+	for d := 0; d < nd; d++ {
+		lo, hi := r.Base[d], r.HiBase[d]
+		if r.Coeff != nil {
+			for k, co := range r.Coeff[d*nc : (d+1)*nc] {
+				if co != 0 {
+					lo += co * center[k]
+				}
+			}
+		}
+		if r.HiCoeff != nil {
+			for k, co := range r.HiCoeff[d*nc : (d+1)*nc] {
+				if co != 0 {
+					hi += co * center[k]
+				}
+			}
+		}
+		if lo < 0 || hi > rb.sizes[d] || lo > hi {
+			return fmt.Errorf("jit: %s binding %s: view [%d,%d) out of range [0,%d)",
+				f.prog.Name, r.Binding, lo, hi, rb.sizes[d])
+		}
+		off += int(lo) * rb.strides[d]
+		rd := nd - 1 - d // reverse DSL order to row-major
+		rb.vext[rd] = hi - lo
+		rb.vstride[rd] = rb.strides[d]
+	}
+	w := 0
+	if r.Collapse {
+		for d := 0; d < nd; d++ {
+			if rb.vext[d] == 1 && (nd-d > 1 || w > 0) {
+				continue
+			}
+			rb.vext[w] = rb.vext[d]
+			rb.vstride[w] = rb.vstride[d]
+			w++
+		}
+	} else {
+		w = nd
+	}
+	rb.vnd = w
+	rb.voff = off
+	return nil
+}
+
+// sumDims accumulates a row-major walk of a strided window, last index
+// fastest — matrix.Walk's element order, so float adds associate
+// identically to the interpreter's sum builtin.
+func sumDims(data []float64, off int, ext []int64, stride []int, acc float64) float64 {
+	n := int(ext[0])
+	if len(ext) == 1 {
+		if st := stride[0]; st != 1 {
+			for k := 0; k < n; k++ {
+				acc += data[off]
+				off += st
+			}
+		} else if n > 0 {
+			for _, v := range data[off : off+n] {
+				acc += v
+			}
+		}
+		return acc
+	}
+	for j := 0; j < n; j++ {
+		acc = sumDims(data, off+j*stride[0], ext[1:], stride[1:], acc)
+	}
+	return acc
+}
+
+// viewOff flattens the vnd DSL-order indices held in registers
+// base..base+vnd-1 into a backing offset, truncating and range-checking
+// each in row-major dimension order with the exact panic matrix.Get
+// raises: an explicit out-of-range index is a program bug in every
+// tier, unlike the lazily tolerated cell-binding miss.
+func (f *Frame) viewOff(rb *refBind, base int32) int {
+	n := rb.vnd
+	off := rb.voff
+	for j := 0; j < n; j++ {
+		iv := int(f.regs[int(base)+n-1-j])
+		if iv < 0 || iv >= int(rb.vext[j]) {
+			panic(fmt.Sprintf("matrix: index %d out of range [0,%d) in dim %d", iv, rb.vext[j], j))
+		}
+		off += iv * rb.vstride[j]
+	}
+	return off
 }
 
 func b2f(b bool) float64 {
@@ -408,6 +570,58 @@ func (f *Frame) run() error {
 			if regs[in.A] > 100_000_000 {
 				return errRunaway
 			}
+		case OpSumV:
+			rb := &f.refs[in.B]
+			acc := 0.0
+			if rb.vnd == 1 {
+				// The common reduction shape: one strided run, with a
+				// range loop when the window is contiguous.
+				n := int(rb.vext[0])
+				if st := rb.vstride[0]; st != 1 {
+					o := rb.voff
+					for k := 0; k < n; k++ {
+						acc += rb.data[o]
+						o += st
+					}
+				} else if n > 0 {
+					for _, v := range rb.data[rb.voff : rb.voff+n] {
+						acc += v
+					}
+				}
+			} else {
+				acc = sumDims(rb.data, rb.voff, rb.vext[:rb.vnd], rb.vstride[:rb.vnd], 0)
+			}
+			regs[in.A] = acc
+		case OpDotV:
+			rl := &f.refs[in.B]
+			rr := &f.refs[in.C]
+			if rl.vext[0] != rr.vext[0] {
+				return errDotLen
+			}
+			n := int(rl.vext[0])
+			acc := 0.0
+			if rl.vstride[0] == 1 && rr.vstride[0] == 1 && n > 0 {
+				dl := rl.data[rl.voff : rl.voff+n]
+				dr := rr.data[rr.voff : rr.voff+n]
+				for k, v := range dl {
+					acc += v * dr[k]
+				}
+			} else {
+				ol, or := rl.voff, rr.voff
+				sl, sr := rl.vstride[0], rr.vstride[0]
+				for k := 0; k < n; k++ {
+					acc += rl.data[ol] * rr.data[or]
+					ol += sl
+					or += sr
+				}
+			}
+			regs[in.A] = acc
+		case OpLoadAt:
+			rb := &f.refs[in.B]
+			regs[in.A] = rb.data[f.viewOff(rb, in.C)]
+		case OpStoreAt:
+			rb := &f.refs[in.A]
+			rb.data[f.viewOff(rb, in.B)] = regs[in.C]
 		default:
 			return fmt.Errorf("jit: %s: bad opcode %s at pc %d", p.Name, in.Op, pc)
 		}

@@ -15,7 +15,7 @@ PROGRAM=sort
 WORKERS=2
 
 DIR=$(mktemp -d)
-trap 'kill $(jobs -p) 2>/dev/null || true; sleep 0.5; rm -rf "$DIR" 2>/dev/null || true' EXIT
+trap 'jobs -p | xargs -r kill 2>/dev/null || true; sleep 0.5; rm -rf "$DIR" 2>/dev/null || true' EXIT
 
 go build -o "$DIR/pbserve" ./cmd/pbserve
 go build -o "$DIR/pbload" ./cmd/pbload
@@ -31,17 +31,17 @@ wait_healthy() {
 
 echo "== single node =="
 S="http://127.0.0.1:8621"
-"$DIR/pbserve" -addr :8621 -store "$DIR/single.json" -workers $WORKERS -retune 0 \
+"$DIR/pbserve" -addr :8621 -store "$DIR/single.json" -workers "$WORKERS" -retune 0 \
   >"$DIR/single.log" 2>&1 &
 SPID=$!
 wait_healthy "$S"
 # Warm: let the store pick up a tuned config the way a live service would.
 curl -sf "$S/v1/tune" -d "{\"program\":\"$PROGRAM\",\"n\":$N,\"wait\":true}" >/dev/null
-"$DIR/pbload" -targets "$S" -program $PROGRAM -n $N -seeds $SEEDS \
+"$DIR/pbload" -targets "$S" -program "$PROGRAM" -n "$N" -seeds "$SEEDS" \
   -mode closed -concurrency "$CONC" -duration 3s >/dev/null
-"$DIR/pbload" -targets "$S" -program $PROGRAM -n $N -seeds $SEEDS \
+"$DIR/pbload" -targets "$S" -program "$PROGRAM" -n "$N" -seeds "$SEEDS" \
   -mode closed -concurrency "$CONC" -duration "$DURATION" -json >"$DIR/single_out.json"
-kill -TERM $SPID; wait $SPID || true
+kill -TERM "$SPID"; wait "$SPID" || true
 cat "$DIR/single_out.json"
 
 echo "== 3-node cluster =="
@@ -53,16 +53,16 @@ for addr in "$A" "$B" "$C"; do
   i=$((i + 1))
   port=${addr##*:}
   "$DIR/pbserve" -addr ":$port" -self "$addr" -peers "$PEERS" \
-    -store "$DIR/c$i.json" -workers $WORKERS -retune 0 -replicate 1s \
+    -store "$DIR/c$i.json" -workers "$WORKERS" -retune 0 -replicate 1s \
     -coalesce 10ms >"$DIR/c$i.log" 2>&1 &
-  PIDS+=($!)
+  PIDS+=("$!")
 done
 for addr in "$A" "$B" "$C"; do wait_healthy "$addr"; done
 curl -sf "$A/v1/tune" -d "{\"program\":\"$PROGRAM\",\"n\":$N,\"wait\":true}" >/dev/null
 sleep 2 # one replication interval so every node holds the tuned config
-"$DIR/pbload" -targets "$PEERS" -program $PROGRAM -n $N -seeds $SEEDS \
+"$DIR/pbload" -targets "$PEERS" -program "$PROGRAM" -n "$N" -seeds "$SEEDS" \
   -mode closed -concurrency "$CONC" -duration 3s >/dev/null
-"$DIR/pbload" -targets "$PEERS" -program $PROGRAM -n $N -seeds $SEEDS \
+"$DIR/pbload" -targets "$PEERS" -program "$PROGRAM" -n "$N" -seeds "$SEEDS" \
   -mode closed -concurrency "$CONC" -duration "$DURATION" -json >"$DIR/cluster_out.json"
 kill -TERM "${PIDS[@]}"; wait "${PIDS[@]}" || true
 cat "$DIR/cluster_out.json"

@@ -14,20 +14,21 @@ PORT1=8611 PORT2=8612 PORT3=8613
 A="http://127.0.0.1:$PORT1" B="http://127.0.0.1:$PORT2" C="http://127.0.0.1:$PORT3"
 PEERS="$A,$B,$C"
 DIR=$(mktemp -d)
-trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$DIR"' EXIT
+trap 'jobs -p | xargs -r kill 2>/dev/null || true; rm -rf "$DIR"' EXIT
 
 echo "== building =="
 go build -o "$DIR/pbserve" ./cmd/pbserve
 go build -o "$DIR/pbload" ./cmd/pbload
 
 echo "== starting 3 nodes =="
-for i in 1 2 3; do
-  port_var="PORT$i"
-  addr_var=$([ "$i" = 1 ] && echo "$A" || { [ "$i" = 2 ] && echo "$B" || echo "$C"; })
-  "$DIR/pbserve" -addr ":${!port_var}" -self "$addr_var" -peers "$PEERS" \
-    -store "$DIR/n$i.json" -workers 2 -retune 0 -replicate 500ms \
-    >"$DIR/n$i.log" 2>&1 &
-  eval "PID$i=$!"
+PORTS=("$PORT1" "$PORT2" "$PORT3")
+ADDRS=("$A" "$B" "$C")
+PIDS=()
+for i in 0 1 2; do
+  "$DIR/pbserve" -addr ":${PORTS[$i]}" -self "${ADDRS[$i]}" -peers "$PEERS" \
+    -store "$DIR/n$((i + 1)).json" -workers 2 -retune 0 -replicate 500ms \
+    >"$DIR/n$((i + 1)).log" 2>&1 &
+  PIDS+=("$!")
 done
 
 wait_healthy() {
@@ -68,7 +69,7 @@ replicated() {
 }
 deadline=$((SECONDS + 15))
 until [ "$(replicated "$A")" = 1 ] && [ "$(replicated "$C")" = 1 ]; do
-  if [ $SECONDS -ge $deadline ]; then
+  if [ "$SECONDS" -ge "$deadline" ]; then
     echo "FAIL: tuned config never replicated to peers" >&2
     for f in "$DIR"/n*.log; do echo "--- $f"; tail -5 "$f"; done >&2
     exit 1
@@ -78,14 +79,13 @@ done
 echo "tuned config visible on all nodes"
 
 echo "== clean shutdown =="
-kill -TERM "$PID1" "$PID2" "$PID3"
+kill -TERM "${PIDS[@]}"
 fail=0
-for i in 1 2 3; do
-  pid_var="PID$i"
-  if ! wait "${!pid_var}"; then fail=1; fi
-  if ! grep -q "stopped cleanly" "$DIR/n$i.log"; then
-    echo "FAIL: node $i did not stop cleanly" >&2
-    tail -5 "$DIR/n$i.log" >&2
+for i in 0 1 2; do
+  if ! wait "${PIDS[$i]}"; then fail=1; fi
+  if ! grep -q "stopped cleanly" "$DIR/n$((i + 1)).log"; then
+    echo "FAIL: node $((i + 1)) did not stop cleanly" >&2
+    tail -5 "$DIR/n$((i + 1)).log" >&2
     fail=1
   fi
 done

@@ -15,7 +15,7 @@ set -euo pipefail
 PORT=8621
 URL="http://127.0.0.1:$PORT"
 DIR=$(mktemp -d)
-trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$DIR"' EXIT
+trap 'jobs -p | xargs -r kill 2>/dev/null || true; rm -rf "$DIR"' EXIT
 
 echo "== building =="
 go build -o "$DIR/pbserve" ./cmd/pbserve
