@@ -10,65 +10,94 @@ import (
 	"petabricks/internal/matrix"
 	"petabricks/internal/pbc/interp"
 	"petabricks/internal/pbc/parser"
+	"petabricks/internal/runtime"
 )
 
 // coldstartResult is the JSON shape merged under the baseline file's
 // "coldstart" key: first-request latency with an empty artifact store
-// (cold — every rule lowered from source) vs. the same request against
-// a store persisted by a previous process (warm — bytecode loaded from
-// disk). Best-of-trials on both sides filters scheduler noise.
+// (cold — every rule lowered from source, every plan constructed) vs.
+// the same request against a store persisted by a previous process
+// (warm — bytecode and plan descriptors loaded from disk). Each side is
+// broken into plan-construction vs rule-compile vs execute time from
+// the engine's always-on cost counters, so the baseline records which
+// phase warm start eliminates. Best-of-trials on both sides filters
+// scheduler noise.
 type coldstartResult struct {
-	Program     string  `json:"program"`
-	N           int64   `json:"n"`
-	Trials      int     `json:"trials"`
-	ColdSeconds float64 `json:"cold_first_request_seconds"`
-	WarmSeconds float64 `json:"warm_first_request_seconds"`
-	Speedup     float64 `json:"speedup"`
+	Program            string  `json:"program"`
+	N                  int64   `json:"n"`
+	Trials             int     `json:"trials"`
+	ColdSeconds        float64 `json:"cold_first_request_seconds"`
+	ColdPlanSeconds    float64 `json:"cold_plan_build_seconds"`
+	ColdCompileSeconds float64 `json:"cold_compile_seconds"`
+	ColdExecSeconds    float64 `json:"cold_execute_seconds"`
+	WarmSeconds        float64 `json:"warm_first_request_seconds"`
+	WarmPlanSeconds    float64 `json:"warm_plan_build_seconds"`
+	WarmCompileSeconds float64 `json:"warm_compile_seconds"`
+	WarmExecSeconds    float64 `json:"warm_execute_seconds"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// phases is one first-request measurement split by phase.
+type phases struct {
+	total, plan, compile, exec float64
 }
 
 // runColdstart measures warm-vs-cold first-request latency for Heat1D
 // (fully jit-lowerable, so the whole compile pipeline is on the cold
-// path and the whole warm-start path replaces it). Each trial uses a
-// fresh directory: the cold run populates it, the warm run reopens it
-// with a brand-new engine and store instance, exactly like a restarted
-// pbserve node.
+// path and the whole warm-start path replaces it). The engine gets a
+// worker pool so plan construction is on the measured path too, as it
+// is in pbserve. Each trial uses a fresh directory: the cold run
+// populates it, the warm run reopens it with a brand-new engine and
+// store instance, exactly like a restarted pbserve node.
 func runColdstart(trials int, n int64) (*coldstartResult, error) {
 	if trials <= 0 {
 		trials = 5
 	}
 	res := &coldstartResult{Program: "Heat1D", N: n, Trials: trials}
-	firstRequest := func(dir string) (float64, map[string]*matrix.Matrix, error) {
+	pool := runtime.NewPool(2)
+	defer pool.Close()
+	firstRequest := func(dir string) (phases, map[string]*matrix.Matrix, error) {
 		store, err := artifact.Open(dir, artifact.Options{})
 		if err != nil {
-			return 0, nil, err
+			return phases{}, nil, err
 		}
 		prog, err := parser.Parse(parser.Heat1DSrc)
 		if err != nil {
-			return 0, nil, err
+			return phases{}, nil, err
 		}
 		eng, err := interp.New(prog)
 		if err != nil {
-			return 0, nil, err
+			return phases{}, nil, err
 		}
 		eng.UseArtifacts(store)
+		eng.Pool = pool
 		inputs, err := eng.GenerateInputs("Heat1D", n, 1)
 		if err != nil {
-			return 0, nil, err
+			return phases{}, nil, err
 		}
+		planBefore := interp.PlanStats().BuildSeconds
+		compBefore := interp.CompileSeconds()
 		start := time.Now()
 		outs, err := eng.Run("Heat1D", inputs)
-		return time.Since(start).Seconds(), outs, err
+		var ph phases
+		ph.total = time.Since(start).Seconds()
+		ph.plan = interp.PlanStats().BuildSeconds - planBefore
+		ph.compile = interp.CompileSeconds() - compBefore
+		if ph.exec = ph.total - ph.plan - ph.compile; ph.exec < 0 {
+			ph.exec = 0
+		}
+		return ph, outs, err
 	}
 	for trial := 0; trial < trials; trial++ {
 		dir, err := os.MkdirTemp("", "pbbench-coldstart-")
 		if err != nil {
 			return nil, err
 		}
-		coldSec, coldOuts, err := firstRequest(dir)
+		cold, coldOuts, err := firstRequest(dir)
 		if err == nil {
-			var warmSec float64
+			var warm phases
 			var warmOuts map[string]*matrix.Matrix
-			warmSec, warmOuts, err = firstRequest(dir)
+			warm, warmOuts, err = firstRequest(dir)
 			if err == nil {
 				for name, m := range coldOuts {
 					if !m.Equal(warmOuts[name]) {
@@ -77,11 +106,17 @@ func runColdstart(trials int, n int64) (*coldstartResult, error) {
 					}
 				}
 			}
-			if err == nil && (trial == 0 || coldSec < res.ColdSeconds) {
-				res.ColdSeconds = coldSec
+			if err == nil && (trial == 0 || cold.total < res.ColdSeconds) {
+				res.ColdSeconds = cold.total
+				res.ColdPlanSeconds = cold.plan
+				res.ColdCompileSeconds = cold.compile
+				res.ColdExecSeconds = cold.exec
 			}
-			if err == nil && (trial == 0 || warmSec < res.WarmSeconds) {
-				res.WarmSeconds = warmSec
+			if err == nil && (trial == 0 || warm.total < res.WarmSeconds) {
+				res.WarmSeconds = warm.total
+				res.WarmPlanSeconds = warm.plan
+				res.WarmCompileSeconds = warm.compile
+				res.WarmExecSeconds = warm.exec
 			}
 		}
 		os.RemoveAll(dir)

@@ -53,8 +53,10 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("# coldstart: %s n=%d, best of %d trials\n", res.Program, res.N, res.Trials)
-		fmt.Printf("cold first request\t%.6fs\n", res.ColdSeconds)
-		fmt.Printf("warm first request\t%.6fs\n", res.WarmSeconds)
+		fmt.Printf("cold first request\t%.6fs\t(plan %.6fs, compile %.6fs, execute %.6fs)\n",
+			res.ColdSeconds, res.ColdPlanSeconds, res.ColdCompileSeconds, res.ColdExecSeconds)
+		fmt.Printf("warm first request\t%.6fs\t(plan %.6fs, compile %.6fs, execute %.6fs)\n",
+			res.WarmSeconds, res.WarmPlanSeconds, res.WarmCompileSeconds, res.WarmExecSeconds)
 		fmt.Printf("speedup\t%.2fx\n", res.Speedup)
 		if *baseline != "" {
 			if err := mergeColdstart(*baseline, res); err != nil {

@@ -36,11 +36,16 @@ import (
 // recompiled rather than decoded.
 // Version 3: the jit instruction set gained view refs and reduction
 // ops (sumv/dotv/loadat/storeat), changing the Ref payload shape.
-const SchemaVersion = 3
+// Version 4: execution-plan descriptors joined the disk tier, and file
+// IDs became kind-qualified (a plan and a jit artifact for the same
+// invocation key previously hashed to the same file name).
+const SchemaVersion = 4
 
-// Artifact kinds. Program and Plan artifacts live in the memory tier
-// only (they hold Go closures and analysis pointers); JIT artifacts —
-// plain-data bytecode programs — also persist to disk.
+// Artifact kinds. Program artifacts live in the memory tier only (they
+// hold Go closures over live engine state); JIT artifacts — plain-data
+// bytecode programs — persist to disk, and Plan artifacts persist as
+// pure-data PlanDescriptors that the interpreter rehydrates (rebinds to
+// live analysis state) at load time.
 const (
 	KindProgram = "prog"
 	KindPlan    = "plan"
@@ -91,9 +96,11 @@ func (k Key) String() string {
 }
 
 // ID is the filename-safe identity of the key at the current schema
-// version: "v<schema>-<fnv64 of String>".
-func (k Key) ID() string {
-	return "v" + strconv.Itoa(SchemaVersion) + "-" + strconv.FormatUint(HashString(k.String()), 16)
+// version for one artifact kind: "v<schema>-<fnv64 of kind|String>".
+// The kind joins the hash so a plan and a jit artifact for the same
+// invocation never collide on disk.
+func (k Key) ID(kind string) string {
+	return "v" + strconv.Itoa(SchemaVersion) + "-" + strconv.FormatUint(HashString(kind+"|"+k.String()), 16)
 }
 
 // SizesKey encodes a bound size vector canonically (sorted by variable

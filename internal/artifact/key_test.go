@@ -60,9 +60,25 @@ func TestKeyComponentsPerturb(t *testing.T) {
 			t.Errorf("perturbing %s yields the same key as %s: %s", name, prev, s)
 		}
 		seen[s] = name
-		if k.ID() == base.ID() {
-			t.Errorf("perturbing %s yields the same ID as base: %s", name, k.ID())
+		if k.ID(KindJIT) == base.ID(KindJIT) {
+			t.Errorf("perturbing %s yields the same ID as base: %s", name, k.ID(KindJIT))
 		}
+	}
+}
+
+// TestKeyKindSeparatesID proves the artifact kind joins the file
+// identity: a plan descriptor and a jit program compiled for the very
+// same invocation key must land in different disk files, or whichever
+// is saved second silently overwrites the first.
+func TestKeyKindSeparatesID(t *testing.T) {
+	base := baseKey()
+	ids := map[string]string{}
+	for _, kind := range []string{KindProgram, KindPlan, KindJIT} {
+		id := base.ID(kind)
+		if prev, dup := ids[id]; dup {
+			t.Errorf("kinds %s and %s share ID %s for one key", kind, prev, id)
+		}
+		ids[id] = kind
 	}
 }
 
@@ -74,8 +90,8 @@ func TestKeyStringStable(t *testing.T) {
 	if got, want := k.String(), "p=1a2b|RollingSum|n=64|cfg=9f3c|eng=2"; got != want {
 		t.Errorf("String() = %q, want %q", got, want)
 	}
-	if !strings.HasPrefix(k.ID(), "v3-") {
-		t.Errorf("ID %q does not carry schema version prefix v3-", k.ID())
+	if !strings.HasPrefix(k.ID(KindJIT), "v4-") {
+		t.Errorf("ID %q does not carry schema version prefix v4-", k.ID(KindJIT))
 	}
 	// No sizes: the segment disappears rather than leaving "||".
 	k.Sizes = ""

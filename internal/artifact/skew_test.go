@@ -8,15 +8,16 @@ import (
 	"testing"
 )
 
-// fixtureV1 returns the committed v1-schema artifact fixture (raw file
-// bytes and filename). The file was written by a hypothetical older
-// binary: valid header, valid checksum, schema 1 — readable, verifiable,
-// and still unloadable, because the payload shape is one schema behind.
-func fixtureV1(t *testing.T) (name string, raw []byte) {
+// fixture returns a committed stale-schema artifact fixture (raw file
+// bytes and filename) matching the glob prefix. Each file was written
+// by a hypothetical older binary: valid header, valid checksum, old
+// schema number — readable, verifiable, and still unloadable, because
+// the payload shape is behind the current schema.
+func fixture(t *testing.T, prefix string) (name string, raw []byte) {
 	t.Helper()
-	matches, err := filepath.Glob(filepath.Join("testdata", "artifacts", "v1-*"+fileExt))
+	matches, err := filepath.Glob(filepath.Join("testdata", "artifacts", prefix+"-*"+fileExt))
 	if err != nil || len(matches) != 1 {
-		t.Fatalf("expected exactly one committed v1 fixture, got %v (err %v)", matches, err)
+		t.Fatalf("expected exactly one committed %s fixture, got %v (err %v)", prefix, matches, err)
 	}
 	raw, err = os.ReadFile(matches[0])
 	if err != nil {
@@ -24,6 +25,14 @@ func fixtureV1(t *testing.T) (name string, raw []byte) {
 	}
 	return filepath.Base(matches[0]), raw
 }
+
+// fixtureV1 is the schema-1 jit-kind fixture.
+func fixtureV1(t *testing.T) (string, []byte) { return fixture(t, "v1") }
+
+// fixtureV3Plan is the schema-3 plan-kind fixture: written by the last
+// release before plan descriptors changed shape (and before file IDs
+// became kind-qualified — its filename hashes the key alone).
+func fixtureV3Plan(t *testing.T) (string, []byte) { return fixture(t, "v3") }
 
 // TestVersionSkewRejectedOnOpen opens a store over a directory holding
 // an artifact from an older schema version. The store must reject it
@@ -97,5 +106,73 @@ func TestVersionSkewRejectedOnInstall(t *testing.T) {
 	}
 	if s.CorruptCount() != 1 {
 		t.Errorf("corrupt count = %d, want 1", s.CorruptCount())
+	}
+}
+
+// TestVersionSkewPlanKeptAndRebuilt is the plan-kind twin of the jit
+// skew test: a schema-3 plan descriptor file (from before descriptors
+// changed shape and IDs became kind-qualified) must be kept in place
+// for rollback, counted under the schema reason, never indexed — and
+// the rebuild path must persist a current-schema plan descriptor
+// beside it for the same logical key without colliding, because the
+// old kind-blind filename and the new kind-qualified one differ.
+func TestVersionSkewPlanKeptAndRebuilt(t *testing.T) {
+	name, raw := fixtureV3Plan(t)
+	dir := t.TempDir()
+	stale := filepath.Join(dir, name)
+	if err := os.WriteFile(stale, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openStore(t, dir)
+	if s.Len() != 0 {
+		t.Fatalf("v3 plan artifact indexed by a v%d store", SchemaVersion)
+	}
+	reasons := s.Stats()["corrupt"].(map[string]any)["reasons"].(map[string]int64)
+	if reasons[CorruptSchema] != 1 {
+		t.Errorf("schema reason count = %d, want 1 (reasons %v)", reasons[CorruptSchema], reasons)
+	}
+	if _, err := os.Stat(stale); err != nil {
+		t.Errorf("schema-skewed plan artifact was quarantined; want kept in place: %v", err)
+	}
+
+	// The rebuild path: the interpreter misses, reconstructs the plan,
+	// and persists the fresh descriptor under the current schema.
+	key := testKey(32)
+	if loadPayload(s, KindPlan, key) != nil {
+		t.Fatal("load hit against a store holding only a v3 plan artifact")
+	}
+	fresh := []byte("plan descriptor rebuilt under the current schema")
+	if err := s.Save(KindPlan, key, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if got := loadPayload(s, KindPlan, key); !bytes.Equal(got, fresh) {
+		t.Errorf("rebuilt plan loads %q, want %q", got, fresh)
+	}
+	s2 := openStore(t, dir)
+	if s2.Len() != 1 {
+		t.Errorf("reopened store indexes %d artifacts, want 1", s2.Len())
+	}
+	if _, err := os.Stat(stale); err != nil {
+		t.Errorf("stale plan fixture removed across reopen: %v", err)
+	}
+}
+
+// TestVersionSkewPlanRejectedOnInstall feeds the v3 plan fixture
+// through the peer-install path; replication must refuse it with the
+// typed schema reason exactly as it does stale jit artifacts.
+func TestVersionSkewPlanRejectedOnInstall(t *testing.T) {
+	_, raw := fixtureV3Plan(t)
+	s := openStore(t, t.TempDir())
+	if _, err := s.InstallRaw(raw); err == nil {
+		t.Fatal("v3 plan artifact installed into a current-schema store")
+	} else {
+		var ce *CorruptError
+		if !errors.As(err, &ce) || ce.Reason != CorruptSchema {
+			t.Errorf("got %v, want CorruptError with reason %s", err, CorruptSchema)
+		}
+	}
+	if s.Len() != 0 {
+		t.Error("rejected plan install left an index entry")
 	}
 }

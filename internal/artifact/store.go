@@ -278,7 +278,7 @@ func (s *Store) Save(kind string, key Key, payload []byte) error {
 	if s == nil || s.dir == "" {
 		return nil
 	}
-	id := key.ID()
+	id := key.ID(kind)
 	h := header{
 		Magic:  fileMagic,
 		Schema: SchemaVersion,
@@ -346,7 +346,7 @@ func (s *Store) Load(kind string, key Key, decode func(payload []byte) error) bo
 		return false
 	}
 	start := time.Now()
-	id := key.ID()
+	id := key.ID(kind)
 	s.mu.Lock()
 	de, ok := s.index[id]
 	s.mu.Unlock()
@@ -514,9 +514,10 @@ func (s *Store) InstallRaw(raw []byte) (EntryInfo, error) {
 		s.recordCorrupt("(peer)", ce, false)
 		return EntryInfo{}, ce
 	}
-	// The ID comes from the header's key, not the peer's filename, so a
-	// renamed or mislabeled file still lands under its true identity.
-	id := "v" + strconv.Itoa(SchemaVersion) + "-" + strconv.FormatUint(HashString(h.Key), 16)
+	// The ID comes from the header's kind and key, not the peer's
+	// filename, so a renamed or mislabeled file still lands under its
+	// true identity.
+	id := "v" + strconv.Itoa(SchemaVersion) + "-" + strconv.FormatUint(HashString(h.Kind+"|"+h.Key), 16)
 	path := s.pathFor(id)
 	if err := atomicWrite(s.dir, path, raw); err != nil {
 		s.saveErrors.Add(1)

@@ -117,7 +117,7 @@ func TestStoreCrashMidSave(t *testing.T) {
 		s := openStore(t, dir)
 		// The moment before rename: a half-written temp file exists and
 		// the destination does not.
-		final := s.pathFor(key.ID())
+		final := s.pathFor(key.ID(KindJIT))
 		tmp := final + ".tmp12345"
 		if err := os.WriteFile(tmp, []byte("partial garb"), 0o644); err != nil {
 			t.Fatal(err)
@@ -137,7 +137,7 @@ func TestStoreCrashMidSave(t *testing.T) {
 		if err := s.Save(KindJIT, key, old); err != nil {
 			t.Fatal(err)
 		}
-		tmp := s.pathFor(key.ID()) + ".tmp67890"
+		tmp := s.pathFor(key.ID(KindJIT)) + ".tmp67890"
 		if err := os.WriteFile(tmp, []byte("partial replacement garb"), 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -173,7 +173,7 @@ func TestStoreTruncationRejected(t *testing.T) {
 	if err := s.Save(KindJIT, key, payload); err != nil {
 		t.Fatal(err)
 	}
-	path := s.pathFor(key.ID())
+	path := s.pathFor(key.ID(KindJIT))
 	full, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -223,7 +223,7 @@ func TestStoreBitFlipRejected(t *testing.T) {
 	if err := s.Save(KindJIT, key, payload); err != nil {
 		t.Fatal(err)
 	}
-	path := s.pathFor(key.ID())
+	path := s.pathFor(key.ID(KindJIT))
 	full, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -292,7 +292,7 @@ func TestStoreCorruptReasonsTyped(t *testing.T) {
 			hb = b
 		}
 		data := append(append(hb, '\n'), pb...)
-		path := filepath.Join(dir, key.ID()+fileExt)
+		path := filepath.Join(dir, key.ID(KindJIT)+fileExt)
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -352,10 +352,10 @@ func TestStoreDecodeRejectionQuarantines(t *testing.T) {
 	if reasons[CorruptDecode] == 0 {
 		t.Errorf("decode reason not recorded; got %v", reasons)
 	}
-	if s.Has(key.ID()) {
+	if s.Has(key.ID(KindJIT)) {
 		t.Error("undecodable artifact still indexed")
 	}
-	if _, err := os.Stat(s.pathFor(key.ID())); !os.IsNotExist(err) {
+	if _, err := os.Stat(s.pathFor(key.ID(KindJIT))); !os.IsNotExist(err) {
 		t.Error("undecodable artifact not quarantined from disk")
 	}
 }
@@ -434,7 +434,7 @@ func TestStoreInstallRaw(t *testing.T) {
 	if err := src.Save(KindJIT, key, payload); err != nil {
 		t.Fatal(err)
 	}
-	raw, err := src.ReadRaw(key.ID())
+	raw, err := src.ReadRaw(key.ID(KindJIT))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,8 +445,8 @@ func TestStoreInstallRaw(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if info.ID != key.ID() {
-			t.Errorf("installed under ID %s, want %s", info.ID, key.ID())
+		if info.ID != key.ID(KindJIT) {
+			t.Errorf("installed under ID %s, want %s", info.ID, key.ID(KindJIT))
 		}
 		if got := loadPayload(dst, KindJIT, key); !bytes.Equal(got, payload) {
 			t.Errorf("installed artifact loads %q, want %q", got, payload)
@@ -488,4 +488,43 @@ func TestStoreInstallRaw(t *testing.T) {
 			t.Fatal("headerless payload installed")
 		}
 	})
+}
+
+// TestKindsShareKeyWithoutCollision saves plan and jit artifacts under
+// the same invocation key and requires two distinct disk files, each
+// loading its own payload. Before IDs were kind-qualified these hashed
+// to the same filename and the second save silently overwrote the
+// first.
+func TestKindsShareKeyWithoutCollision(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	key := testKey(48)
+	jit := []byte("jit bytecode payload")
+	plan := []byte("plan descriptor payload")
+	if err := s.Save(KindJIT, key, jit); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(KindPlan, key, plan); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("store indexes %d entries for two kinds of one key, want 2", s.Len())
+	}
+	if got := loadPayload(s, KindJIT, key); !bytes.Equal(got, jit) {
+		t.Errorf("jit payload = %q, want %q", got, jit)
+	}
+	if got := loadPayload(s, KindPlan, key); !bytes.Equal(got, plan) {
+		t.Errorf("plan payload = %q, want %q", got, plan)
+	}
+	// Survives a reopen: both files on disk, both load.
+	s2 := openStore(t, dir)
+	if s2.Len() != 2 {
+		t.Fatalf("reopened store indexes %d entries, want 2", s2.Len())
+	}
+	if got := loadPayload(s2, KindJIT, key); !bytes.Equal(got, jit) {
+		t.Errorf("reopened jit payload = %q, want %q", got, jit)
+	}
+	if got := loadPayload(s2, KindPlan, key); !bytes.Equal(got, plan) {
+		t.Errorf("reopened plan payload = %q, want %q", got, plan)
+	}
 }

@@ -77,7 +77,7 @@ func TestReplicatorPullsArtifacts(t *testing.T) {
 	r := NewReplicator(c, cfgStore, time.Hour, 0.02, t.Logf).WithArtifacts(dst)
 
 	r.PullOnce(context.Background())
-	if !dst.Has(key.ID()) {
+	if !dst.Has(key.ID(artifact.KindJIT)) {
 		t.Fatal("peer artifact not installed")
 	}
 	var got []byte
@@ -183,4 +183,60 @@ func TestReplicatorRejectsTamperedPeerArtifact(t *testing.T) {
 	if r.Stats()["artifact_errors"].(int64) == 0 {
 		t.Error("tampered install not counted as an artifact error")
 	}
+}
+
+// TestReplicatorPullsPlanArtifacts: a newly-joined node pulls the
+// peer's persisted plan descriptors alongside its jit bytecode — both
+// kinds for the same invocation key land as distinct files, so the
+// node's first planned request rehydrates instead of rebuilding.
+func TestReplicatorPullsPlanArtifacts(t *testing.T) {
+	src, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := artifact.Key{Prog: 7, Transform: "SummedArea", Sizes: "n=32", ConfigFP: 9, Engine: 2}
+	jit := []byte("compiled bytecode from the peer")
+	plan := []byte("plan descriptor from the peer")
+	if err := src.Save(artifact.KindJIT, key, jit); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Save(artifact.KindPlan, key, plan); err != nil {
+		t.Fatal(err)
+	}
+	peer, _, rawCalls := fakeArtifactPeer(t, src)
+
+	dst, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgStore, _ := configstore.Open("", 16)
+	self := "http://127.0.0.1:1"
+	c, err := New(Options{Self: self, Peers: []string{self, peer.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplicator(c, cfgStore, time.Hour, 0.02, t.Logf).WithArtifacts(dst)
+	r.PullOnce(context.Background())
+
+	if rawCalls.Load() != 2 {
+		t.Fatalf("raw fetches = %d, want 2 (jit + plan)", rawCalls.Load())
+	}
+	if dst.Len() != 2 {
+		t.Fatalf("destination indexes %d entries, want 2", dst.Len())
+	}
+	check := func(kind string, want []byte) {
+		t.Helper()
+		var got []byte
+		if !dst.Load(kind, key, func(p []byte) error {
+			got = append([]byte(nil), p...)
+			return nil
+		}) {
+			t.Fatalf("replicated %s artifact does not load", kind)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("replicated %s payload %q, want %q", kind, got, want)
+		}
+	}
+	check(artifact.KindJIT, jit)
+	check(artifact.KindPlan, plan)
 }

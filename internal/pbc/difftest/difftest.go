@@ -14,6 +14,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -305,6 +306,12 @@ func (h *Harness) Check(c *gen.Case) (*Result, error) {
 			}
 			divs = append(divs, wcDivs...)
 			runs += wcRuns
+			wpDivs, wpRuns, err := h.checkWarmPlan(c, inputs)
+			if err != nil {
+				return nil, fmt.Errorf("difftest: warm-plan axis for %s: %w", c.Name, err)
+			}
+			divs = append(divs, wpDivs...)
+			runs += wpRuns
 		}
 		res.Runs += runs
 		for _, d := range divs {
@@ -375,6 +382,153 @@ func (h *Harness) checkWarmCold(c *gen.Case, inputs map[string]*matrix.Matrix) (
 		}
 	}
 	return divs, 2, nil
+}
+
+// checkWarmPlan is the plan-tier sibling of checkWarmCold: the parallel
+// planned jit axis runs cold (plans constructed and their descriptors
+// persisted) and then warm (a fresh subject against the reopened disk
+// tier, rehydrating descriptors instead of constructing). The warm run
+// must be bit-identical to the cold one, and when the cold run
+// persisted plan descriptors the warm run must actually have
+// rehydrated at least one. Persisted plan files are then corrupted —
+// one truncation, one bit flip — and each corrupted store must yield a
+// typed rejection plus a rebuild that still matches the cold outputs:
+// a wrong schedule is the one outcome that is never acceptable. (The
+// exhaustive truncation/bit-flip sweep lives in the interp package's
+// corruption property test; this axis keeps every fuzzed case honest
+// at bounded cost.)
+func (h *Harness) checkWarmPlan(c *gen.Case, inputs map[string]*matrix.Matrix) ([]*Divergence, int, error) {
+	dir, err := os.MkdirTemp("", "pbdiff-plans-")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	ax := axis{engine: interp.EngineJIT, parallel: true, plan: true}
+	run := func() (map[string]*matrix.Matrix, error, *artifact.Store, interp.PlanCounters) {
+		before := interp.PlanStats()
+		store, err := artifact.Open(dir, artifact.Options{})
+		if err != nil {
+			return nil, err, nil, interp.PlanCounters{}
+		}
+		s, err := h.newSubject(c.Src, c.Main, c.TArgs)
+		if err != nil {
+			return nil, err, nil, interp.PlanCounters{}
+		}
+		s.eng.UseArtifacts(store)
+		outs, err := h.runOnce(s, inputs, choice.NewConfig(), ax)
+		after := interp.PlanStats()
+		delta := interp.PlanCounters{
+			Builds:    after.Builds - before.Builds,
+			WarmLoads: after.WarmLoads - before.WarmLoads,
+		}
+		return outs, err, store, delta
+	}
+
+	coldOuts, coldErr, coldStore, _ := run()
+	if coldStore == nil {
+		return nil, 0, coldErr
+	}
+	planFiles := 0
+	for _, e := range coldStore.List() {
+		if e.Kind == artifact.KindPlan {
+			planFiles++
+		}
+	}
+	warmOuts, warmErr, warmStore, warmDelta := run()
+	if warmStore == nil {
+		return nil, 1, warmErr
+	}
+	runs := 2
+	var divs []*Divergence
+	switch {
+	case (coldErr == nil) != (warmErr == nil):
+		divs = append(divs, &Divergence{
+			Axis:   "jit/warmplan",
+			Detail: fmt.Sprintf("error status differs between cold and warm run: %v vs %v", coldErr, warmErr),
+		})
+	case coldErr == nil:
+		if diff := compareOuts(coldOuts, warmOuts); diff != "" {
+			divs = append(divs, &Divergence{
+				Axis:   "jit/warmplan",
+				Detail: "plan-rehydrated run disagrees with cold run: " + diff,
+			})
+		}
+		if planFiles > 0 && warmDelta.WarmLoads == 0 {
+			divs = append(divs, &Divergence{
+				Axis: "jit/warmplan",
+				Detail: fmt.Sprintf("cold run persisted %d plan descriptors but the warm run rehydrated none (built %d)",
+					planFiles, warmDelta.Builds),
+			})
+		}
+	}
+	if coldErr != nil || planFiles == 0 || len(divs) > 0 {
+		return divs, runs, nil
+	}
+
+	// Corruption property: a damaged descriptor must never become a
+	// wrong schedule — only a typed rejection followed by a rebuild
+	// that reproduces the cold outputs exactly.
+	corrupt := func(label string, mutate func([]byte) []byte) error {
+		for _, e := range coldStore.List() {
+			if e.Kind != artifact.KindPlan {
+				continue
+			}
+			path := filepath.Join(dir, e.ID+".pba")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				continue // already quarantined by an earlier variant
+			}
+			if err := os.WriteFile(path, mutate(raw), 0o644); err != nil {
+				return err
+			}
+		}
+		outs, err, store, delta := run()
+		if store == nil {
+			return err
+		}
+		runs++
+		switch {
+		case err != nil:
+			divs = append(divs, &Divergence{
+				Axis:   "jit/warmplan",
+				Detail: fmt.Sprintf("run against %s plan descriptors failed: %v", label, err),
+			})
+		default:
+			if diff := compareOuts(coldOuts, outs); diff != "" {
+				divs = append(divs, &Divergence{
+					Axis:   "jit/warmplan",
+					Detail: fmt.Sprintf("run against %s plan descriptors disagrees with cold run: %s", label, diff),
+				})
+			}
+			if store.CorruptCount() == 0 {
+				divs = append(divs, &Divergence{
+					Axis:   "jit/warmplan",
+					Detail: fmt.Sprintf("%s plan descriptors were not rejected (no corruption recorded)", label),
+				})
+			}
+			if delta.Builds == 0 && delta.WarmLoads == 0 {
+				divs = append(divs, &Divergence{
+					Axis:   "jit/warmplan",
+					Detail: fmt.Sprintf("after %s, no plan was rebuilt or rehydrated", label),
+				})
+			}
+		}
+		return nil
+	}
+	if err := corrupt("truncated", func(raw []byte) []byte {
+		return raw[:len(raw)/2]
+	}); err != nil {
+		return divs, runs, err
+	}
+	if err := corrupt("bit-flipped", func(raw []byte) []byte {
+		mut := append([]byte(nil), raw...)
+		mut[len(mut)-1] ^= 0x10
+		return mut
+	}); err != nil {
+		return divs, runs, err
+	}
+	return divs, runs, nil
 }
 
 // pickSizes selects the problem sizes for a case: the minimum, one

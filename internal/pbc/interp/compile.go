@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"petabricks/internal/artifact"
 	"petabricks/internal/matrix"
@@ -168,7 +169,7 @@ func (ct *compiledTransform) rule(ri *analysis.RuleInfo) *compiledRule {
 			if m != nil {
 				m.jitWarm.Inc()
 			}
-		} else if prog, jerr := jit.Compile(ct.res, ri, ct.sizes); jerr == nil {
+		} else if prog, jerr := timedJITCompile(ct.res, ri, ct.sizes); jerr == nil {
 			cr = &compiledRule{
 				ri:      ri,
 				name:    ri.Rule.Name(),
@@ -195,7 +196,9 @@ func (ct *compiledTransform) rule(ri *analysis.RuleInfo) *compiledRule {
 		}
 	}
 	if cr == nil {
+		start := time.Now()
 		cc, err := compileRule(ct.res, ri, ct.sizes)
+		compileNanos.Add(time.Since(start).Nanoseconds())
 		if err != nil {
 			cc = nil
 			recordTierFallback(ct.res.Transform.Name, ri.Rule.Name(), "closure", err)
@@ -213,6 +216,15 @@ func (ct *compiledTransform) rule(ri *analysis.RuleInfo) *compiledRule {
 	}
 	ct.rules[ri.Rule.Index] = cr
 	return cr
+}
+
+// timedJITCompile wraps jit.Compile with the process-wide lowering
+// timer that pbbench -coldstart reads (see CompileSeconds).
+func timedJITCompile(res *analysis.Result, ri *analysis.RuleInfo, sizes map[string]int64) (*jit.Program, error) {
+	start := time.Now()
+	prog, err := jit.Compile(res, ri, sizes)
+	compileNanos.Add(time.Since(start).Nanoseconds())
+	return prog, err
 }
 
 // warmProgram returns the disk-tier bytecode for one rule, attempting

@@ -28,9 +28,11 @@ type interpMetrics struct {
 	stepsLex    *obs.Counter // lexicographic wavefront steps
 
 	planHit   *obs.Counter   // execution-plan cache hits
-	planMiss  *obs.Counter   // execution-plan cache misses (plan built)
+	planMiss  *obs.Counter   // execution-plan cache misses (plan materialized)
 	planEvict *obs.Counter   // execution-plan cache evictions (FIFO bound)
 	planTiles *obs.Histogram // tasks per built plan (tiles + fences + steps)
+	planWarm  *obs.Counter   // plans rehydrated from persisted descriptors
+	planBuild *obs.Counter   // plans constructed from the schedule
 
 	jitCompiled  *obs.Counter // rules lowered to bytecode programs
 	jitFallback  *obs.Counter // jit lowering fallbacks (closure tier used)
@@ -70,6 +72,8 @@ func Instrument(reg *obs.Registry) {
 	m.planEvict = reg.Counter("pb_interp_plan_cache_evictions_total", "Execution-plan cache entries evicted by the FIFO bound.")
 	m.planTiles = reg.Histogram("pb_interp_plan_tasks", "Tasks per built execution plan (tiles, fences and step tasks).",
 		obs.ExpBuckets(1, 2, 12))
+	m.planWarm = reg.Counter("pb_plan_warm_loads_total", "Execution plans warm-started from persisted descriptors instead of built.")
+	m.planBuild = reg.Counter("pb_plan_builds_total", "Execution plans constructed from the schedule (cache and disk both missed).")
 	m.jitCompiled = reg.Counter("pb_jit_rules_compiled_total", "Rules lowered to flat-bytecode programs.")
 	m.jitFallback = reg.Counter("pb_jit_compile_fallbacks_total", "Jit lowering fallbacks to the closure tier.")
 	m.jitCacheHit = reg.Counter("pb_jit_cache_hits_total", "Compiled-program cache hits under the jit tier.")

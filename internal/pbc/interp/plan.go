@@ -2,6 +2,7 @@ package interp
 
 import (
 	"sync"
+	"time"
 
 	"petabricks/internal/artifact"
 	"petabricks/internal/pbc/analysis"
@@ -25,6 +26,11 @@ import (
 // the step-granular scheduler executes serially. Any shape the tiler
 // cannot prove safe falls back to a step-granular task with the old
 // semantics — the plan changes performance, never results.
+//
+// Plans also survive restarts: plan_serialize.go flattens a built plan
+// into a pure-data PlanDescriptor persisted under artifact.KindPlan,
+// and a plan-cache miss rehydrates the descriptor (after full
+// validation) instead of re-running construction.
 
 // PlanKey is the config key that disables the plan layer when set to 0,
 // forcing per-run task wiring (useful for differential testing and for
@@ -68,18 +74,21 @@ type planTask struct {
 	lex    []analysis.LexDim
 }
 
-// planEntry builds its plan once, outside the artifact cache's lock, so
-// a slow build never blocks unrelated lookups. Plans hold analysis
-// pointers and so live in the memory tier only (KindPlan); rebuilding
-// one after a restart is a cheap pure computation.
+// planEntry materializes its plan once, outside the artifact cache's
+// lock, so a slow build (or a disk load) never blocks unrelated
+// lookups. The live plan holds analysis pointers and lives in the
+// memory tier (KindPlan); its pure-data PlanDescriptor form (see
+// plan_serialize.go) also persists to the store's disk tier, so a
+// restarted process rehydrates instead of rebuilding.
 type planEntry struct {
 	once sync.Once
 	p    *plan
 }
 
-// planFor returns the memoized plan for this invocation, building it on
-// first use. A nil plan (disabled by config, or a shape the builder
-// declined) means the caller should use per-run task wiring.
+// planFor returns the memoized plan for this invocation, warm-loading
+// or building it on first use. A nil plan (disabled by config, or a
+// shape the builder declined) means the caller should use per-run task
+// wiring.
 func (ex *exec) planFor(done map[string]bool) *plan {
 	e := ex.engine
 	if e.Cfg.Int(PlanKey, 1) == 0 {
@@ -94,8 +103,56 @@ func (ex *exec) planFor(done map[string]bool) *plan {
 		}
 	}
 	pe := v.(*planEntry)
-	pe.once.Do(func() { pe.p = ex.buildPlan(done) })
+	pe.once.Do(func() { pe.p = ex.loadOrBuildPlan(done) })
 	return pe.p
+}
+
+// loadOrBuildPlan fills one plan-cache miss: rehydrate a persisted
+// descriptor when the disk tier has one for this invocation key (the
+// jit warm-start pattern), otherwise construct the plan and persist its
+// descriptor back. Load and Save are silent no-ops on memory-only
+// stores, so non-serving callers pay nothing new.
+func (ex *exec) loadOrBuildPlan(done map[string]bool) *plan {
+	e := ex.engine
+	m := im.Load()
+	if e.arts.Persistent() {
+		var warm *plan
+		e.arts.Load(artifact.KindPlan, ex.akey, func(payload []byte) error {
+			d, err := DecodePlan(payload)
+			if err != nil {
+				return err
+			}
+			p, err := d.rehydrate(ex.res)
+			if err != nil {
+				return err
+			}
+			warm = p
+			return nil
+		})
+		if warm != nil {
+			planCtr.warmLoads.Add(1)
+			if m != nil {
+				m.planWarm.Inc()
+			}
+			return warm
+		}
+	}
+	start := time.Now()
+	p := ex.buildPlan(done)
+	planCtr.buildNanos.Add(time.Since(start).Nanoseconds())
+	planCtr.builds.Add(1)
+	if m != nil {
+		m.planBuild.Inc()
+	}
+	if p == nil || !e.arts.Persistent() {
+		return p
+	}
+	if d, ok := describePlan(ex.res, p); ok {
+		if payload, err := EncodePlan(d); err == nil {
+			_ = e.arts.Save(artifact.KindPlan, ex.akey, payload)
+		}
+	}
+	return p
 }
 
 // runPlan executes a memoized plan on the pool via the Run arena.

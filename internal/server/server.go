@@ -699,8 +699,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"followers": s.coalescer.Followers(),
 		},
 		"engines":   interp.EngineStatsSnapshot(),
-		"artifacts": s.opts.Artifacts.Stats(),
+		"artifacts": artifactsSection(s.opts.Artifacts),
 	})
+}
+
+// artifactsSection augments the store's tier counters with the engine's
+// plan-tier traffic: the store moves opaque payloads, so "did the warm
+// boot rebuild any plans" is the interpreter's to answer (see
+// coldwarm_smoke.sh, which asserts builds stays 0 after a restart).
+func artifactsSection(arts *artifact.Store) map[string]any {
+	st := arts.Stats()
+	st["plan"] = interp.PlanStats()
+	return st
 }
 
 // handleArtifacts exposes the artifact store's disk tier to peers.

@@ -4,9 +4,12 @@
 # Boots pbserve against an empty store directory, runs a jit-lowerable
 # DSL program (populating the artifact store), kills the node with
 # SIGTERM, restarts it against the same directories, and asserts:
-#   1. the first boot persisted compiled artifacts to disk,
+#   1. the first boot persisted compiled artifacts to disk and
+#      constructed at least one execution plan,
 #   2. the second boot served the same request entirely from the disk
-#      tier (disk hits, zero disk misses, zero fresh jit compiles),
+#      tier (disk hits, zero disk misses, zero fresh jit compiles, and
+#      zero plan constructions — every plan rehydrated from its
+#      persisted descriptor),
 #   3. both boots shut down cleanly on SIGTERM.
 #
 # Exits non-zero on any failure. Run from the repository root.
@@ -53,12 +56,23 @@ stop_node() {
 echo "== cold boot: run, persist, shut down =="
 start_node cold
 run_heat1d
-saves=$(curl -s "$URL/v1/stats" | python3 -c \
-  "import json,sys;print(json.load(sys.stdin)['artifacts']['disk']['saves'])")
-echo "cold boot persisted $saves artifacts"
-if [ "$saves" -lt 1 ]; then
-  echo "FAIL: cold run persisted nothing" >&2; exit 1
-fi
+curl -s "$URL/v1/stats" >"$DIR/cold-stats.json"
+python3 - "$DIR/cold-stats.json" <<'EOF'
+import json, sys
+st = json.load(open(sys.argv[1]))
+saves = st["artifacts"]["disk"]["saves"]
+plan = st["artifacts"]["plan"]
+fails = []
+if saves < 1:
+    fails.append("cold run persisted nothing")
+if plan["builds"] < 1:
+    fails.append("cold run constructed no execution plans: %r" % plan)
+if fails:
+    for f in fails:
+        print("FAIL:", f, file=sys.stderr)
+    sys.exit(1)
+print("cold boot: persisted %d artifacts, built %d plans" % (saves, plan["builds"]))
+EOF
 stop_node cold
 
 echo "== warm boot: same dirs, same request =="
@@ -75,6 +89,7 @@ import json, sys
 st = json.load(open(sys.argv[1]))
 disk = st["artifacts"]["disk"]
 compiled = st["engines"]["compiled"]
+plan = st["artifacts"]["plan"]
 fails = []
 if disk["hits"] < 1:
     fails.append("no disk hits on the warm boot: %r" % disk)
@@ -84,13 +99,17 @@ if compiled.get("jit-warm", 0) < 1:
     fails.append("no rules loaded warm: %r" % compiled)
 if compiled.get("jit", 0) != 0:
     fails.append("warm boot recompiled %d rules from source" % compiled["jit"])
+if plan["warm_loads"] < 1:
+    fails.append("no plans warm-loaded on the warm boot: %r" % plan)
+if plan["builds"] != 0:
+    fails.append("warm boot constructed %d plans from scratch" % plan["builds"])
 if fails:
     for f in fails:
         print("FAIL:", f, file=sys.stderr)
     sys.exit(1)
-print("warm boot: %d disk hits, 0 misses, %d rules loaded warm, 0 compiled"
-      % (disk["hits"], compiled["jit-warm"]))
+print("warm boot: %d disk hits, 0 misses, %d rules loaded warm, 0 compiled, "
+      "%d plans rehydrated, 0 built" % (disk["hits"], compiled["jit-warm"], plan["warm_loads"]))
 EOF
 stop_node warm
 
-echo "PASS: restart served from persisted artifacts without recompiling"
+echo "PASS: restart served from persisted artifacts without recompiling or replanning"
